@@ -1,0 +1,117 @@
+// Figure 4 reproduction: for every ObjectNet category, compare the
+// full-ranking AP of the *initial* text-query vector against an *ideal*
+// query vector fitted by logistic regression on the complete ground-truth
+// labels (§3.1 of the paper).
+//
+// Paper reference: ideal-query median AP > .9 with >= 25% of categories at
+// exactly 1; initial-query median AP ~ .2; points lie comfortably above the
+// diagonal — i.e. concept locality is high, and the error of the initial
+// query is mostly an alignment deficit that a better vector could fix.
+#include "bench/bench_util.h"
+#include "optim/lbfgs.h"
+
+namespace seesaw::bench {
+namespace {
+
+/// Fits the "ideal" linear query on full labels (the paper's over-fit
+/// best-case probe, not a deployable method).
+linalg::VectorF FitIdealVector(const linalg::MatrixF& x,
+                               const std::vector<char>& labels,
+                               const linalg::VectorF& q0) {
+  core::LossOptions loss_options;
+  loss_options.use_text_term = false;
+  loss_options.use_db_term = false;
+  loss_options.lambda = 0.01;
+  core::AlignerLoss loss(loss_options, q0, nullptr);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    loss.AddExample(x.Row(i), labels[i] ? 1.0f : 0.0f);
+  }
+  optim::LbfgsOptions lbfgs_options;
+  lbfgs_options.max_iterations = 300;
+  optim::Lbfgs lbfgs(lbfgs_options);
+  auto fit = lbfgs.Minimize(loss.AsObjective(),
+                            optim::VectorD(q0.begin(), q0.end()));
+  linalg::VectorF w(x.cols(), 0.0f);
+  if (fit.ok()) {
+    for (size_t j = 0; j < w.size(); ++j) {
+      w[j] = static_cast<float>(fit->x[j]);
+    }
+  }
+  return w;
+}
+
+void Run(const BenchArgs& args) {
+  auto profile = data::ObjectNetLikeProfile(args.scale);
+  PreparedDataset d = Prepare(profile, args, /*multiscale=*/false,
+                              /*build_md=*/false);
+  const linalg::MatrixF& x = d.embedded->vectors();
+
+  std::vector<double> initial_aps, ideal_aps;
+  size_t above_diagonal = 0;
+  for (size_t concept_id : d.concepts) {
+    std::vector<char> labels(x.rows(), 0);
+    for (uint32_t img : d.dataset->positives(concept_id)) labels[img] = 1;
+
+    auto q0 = d.embedded->TextQuery(concept_id);
+    std::vector<float> scores(x.rows());
+    for (size_t i = 0; i < x.rows(); ++i) {
+      scores[i] = linalg::Dot(x.Row(i), linalg::VecSpan(q0));
+    }
+    double initial = eval::FullRankingAp(scores, labels);
+
+    linalg::VectorF ideal = FitIdealVector(x, labels, q0);
+    for (size_t i = 0; i < x.rows(); ++i) {
+      scores[i] = linalg::Dot(x.Row(i), linalg::VecSpan(ideal));
+    }
+    double best = eval::FullRankingAp(scores, labels);
+
+    initial_aps.push_back(initial);
+    ideal_aps.push_back(best);
+    if (best >= initial - 0.02) ++above_diagonal;
+  }
+
+  std::printf("== Figure 4: ideal vs initial query AP (%zu categories) ==\n",
+              initial_aps.size());
+  std::printf("initial (x-axis):  median %.2f  p25 %.2f  p75 %.2f  mean %.2f\n",
+              eval::Median(initial_aps), eval::Quantile(initial_aps, 0.25),
+              eval::Quantile(initial_aps, 0.75), eval::Mean(initial_aps));
+  size_t ideal_perfect = 0;
+  for (double ap : ideal_aps) ideal_perfect += (ap >= 0.999);
+  std::printf("ideal   (y-axis):  median %.2f  p25 %.2f  p75 %.2f  mean %.2f"
+              "  frac(AP=1) %.2f\n",
+              eval::Median(ideal_aps), eval::Quantile(ideal_aps, 0.25),
+              eval::Quantile(ideal_aps, 0.75), eval::Mean(ideal_aps),
+              static_cast<double>(ideal_perfect) / ideal_aps.size());
+  std::printf("fraction above diagonal (ideal >= initial - .02): %.2f\n",
+              static_cast<double>(above_diagonal) / initial_aps.size());
+
+  // Joint distribution summary, a text rendering of the scatter plot.
+  std::printf("\nscatter (counts): rows = ideal AP bucket, cols = initial\n");
+  std::printf("%10s", "");
+  for (int c = 0; c < 5; ++c) std::printf("  [%.1f,%.1f)", c * 0.2, c * 0.2 + 0.2);
+  std::printf("\n");
+  for (int r = 4; r >= 0; --r) {
+    std::printf("[%.1f,%.1f)", r * 0.2, r * 0.2 + 0.2);
+    for (int c = 0; c < 5; ++c) {
+      size_t count = 0;
+      for (size_t i = 0; i < initial_aps.size(); ++i) {
+        int rb = std::min(4, static_cast<int>(ideal_aps[i] * 5));
+        int cb = std::min(4, static_cast<int>(initial_aps[i] * 5));
+        count += (rb == r && cb == c);
+      }
+      std::printf("  %9zu", count);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\npaper: ideal median > .9 with >= 25%% at AP = 1; initial median"
+      " ~ .2; points above the diagonal\n");
+}
+
+}  // namespace
+}  // namespace seesaw::bench
+
+int main(int argc, char** argv) {
+  seesaw::bench::Run(seesaw::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

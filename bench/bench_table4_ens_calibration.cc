@@ -1,0 +1,102 @@
+// Table 4 reproduction: ENS's sensitivity to score calibration. Mean AP
+// (averaged over the four datasets) as a function of the reward horizon
+// t in {1, 2, 10, 60}, with raw CLIP-score priors vs Platt-calibrated priors
+// (calibration uses ground-truth labels, so it is a diagnostic upper bound,
+// not a deployable configuration — §5.4).
+//
+// Paper reference (Table 4):
+//   reward horizon t =  1     2     10    60
+//   raw gamma_i         0.63  0.62  0.61  0.55
+//   calibrated gamma_i  0.65  0.65  0.65  0.63
+// Shape: raw priors degrade sharply with horizon; calibrated priors degrade
+// much less; at t = 1 ENS is a greedy kNN model and calibration matters
+// least.
+#include "bench/bench_util.h"
+
+namespace seesaw::bench {
+namespace {
+
+core::PlattScaling CalibrateForConcept(const PreparedDataset& d,
+                                       size_t concept_id) {
+  const linalg::MatrixF& x = d.embedded->vectors();
+  auto q0 = d.embedded->TextQuery(concept_id);
+  std::vector<double> scores(x.rows());
+  std::vector<int> labels(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    scores[i] = linalg::Dot(x.Row(i), linalg::VecSpan(q0));
+    labels[i] = d.dataset->IsPositive(i, concept_id) ? 1 : 0;
+  }
+  auto platt = core::FitPlatt(scores, labels);
+  // All-one-class concepts cannot be calibrated; identity fallback.
+  return platt.ok() ? *platt : core::PlattScaling{1.0, 0.0};
+}
+
+void Run(const BenchArgs& args) {
+  eval::TaskOptions task;
+  task.batch_size = 1;  // ENS is sequential
+
+  const std::vector<size_t> horizons = {1, 2, 10, 60};
+  // horizon -> mean AP accumulators across datasets.
+  std::vector<double> raw_sum(horizons.size(), 0.0);
+  std::vector<double> cal_sum(horizons.size(), 0.0);
+  size_t num_datasets = 0;
+
+  for (auto& profile : data::AllPaperProfiles(args.scale)) {
+    std::fprintf(stderr, "[table4] preparing %s...\n", profile.name.c_str());
+    PreparedDataset d = Prepare(profile, args, /*multiscale=*/false,
+                                /*build_md=*/false);
+    core::GraphContextOptions graph_options;
+    graph_options.k = 20;
+    auto graph = core::GraphContext::Build(*d.embedded, graph_options);
+    if (!graph.ok()) std::exit(1);
+
+    // Per-concept Platt scalings (ground-truth access, benchmark only).
+    std::map<size_t, core::PlattScaling> platt;
+    for (size_t concept_id : d.concepts) {
+      platt[concept_id] = CalibrateForConcept(d, concept_id);
+    }
+
+    for (size_t h = 0; h < horizons.size(); ++h) {
+      for (bool calibrated : {false, true}) {
+        auto run = RunBenchmark(
+            [&, h, calibrated](size_t concept_id) {
+              core::EnsOptions options;
+              options.horizon = horizons[h];
+              options.shrink_horizon = horizons[h] > 1;
+              options.calibrated = calibrated;
+              if (calibrated) options.platt = platt[concept_id];
+              return std::make_unique<core::EnsSearcher>(
+                  *d.embedded, *graph, d.embedded->TextQuery(concept_id),
+                  options);
+            },
+            *d.dataset, d.concepts, task);
+        (calibrated ? cal_sum : raw_sum)[h] += run.MeanAp();
+      }
+    }
+    ++num_datasets;
+  }
+
+  std::printf("== Table 4: ENS mean AP vs reward horizon (avg of %zu"
+              " datasets) ==\n",
+              num_datasets);
+  std::printf("%-22s", "reward horizon t =");
+  for (size_t h : horizons) std::printf("  %6zu", h);
+  std::printf("\n%-22s", "raw gamma_i");
+  for (size_t h = 0; h < horizons.size(); ++h) {
+    std::printf("  %6.2f", raw_sum[h] / num_datasets);
+  }
+  std::printf("\n%-22s", "calibrated gamma_i");
+  for (size_t h = 0; h < horizons.size(); ++h) {
+    std::printf("  %6.2f", cal_sum[h] / num_datasets);
+  }
+  std::printf("\npaper:                 raw .63/.62/.61/.55   calibrated"
+              " .65/.65/.65/.63\n");
+}
+
+}  // namespace
+}  // namespace seesaw::bench
+
+int main(int argc, char** argv) {
+  seesaw::bench::Run(seesaw::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

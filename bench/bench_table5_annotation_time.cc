@@ -1,0 +1,64 @@
+// Table 5 reproduction: per-image user annotation time for the baseline UI
+// (mark = a keypress) vs the SeeSaw UI (mark = keypress + region box), split
+// by whether the image was marked relevant, with 95% bootstrap CIs.
+//
+// Paper reference (Table 5, seconds):
+//                  baseline      seesaw
+//   not marked     1.98 +- .10   2.40 +- .19
+//   marked         3.00 +- .28   4.40 +- .45
+// The simulated users are calibrated to these means (see sim/user_model.h);
+// this bench validates the simulation arithmetic end to end, including the
+// per-user speed variation the CIs capture.
+#include "bench/bench_util.h"
+#include "sim/user_model.h"
+
+namespace seesaw::bench {
+namespace {
+
+struct CellStats {
+  double mean;
+  eval::BootstrapCi ci;
+};
+
+CellStats Measure(const sim::AnnotationTimeModel& times, bool marked,
+                  uint64_t seed) {
+  // 40 users (like the paper's study), ~50 handled images each.
+  std::vector<double> per_user_means;
+  for (int u = 0; u < 40; ++u) {
+    sim::SimulatedUser user(times, /*speed_sigma=*/0.25,
+                            seed + static_cast<uint64_t>(u));
+    double total = 0;
+    const int images = 50;
+    for (int i = 0; i < images; ++i) total += user.AnnotationSeconds(marked);
+    per_user_means.push_back(total / images);
+  }
+  return {eval::Mean(per_user_means), eval::BootstrapCiMean(per_user_means)};
+}
+
+void Run(const BenchArgs&) {
+  auto baseline = sim::BaselineUiTimes();
+  auto seesaw_ui = sim::SeeSawUiTimes();
+
+  auto print_cell = [](CellStats s) {
+    std::printf("  %.2f +- %.2f", s.mean, (s.ci.hi - s.ci.lo) / 2.0);
+  };
+
+  std::printf("== Table 5: user annotation time per image (s) ==\n");
+  std::printf("%-16s  %-14s  %-14s\n", "", "baseline", "seesaw");
+  std::printf("%-16s", "not marked");
+  print_cell(Measure(baseline, false, 100));
+  print_cell(Measure(seesaw_ui, false, 200));
+  std::printf("\n%-16s", "marked relevant");
+  print_cell(Measure(baseline, true, 300));
+  print_cell(Measure(seesaw_ui, true, 400));
+  std::printf("\npaper:            1.98+-.10 / 2.40+-.19 (not marked),"
+              " 3.00+-.28 / 4.40+-.45 (marked)\n");
+}
+
+}  // namespace
+}  // namespace seesaw::bench
+
+int main(int argc, char** argv) {
+  seesaw::bench::Run(seesaw::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Table 6 reproduction: per-iteration system latency (seconds) as the
+// vector-store size grows, for zero-shot CLIP, ENS, Rocchio, SeeSaw, and
+// the label-propagation variant of SeeSaw. A trailing "-" on the dataset
+// name means coarse indexing (one vector per image); otherwise multiscale.
+//
+// Paper reference (Table 6, seconds/iteration):
+//              vectors  CLIP  ENS   Rocchio SeeSaw prop.
+//   ObjNet-    50K      0.11  0.10  0.14    0.27   0.83
+//   BDD-       80K      0.09  0.11  0.10    0.23   0.90
+//   COCO-      120K     0.10  0.22  0.16    0.34   1.11
+//   BDD        1.6M     0.13  NA    0.16    0.34   2.95
+//   COCO       1.6M     0.14  NA    0.23    0.47   2.88
+// Shape to reproduce (absolute numbers depend on hardware and the scaled
+// dataset sizes, documented in EXPERIMENTS.md): CLIP < Rocchio < SeeSaw <<
+// prop; ENS grows with N and is unavailable for multiscale; SeeSaw's extra
+// cost over Rocchio is the (database-size-independent) L-BFGS solve.
+#include "bench/bench_util.h"
+
+namespace seesaw::bench {
+namespace {
+
+/// Median per-round latency over a handful of queries.
+double MedianRoundLatency(const eval::SearcherFactory& factory,
+                          const PreparedDataset& d,
+                          const eval::TaskOptions& task, size_t num_queries) {
+  std::vector<double> per_round;
+  for (size_t i = 0; i < std::min(num_queries, d.concepts.size()); ++i) {
+    auto searcher = factory(d.concepts[i]);
+    auto result = eval::RunSearchTask(*searcher, *d.dataset, d.concepts[i],
+                                      task);
+    per_round.push_back(result.seconds_per_round);
+  }
+  return eval::Median(per_round);
+}
+
+void Run(const BenchArgs& args) {
+  eval::TaskOptions task;
+  task.batch_size = args.batch;
+  eval::TaskOptions ens_task = task;
+  ens_task.batch_size = 1;
+  const size_t kQueries = 6;
+
+  struct RowSpec {
+    data::DatasetProfile profile;
+    bool multiscale;
+  };
+  std::vector<RowSpec> specs;
+  specs.push_back({data::ObjectNetLikeProfile(args.scale), false});
+  specs.push_back({data::BddLikeProfile(args.scale), false});
+  specs.push_back({data::CocoLikeProfile(args.scale), false});
+  specs.push_back({data::BddLikeProfile(args.scale), true});
+  specs.push_back({data::CocoLikeProfile(args.scale), true});
+
+  std::printf("== Table 6: system latency per iteration (s) vs store size"
+              " ==\n");
+  std::printf("%-12s %9s  %7s %7s %9s %7s %7s\n", "dataset", "vectors",
+              "CLIP", "ENS", "Rocchio", "SeeSaw", "prop.");
+
+  for (auto& spec : specs) {
+    std::string label = spec.profile.name + (spec.multiscale ? "" : "-");
+    std::fprintf(stderr, "[table6] preparing %s...\n", label.c_str());
+    PreparedDataset d =
+        Prepare(spec.profile, args, spec.multiscale, /*build_md=*/true);
+
+    // Graph shared by ENS (coarse only) and the propagation variant.
+    core::GraphContextOptions graph_options;
+    graph_options.k = spec.multiscale ? 10 : 20;
+    auto graph = core::GraphContext::Build(*d.embedded, graph_options);
+    if (!graph.ok()) std::exit(1);
+
+    double clip_s = MedianRoundLatency(
+        SeeSawFactory(d, ZeroShotOptions()), d, task, kQueries);
+    double rocchio_s = MedianRoundLatency(
+        [&d](size_t concept_id) {
+          return std::make_unique<core::RocchioSearcher>(
+              *d.embedded, d.embedded->TextQuery(concept_id));
+        },
+        d, task, kQueries);
+    double seesaw_s = MedianRoundLatency(
+        SeeSawFactory(d, args.Apply(FullSeeSawOptions())), d, task, kQueries);
+    double prop_s = MedianRoundLatency(
+        [&d, &graph](size_t concept_id) {
+          return std::make_unique<core::PropagationSearcher>(
+              *d.embedded, *graph, d.embedded->TextQuery(concept_id));
+        },
+        d, task, kQueries);
+    double ens_s = -1;
+    if (!spec.multiscale) {
+      ens_s = MedianRoundLatency(
+          [&d, &graph](size_t concept_id) {
+            core::EnsOptions options;
+            return std::make_unique<core::EnsSearcher>(
+                *d.embedded, *graph, d.embedded->TextQuery(concept_id),
+                options);
+          },
+          d, ens_task, kQueries);
+    }
+
+    std::printf("%-12s %9zu  %7.4f ", label.c_str(),
+                d.embedded->num_vectors(), clip_s);
+    if (ens_s >= 0) {
+      std::printf("%7.4f ", ens_s);
+    } else {
+      std::printf("%7s ", "NA");
+    }
+    std::printf("%9.4f %7.4f %7.4f\n", rocchio_s, seesaw_s, prop_s);
+  }
+  std::printf(
+      "\npaper shape: CLIP < Rocchio < SeeSaw << prop; ENS grows with N and"
+      " is NA for multiscale; SeeSaw stays interactive at every size\n");
+}
+
+}  // namespace
+}  // namespace seesaw::bench
+
+int main(int argc, char** argv) {
+  seesaw::bench::Run(seesaw::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

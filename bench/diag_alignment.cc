@@ -1,0 +1,50 @@
+// Diagnostic (not a paper artifact): traces the aligner's behaviour on the
+// hard queries of one dataset — how far the query vector rotates from q0
+// toward the concept direction per feedback round, and what that does to AP.
+#include "bench/bench_util.h"
+
+namespace seesaw::bench {
+namespace {
+
+void Run(const BenchArgs& args) {
+  auto profile = data::LvisLikeProfile(args.scale);
+  PreparedDataset d = Prepare(profile, args, /*multiscale=*/true,
+                              /*build_md=*/true);
+  eval::TaskOptions task;
+  task.batch_size = args.batch;
+
+  auto zs = RunBenchmark(SeeSawFactory(d, ZeroShotOptions()), *d.dataset,
+                         d.concepts, task);
+
+  std::printf("%-6s %-8s %-6s %-6s %-6s %-7s %-7s %-7s %-7s\n", "query",
+              "deficit", "zsAP", "qaAP", "found", "cos_q0", "cosC_0",
+              "cosC_T", "pos/neg");
+  for (size_t i = 0; i < d.concepts.size(); ++i) {
+    if (zs.results[i].ap >= 0.5) continue;
+    size_t concept_id = d.concepts[i];
+    const auto& c = d.dataset->space().concept_at(concept_id);
+    auto centroid = c.ModeCentroid();
+    auto q0 = d.embedded->TextQuery(concept_id);
+
+    core::SeeSawOptions options = args.Apply(QueryAlignOptions());
+    core::SeeSawSearcher searcher(*d.embedded, q0, options);
+    auto result = eval::RunSearchTask(searcher, *d.dataset, concept_id, task);
+
+    std::printf("%-6zu %-8.2f %-6.2f %-6.2f %-6zu %-7.2f %-7.2f %-7.2f %zu/%zu\n",
+                concept_id, c.alignment_deficit, zs.results[i].ap, result.ap,
+                result.found,
+                linalg::Cosine(searcher.current_query(), q0),
+                linalg::Cosine(q0, centroid),
+                linalg::Cosine(searcher.current_query(), centroid),
+                searcher.aligner().num_positive(),
+                searcher.aligner().num_negative());
+  }
+}
+
+}  // namespace
+}  // namespace seesaw::bench
+
+int main(int argc, char** argv) {
+  seesaw::bench::Run(seesaw::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

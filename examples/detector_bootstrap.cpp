@@ -1,0 +1,92 @@
+// Detector bootstrap: the paper's "constructing datasets for training and
+// testing object detectors" use case (§1). Loops over several categories,
+// collects 10 positive examples of each with a SeeSaw session, and exports
+// a training-set manifest (image id + region boxes) as CSV — the artifact a
+// detector-training pipeline would consume.
+//
+//   $ ./examples/detector_bootstrap [output.csv]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/embedded_dataset.h"
+#include "core/seesaw_searcher.h"
+#include "data/profiles.h"
+
+using namespace seesaw;
+
+namespace {
+
+struct LabeledExample {
+  std::string category;
+  uint32_t image_idx;
+  data::Box box;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "detector_labels.csv";
+
+  data::DatasetProfile profile = data::LvisLikeProfile(/*scale=*/0.3);
+  profile.embedding_dim = 64;
+  auto dataset = data::Dataset::Generate(profile);
+  if (!dataset.ok()) return 1;
+
+  core::PreprocessOptions options;
+  options.multiscale.enabled = true;
+  options.build_md = true;
+  options.md.sample_size = 3000;
+  auto embedded = core::EmbeddedDataset::Build(*dataset, options);
+  if (!embedded.ok()) return 1;
+
+  // Bootstrap labels for the five rarest evaluable categories — exactly the
+  // ones where random browsing would be hopeless.
+  auto evaluable = dataset->EvaluableConcepts(10);
+  std::vector<size_t> targets(evaluable.end() - std::min<size_t>(5, evaluable.size()),
+                              evaluable.end());
+
+  std::vector<LabeledExample> collected;
+  for (size_t concept_id : targets) {
+    const std::string& name = dataset->space().concept_at(concept_id).name;
+    core::SeeSawSearcher searcher(*embedded, embedded->TextQuery(concept_id),
+                                  core::SeeSawOptions{});
+    size_t found = 0, inspected = 0;
+    while (found < 10 && inspected < 80) {
+      auto batch = searcher.NextBatch(10);
+      if (batch.empty()) break;
+      for (const core::ScoredImage& hit : batch) {
+        core::ImageFeedback fb;
+        fb.image_idx = hit.image_idx;
+        fb.relevant = dataset->IsPositive(hit.image_idx, concept_id);
+        if (fb.relevant) {
+          fb.boxes = dataset->ConceptBoxes(hit.image_idx, concept_id);
+          for (const data::Box& box : fb.boxes) {
+            collected.push_back({name, hit.image_idx, box});
+          }
+          ++found;
+        }
+        searcher.AddFeedback(fb);
+        ++inspected;
+        if (found >= 10) break;
+      }
+      if (!searcher.Refit().ok()) break;
+    }
+    std::printf("%-16s found %2zu positives in %2zu inspected images\n",
+                name.c_str(), found, inspected);
+  }
+
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out, "category,image_id,x0,y0,x1,y1\n");
+  for (const LabeledExample& ex : collected) {
+    std::fprintf(out, "%s,%u,%.1f,%.1f,%.1f,%.1f\n", ex.category.c_str(),
+                 ex.image_idx, ex.box.x0, ex.box.y0, ex.box.x1, ex.box.y1);
+  }
+  std::fclose(out);
+  std::printf("\nwrote %zu labeled boxes to %s\n", collected.size(), out_path);
+  return 0;
+}

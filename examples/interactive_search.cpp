@@ -1,0 +1,113 @@
+// Interactive terminal search: drive a SeeSawSession by hand. Type a
+// category name to start; for each result the program shows the image's
+// contents (the synthetic stand-in for looking at a picture) and asks
+// whether it is relevant — your y/n answers are the box feedback loop of
+// Listing 1.
+//
+//   $ ./examples/interactive_search
+//   query> wheelchair
+//   [1] image 1204 (1280x720): car, car, person | relevant? (y/n/q) ...
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/embedded_dataset.h"
+#include "core/seesaw_searcher.h"
+#include "data/profiles.h"
+
+using namespace seesaw;
+
+namespace {
+
+std::string DescribeImage(const data::Dataset& dataset, uint32_t image_idx) {
+  const data::ImageRecord& img = dataset.image(image_idx);
+  std::ostringstream out;
+  out << "image " << image_idx << " (" << img.width << "x" << img.height
+      << "): ";
+  if (img.objects.empty()) {
+    out << "(empty scene)";
+  }
+  for (size_t i = 0; i < img.objects.size(); ++i) {
+    if (i) out << ", ";
+    out << dataset.space().concept_at(img.objects[i].concept_id).name;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Generating a BDD-like dataset (one-time preprocessing)...\n");
+  data::DatasetProfile profile = data::BddLikeProfile(/*scale=*/0.25);
+  profile.embedding_dim = 64;
+  auto dataset = data::Dataset::Generate(profile);
+  if (!dataset.ok()) return 1;
+  core::PreprocessOptions options;
+  options.multiscale.enabled = true;
+  options.build_md = true;
+  options.md.sample_size = 2000;
+  auto embedded = core::EmbeddedDataset::Build(*dataset, options);
+  if (!embedded.ok()) return 1;
+
+  std::printf("categories: ");
+  for (size_t c = 0; c < dataset->space().num_concepts(); ++c) {
+    std::printf("%s%s", c ? ", " : "",
+                dataset->space().concept_at(c).name.c_str());
+  }
+  std::printf("\n\nquery> ");
+  std::string query;
+  if (!std::getline(std::cin, query) || query.empty()) {
+    std::printf("(no query; exiting)\n");
+    return 0;
+  }
+  if (query == "q" || query == "quit") return 0;
+  auto concept_id = dataset->space().FindConcept(query);
+  if (!concept_id.ok()) {
+    std::printf("unknown category '%s'\n", query.c_str());
+    return 1;
+  }
+
+  core::SeeSawSearcher searcher(*embedded, embedded->TextQuery(*concept_id),
+                                core::SeeSawOptions{});
+  size_t shown = 0, marked = 0;
+  for (;;) {
+    auto batch = searcher.NextBatch(5);
+    if (batch.empty()) {
+      std::printf("no more images.\n");
+      break;
+    }
+    bool quit = false;
+    for (const core::ScoredImage& hit : batch) {
+      std::printf("[%zu] %s | relevant? (y/n/q) ", ++shown,
+                  DescribeImage(*dataset, hit.image_idx).c_str());
+      std::string answer;
+      if (!std::getline(std::cin, answer)) {
+        quit = true;
+        break;
+      }
+      if (!answer.empty() && (answer[0] == 'q' || answer[0] == 'Q')) {
+        quit = true;
+        break;
+      }
+      core::ImageFeedback fb;
+      fb.image_idx = hit.image_idx;
+      fb.relevant = !answer.empty() && (answer[0] == 'y' || answer[0] == 'Y');
+      if (fb.relevant) {
+        // In a GUI the user would draw the box; here the ground-truth boxes
+        // stand in for it.
+        fb.boxes = dataset->ConceptBoxes(hit.image_idx, *concept_id);
+        ++marked;
+      }
+      searcher.AddFeedback(fb);
+    }
+    if (quit) break;
+    if (!searcher.Refit().ok()) break;
+    std::printf("-- query refit from %zu marks; fetching next batch --\n",
+                marked);
+  }
+  std::printf("session over: %zu images shown, %zu marked relevant.\n", shown,
+              marked);
+  return 0;
+}

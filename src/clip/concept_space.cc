@@ -1,0 +1,169 @@
+#include "clip/concept_space.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace seesaw::clip {
+
+using linalg::VectorF;
+
+VectorF RandomUnitVector(Rng& rng, size_t dim) {
+  VectorF v(dim);
+  for (size_t i = 0; i < dim; ++i) v[i] = static_cast<float>(rng.Gaussian());
+  linalg::NormalizeInPlace(linalg::MutVecSpan(v.data(), v.size()));
+  return v;
+}
+
+VectorF Concept::ModeCentroid() const {
+  SEESAW_CHECK(!modes.empty());
+  VectorF c = linalg::Zeros(modes[0].size());
+  for (size_t m = 0; m < modes.size(); ++m) {
+    linalg::Axpy(static_cast<float>(mode_weights[m]), linalg::VecSpan(modes[m]),
+                 linalg::MutVecSpan(c.data(), c.size()));
+  }
+  linalg::NormalizeInPlace(linalg::MutVecSpan(c.data(), c.size()));
+  return c;
+}
+
+StatusOr<ConceptSpace> ConceptSpace::Create(
+    const ConceptSpaceOptions& options, const std::vector<ConceptSpec>& specs) {
+  if (options.dim < 4) {
+    return Status::InvalidArgument("ConceptSpace: dim must be >= 4");
+  }
+  if (options.num_backgrounds == 0) {
+    return Status::InvalidArgument(
+        "ConceptSpace: need at least one background direction");
+  }
+  std::unordered_set<std::string> names;
+  for (const ConceptSpec& s : specs) {
+    if (s.name.empty()) {
+      return Status::InvalidArgument("ConceptSpace: empty concept name");
+    }
+    if (!names.insert(s.name).second) {
+      return Status::InvalidArgument("ConceptSpace: duplicate concept name '" +
+                                     s.name + "'");
+    }
+    if (s.num_modes < 1) {
+      return Status::InvalidArgument("ConceptSpace: num_modes must be >= 1");
+    }
+    if (s.alignment_deficit < 0.0 || s.alignment_deficit > 1.0) {
+      return Status::InvalidArgument(
+          "ConceptSpace: alignment_deficit must be in [0, 1]");
+    }
+  }
+
+  ConceptSpace space;
+  space.dim_ = options.dim;
+  Rng rng(options.seed);
+
+  space.backgrounds_.reserve(options.num_backgrounds);
+  for (size_t b = 0; b < options.num_backgrounds; ++b) {
+    space.backgrounds_.push_back(RandomUnitVector(rng, options.dim));
+  }
+
+  // --- Pass 1: concept geometry (centroids + modes). ---
+  space.concepts_.reserve(specs.size());
+  std::vector<VectorF> centroids;
+  centroids.reserve(specs.size());
+  for (const ConceptSpec& spec : specs) {
+    Concept c;
+    c.name = spec.name;
+    c.alignment_deficit = spec.alignment_deficit;
+
+    // Concept centroid, then modes scattered around it. A single-mode concept
+    // sits exactly on its centroid (maximum locality).
+    VectorF centroid = RandomUnitVector(rng, options.dim);
+    c.modes.reserve(spec.num_modes);
+    double remaining = 1.0;
+    for (int m = 0; m < spec.num_modes; ++m) {
+      if (spec.num_modes == 1) {
+        c.modes.push_back(centroid);
+      } else {
+        VectorF mode = centroid;
+        VectorF jitter = RandomUnitVector(rng, options.dim);
+        linalg::Axpy(static_cast<float>(spec.mode_spread),
+                     linalg::VecSpan(jitter),
+                     linalg::MutVecSpan(mode.data(), mode.size()));
+        linalg::NormalizeInPlace(linalg::MutVecSpan(mode.data(), mode.size()));
+        c.modes.push_back(std::move(mode));
+      }
+      // Geometric-ish mixture weights: earlier modes are more common, which
+      // mirrors real categories with a dominant visual appearance.
+      double w = (m + 1 == spec.num_modes)
+                     ? remaining
+                     : remaining * spec.mode_weight_decay;
+      c.mode_weights.push_back(w);
+      remaining -= w;
+    }
+    centroids.push_back(std::move(centroid));
+    space.concepts_.push_back(std::move(c));
+  }
+
+  // --- Pass 2: text embeddings. A deficient query tilts toward a
+  // distractor built from scene context, a confusable *other concept*, and
+  // generic noise — so misaligned queries retrieve real-but-wrong content,
+  // the failure mode Fig. 1/2a of the paper describes. ---
+  double dw_total = options.distractor_background_weight +
+                    options.distractor_concept_weight +
+                    options.distractor_noise_weight;
+  SEESAW_CHECK_GT(dw_total, 0.0);
+  for (size_t ci = 0; ci < specs.size(); ++ci) {
+    Concept& c = space.concepts_[ci];
+    VectorF mixture = c.ModeCentroid();
+    if (c.modes.size() > 1 && options.text_canonical_bias > 0) {
+      float b = static_cast<float>(options.text_canonical_bias);
+      VectorF anchored = linalg::Scaled(1.0f - b, linalg::VecSpan(mixture));
+      linalg::Axpy(b, linalg::VecSpan(c.modes[0]),
+                   linalg::MutVecSpan(anchored.data(), anchored.size()));
+      linalg::NormalizeInPlace(
+          linalg::MutVecSpan(anchored.data(), anchored.size()));
+      mixture = std::move(anchored);
+    }
+
+    VectorF distractor = linalg::Zeros(options.dim);
+    size_t bg = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(options.num_backgrounds) - 1));
+    linalg::Axpy(
+        static_cast<float>(options.distractor_background_weight / dw_total),
+        space.background(bg),
+        linalg::MutVecSpan(distractor.data(), distractor.size()));
+    if (specs.size() > 1 && options.distractor_concept_weight > 0) {
+      size_t other = ci;
+      while (other == ci) {
+        other = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(specs.size()) - 1));
+      }
+      linalg::Axpy(
+          static_cast<float>(options.distractor_concept_weight / dw_total),
+          linalg::VecSpan(centroids[other]),
+          linalg::MutVecSpan(distractor.data(), distractor.size()));
+    }
+    VectorF noise_dir = RandomUnitVector(rng, options.dim);
+    linalg::Axpy(
+        static_cast<float>(options.distractor_noise_weight / dw_total),
+        linalg::VecSpan(noise_dir),
+        linalg::MutVecSpan(distractor.data(), distractor.size()));
+    linalg::NormalizeInPlace(
+        linalg::MutVecSpan(distractor.data(), distractor.size()));
+
+    float a = static_cast<float>(specs[ci].alignment_deficit);
+    VectorF text = linalg::Zeros(options.dim);
+    linalg::Axpy(1.0f - a, linalg::VecSpan(mixture),
+                 linalg::MutVecSpan(text.data(), text.size()));
+    linalg::Axpy(a, linalg::VecSpan(distractor),
+                 linalg::MutVecSpan(text.data(), text.size()));
+    linalg::NormalizeInPlace(linalg::MutVecSpan(text.data(), text.size()));
+    c.text_embedding = std::move(text);
+  }
+  return space;
+}
+
+StatusOr<size_t> ConceptSpace::FindConcept(const std::string& name) const {
+  for (size_t i = 0; i < concepts_.size(); ++i) {
+    if (concepts_[i].name == name) return i;
+  }
+  return Status::NotFound("no concept named '" + name + "'");
+}
+
+}  // namespace seesaw::clip

@@ -1,0 +1,118 @@
+// ConceptSpace: the latent semantic geometry behind the synthetic embedding.
+//
+// The real system uses CLIP, whose relevant properties for SeeSaw are purely
+// geometric (see DESIGN.md §1): concepts occupy (mostly) linearly separable
+// regions of the unit sphere, the text embedding of a concept may be tilted
+// away from its image region (alignment deficit, Fig. 2a of the paper), and a
+// concept may be split across several sub-regions (locality deficit, Fig. 2b).
+// ConceptSpace materializes exactly those properties: each concept gets one
+// or more unit "mode" directions plus a text embedding with a configurable
+// deficit; a pool of background directions models scene context.
+#ifndef SEESAW_CLIP_CONCEPT_SPACE_H_
+#define SEESAW_CLIP_CONCEPT_SPACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/statusor.h"
+#include "linalg/vector_ops.h"
+
+namespace seesaw::clip {
+
+/// Per-concept construction parameters.
+struct ConceptSpec {
+  /// Human-readable category name ("wheelchair"); used for text lookup.
+  std::string name;
+  /// Number of visual sub-modes (1 = tight cluster; >1 = locality deficit).
+  int num_modes = 1;
+  /// Text-embedding misalignment in [0, 1]: 0 places the text embedding on
+  /// the concept's mode mixture; larger values tilt it toward a distractor
+  /// direction, lowering cos(text, concept).
+  double alignment_deficit = 0.0;
+  /// How far modes scatter around the concept centroid; larger values lower
+  /// the cosine between modes (and hence the best achievable single-vector
+  /// alignment for multi-mode concepts).
+  double mode_spread = 0.35;
+  /// Geometric decay of mode mixture weights: weight_m ~ remaining * decay.
+  /// Lower values flatten the mixture (canonical mode carries less mass).
+  double mode_weight_decay = 0.6;
+};
+
+/// A constructed concept: unit mode directions, mixture weights, and the
+/// (possibly misaligned) unit text embedding.
+struct Concept {
+  std::string name;
+  std::vector<linalg::VectorF> modes;
+  std::vector<double> mode_weights;  ///< Sums to 1.
+  linalg::VectorF text_embedding;
+  double alignment_deficit = 0.0;
+
+  /// Mixture centroid of the modes, unit-normalized. This is the best single
+  /// "ideal" direction for the concept when all modes matter equally.
+  linalg::VectorF ModeCentroid() const;
+};
+
+/// Global construction parameters.
+struct ConceptSpaceOptions {
+  /// Embedding dimension (CLIP uses 512; tests use smaller for speed).
+  size_t dim = 128;
+  /// Number of background/scene directions shared by all images.
+  size_t num_backgrounds = 16;
+  /// RNG seed; equal seeds + specs produce identical spaces.
+  uint64_t seed = 1;
+  /// Composition of the distractor direction a deficient text embedding
+  /// tilts toward: scene background (retrieves images of the wrong scene),
+  /// a *confusable sibling concept* (retrieves the wrong object class — the
+  /// dominant CLIP failure mode: "wheelchair" surfacing bicycles), and
+  /// generic noise. Weights are renormalized internally.
+  double distractor_background_weight = 0.35;
+  double distractor_concept_weight = 0.45;
+  double distractor_noise_weight = 0.20;
+  /// How strongly the text embedding anchors to the concept's *canonical*
+  /// first mode instead of the full mode mixture (0 = centroid, 1 = mode 0).
+  /// Text describes the canonical appearance ("a wheelchair" evokes the
+  /// standard frontal view); instances from secondary viewpoint modes score
+  /// lower against it — CLIP's hard-positive tail, which depresses
+  /// full-ranking AP (Fig. 4 x-axis) while an ideal fitted vector can still
+  /// cover all modes (y-axis).
+  double text_canonical_bias = 0.5;
+};
+
+/// Immutable vocabulary of concepts + backgrounds on the unit sphere.
+class ConceptSpace {
+ public:
+  /// Builds a space with one Concept per spec. Specs with duplicate names are
+  /// rejected.
+  static StatusOr<ConceptSpace> Create(const ConceptSpaceOptions& options,
+                                       const std::vector<ConceptSpec>& specs);
+
+  size_t dim() const { return dim_; }
+  size_t num_concepts() const { return concepts_.size(); }
+  size_t num_backgrounds() const { return backgrounds_.size(); }
+
+  const Concept& concept_at(size_t id) const { return concepts_[id]; }
+
+  /// Unit background direction `id` (0 <= id < num_backgrounds()).
+  linalg::VecSpan background(size_t id) const {
+    return linalg::VecSpan(backgrounds_[id]);
+  }
+
+  /// Index of the concept with the given name, or NotFound.
+  StatusOr<size_t> FindConcept(const std::string& name) const;
+
+ private:
+  ConceptSpace() = default;
+
+  size_t dim_ = 0;
+  std::vector<Concept> concepts_;
+  std::vector<linalg::VectorF> backgrounds_;
+};
+
+/// Uniformly random unit vector of dimension `dim`.
+linalg::VectorF RandomUnitVector(Rng& rng, size_t dim);
+
+}  // namespace seesaw::clip
+
+#endif  // SEESAW_CLIP_CONCEPT_SPACE_H_

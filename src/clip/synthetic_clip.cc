@@ -1,0 +1,61 @@
+#include "clip/synthetic_clip.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace seesaw::clip {
+
+using linalg::MutVecSpan;
+using linalg::VecSpan;
+using linalg::VectorF;
+
+SyntheticClip::SyntheticClip(std::shared_ptr<const ConceptSpace> space)
+    : space_(std::move(space)) {
+  SEESAW_CHECK(space_ != nullptr);
+}
+
+VectorF SyntheticClip::EmbedPatch(const PatchContent& content) const {
+  const size_t d = space_->dim();
+  VectorF v = linalg::Zeros(d);
+
+  SEESAW_CHECK_GE(content.background_id, 0);
+  SEESAW_CHECK_LT(static_cast<size_t>(content.background_id),
+                  space_->num_backgrounds());
+  linalg::Axpy(content.background_weight,
+               space_->background(content.background_id),
+               MutVecSpan(v.data(), v.size()));
+
+  for (const ObjectContribution& obj : content.objects) {
+    SEESAW_CHECK_GE(obj.concept_id, 0);
+    SEESAW_CHECK_LT(static_cast<size_t>(obj.concept_id),
+                    space_->num_concepts());
+    const Concept& c = space_->concept_at(obj.concept_id);
+    SEESAW_CHECK_GE(obj.mode_id, 0);
+    SEESAW_CHECK_LT(static_cast<size_t>(obj.mode_id), c.modes.size());
+    linalg::Axpy(obj.prominence, VecSpan(c.modes[obj.mode_id]),
+                 MutVecSpan(v.data(), v.size()));
+  }
+
+  if (content.noise_scale > 0.0f) {
+    Rng rng(content.noise_seed);
+    for (size_t i = 0; i < d; ++i) {
+      v[i] += content.noise_scale * static_cast<float>(rng.Gaussian()) /
+              std::sqrt(static_cast<float>(d));
+    }
+  }
+
+  linalg::NormalizeInPlace(MutVecSpan(v.data(), v.size()));
+  return v;
+}
+
+VectorF SyntheticClip::EmbedText(size_t concept_id) const {
+  SEESAW_CHECK_LT(concept_id, space_->num_concepts());
+  return space_->concept_at(concept_id).text_embedding;
+}
+
+StatusOr<VectorF> SyntheticClip::EmbedText(const std::string& name) const {
+  SEESAW_ASSIGN_OR_RETURN(size_t id, space_->FindConcept(name));
+  return space_->concept_at(id).text_embedding;
+}
+
+}  // namespace seesaw::clip

@@ -1,0 +1,69 @@
+// SyntheticClip: the embedding model (text + image-patch encoders).
+//
+// Stands in for CLIP ViT-B/32 (see DESIGN.md §1). An image patch embeds to
+// the prominence-weighted sum of the concept modes visible in it, plus scene
+// background and per-patch Gaussian noise, unit-normalized — matching the
+// geometry SeeSaw's algorithms consume from real CLIP activations.
+#ifndef SEESAW_CLIP_SYNTHETIC_CLIP_H_
+#define SEESAW_CLIP_SYNTHETIC_CLIP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clip/concept_space.h"
+#include "common/statusor.h"
+#include "linalg/vector_ops.h"
+
+namespace seesaw::clip {
+
+/// One visible object inside a patch: which concept mode and how prominent
+/// it is relative to the patch (0 = invisible, ~1 = dominates the patch).
+struct ObjectContribution {
+  int concept_id = 0;
+  int mode_id = 0;
+  float prominence = 0.0f;
+};
+
+/// The semantic content of an image patch to be encoded.
+struct PatchContent {
+  std::vector<ObjectContribution> objects;
+  /// Scene background direction index in the ConceptSpace.
+  int background_id = 0;
+  /// Weight of the background direction (scene clutter).
+  float background_weight = 0.3f;
+  /// Standard deviation of the additive isotropic noise.
+  float noise_scale = 0.15f;
+  /// Seed making the patch's noise deterministic.
+  uint64_t noise_seed = 0;
+};
+
+/// The embedding model. Thread-safe: encoding is purely functional given the
+/// shared ConceptSpace.
+class SyntheticClip {
+ public:
+  /// `space` must outlive the model.
+  explicit SyntheticClip(std::shared_ptr<const ConceptSpace> space);
+
+  /// Embedding dimension.
+  size_t dim() const { return space_->dim(); }
+
+  /// Encodes a patch to a unit vector. Deterministic in `content`.
+  linalg::VectorF EmbedPatch(const PatchContent& content) const;
+
+  /// Text embedding of concept `concept_id` (the q0 of Listing 1).
+  linalg::VectorF EmbedText(size_t concept_id) const;
+
+  /// Text embedding looked up by category name; NotFound for unknown names.
+  StatusOr<linalg::VectorF> EmbedText(const std::string& name) const;
+
+  const ConceptSpace& space() const { return *space_; }
+
+ private:
+  std::shared_ptr<const ConceptSpace> space_;
+};
+
+}  // namespace seesaw::clip
+
+#endif  // SEESAW_CLIP_SYNTHETIC_CLIP_H_

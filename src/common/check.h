@@ -1,0 +1,54 @@
+// Internal invariant checks. These are for programmer errors (bugs), not for
+// recoverable conditions — recoverable conditions use Status.
+#ifndef SEESAW_COMMON_CHECK_H_
+#define SEESAW_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace seesaw {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process on destruction.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* condition, const char* file, int line) {
+    stream_ << "SEESAW_CHECK failed: " << condition << " at " << file << ":"
+            << line << " ";
+  }
+
+  [[noreturn]] ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace seesaw
+
+/// Aborts with a message when `cond` is false. Enabled in all build types:
+/// seesaw is a research-grade library where silent corruption is worse than
+/// a crash, matching the RocksDB assert-in-release philosophy for invariants.
+#define SEESAW_CHECK(cond)       \
+  if (cond) {                    \
+  } else /* NOLINT */            \
+    ::seesaw::internal::CheckFailStream(#cond, __FILE__, __LINE__)
+
+#define SEESAW_CHECK_EQ(a, b) SEESAW_CHECK((a) == (b))
+#define SEESAW_CHECK_NE(a, b) SEESAW_CHECK((a) != (b))
+#define SEESAW_CHECK_LT(a, b) SEESAW_CHECK((a) < (b))
+#define SEESAW_CHECK_LE(a, b) SEESAW_CHECK((a) <= (b))
+#define SEESAW_CHECK_GT(a, b) SEESAW_CHECK((a) > (b))
+#define SEESAW_CHECK_GE(a, b) SEESAW_CHECK((a) >= (b))
+
+#endif  // SEESAW_COMMON_CHECK_H_

@@ -1,0 +1,45 @@
+// Minimal leveled logging to stderr.
+#ifndef SEESAW_COMMON_LOGGING_H_
+#define SEESAW_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace seesaw {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Buffers one log statement and emits it (with level prefix) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace seesaw
+
+#define SEESAW_LOG(level)                                               \
+  ::seesaw::internal::LogMessage(::seesaw::LogLevel::k##level, __FILE__, \
+                                 __LINE__)
+
+#endif  // SEESAW_COMMON_LOGGING_H_

@@ -1,0 +1,48 @@
+#include "common/rng.h"
+
+#include <numeric>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace seesaw {
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  SEESAW_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    SEESAW_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  SEESAW_CHECK_GT(total, 0.0) << "categorical weights sum to zero";
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // numeric round-off fell past the end
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  SEESAW_CHECK_LE(k, n);
+  if (k == 0) return {};
+  // For dense draws, shuffle a full index vector; for sparse draws, reject.
+  if (k * 3 >= n) {
+    std::vector<size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), size_t{0});
+    Shuffle(idx);
+    idx.resize(k);
+    return idx;
+  }
+  std::unordered_set<size_t> seen;
+  std::vector<size_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    size_t c = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+    if (seen.insert(c).second) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace seesaw

@@ -1,0 +1,81 @@
+// Seeded random number generation used by every stochastic component.
+//
+// All randomness in seesaw flows through Rng so that benchmarks and tests are
+// exactly reproducible given a seed.
+#ifndef SEESAW_COMMON_RNG_H_
+#define SEESAW_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace seesaw {
+
+/// Deterministic pseudo-random generator (mersenne twister) with convenience
+/// draws for the distributions seesaw needs.
+class Rng {
+ public:
+  /// Creates a generator with the given seed. Equal seeds produce equal
+  /// streams on all platforms (mt19937_64 is fully specified by the standard).
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Standard normal draw.
+  double Gaussian() { return normal_(engine_); }
+
+  /// Normal draw with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Log-normal draw parameterized by the *underlying* normal's mu/sigma.
+  double LogNormal(double mu, double sigma) {
+    return std::exp(Gaussian(mu, sigma));
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Weights must be non-negative with a positive sum.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent child generator; useful for giving each worker
+  /// or each dataset entity its own deterministic stream.
+  Rng Fork() { return Rng(engine_()); }
+
+  /// The underlying engine, for std:: distributions not wrapped here.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace seesaw
+
+#endif  // SEESAW_COMMON_RNG_H_

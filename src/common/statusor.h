@@ -1,0 +1,85 @@
+// StatusOr<T>: a value-or-error union for fallible factory / query functions.
+#ifndef SEESAW_COMMON_STATUSOR_H_
+#define SEESAW_COMMON_STATUSOR_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace seesaw {
+
+/// Holds either a T or an error Status (never both, never neither).
+///
+/// Use pattern:
+///   StatusOr<AnnoyIndex> idx = AnnoyIndex::Build(opts, vectors);
+///   if (!idx.ok()) return idx.status();
+///   idx->TopK(...);
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit, to allow `return value;`).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. `status.ok()` must be false.
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    SEESAW_CHECK(!status_.ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present, the stored error otherwise.
+  const Status& status() const { return status_; }
+
+  /// Accessors; must only be called when ok().
+  const T& value() const& {
+    SEESAW_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SEESAW_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SEESAW_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when in the error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a StatusOr expression to `lhs` or early-returns the
+/// error. `lhs` may include a declaration: SEESAW_ASSIGN_OR_RETURN(auto x, F());
+#define SEESAW_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  SEESAW_ASSIGN_OR_RETURN_IMPL_(                                     \
+      SEESAW_STATUS_MACROS_CONCAT_(_seesaw_statusor, __LINE__), lhs, \
+      rexpr)
+
+#define SEESAW_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                  \
+  if (!statusor.ok()) return statusor.status();             \
+  lhs = std::move(statusor).value()
+
+#define SEESAW_STATUS_MACROS_CONCAT_(x, y) SEESAW_STATUS_MACROS_CONCAT_IMPL_(x, y)
+#define SEESAW_STATUS_MACROS_CONCAT_IMPL_(x, y) x##y
+
+}  // namespace seesaw
+
+#endif  // SEESAW_COMMON_STATUSOR_H_

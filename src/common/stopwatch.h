@@ -1,0 +1,32 @@
+// Wall-clock timing used by the latency benchmarks (Table 6, §2.4).
+#ifndef SEESAW_COMMON_STOPWATCH_H_
+#define SEESAW_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace seesaw {
+
+/// Measures elapsed wall-clock time with a steady clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace seesaw
+
+#endif  // SEESAW_COMMON_STOPWATCH_H_

@@ -1,0 +1,63 @@
+// Fixed-size worker pool used for data-parallel preprocessing (embedding,
+// kNN-graph construction, index builds).
+#ifndef SEESAW_COMMON_THREAD_POOL_H_
+#define SEESAW_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace seesaw {
+
+/// A minimal fire-and-wait thread pool.
+///
+/// Tasks are void() callables. The pool is intended for coarse-grained batch
+/// parallelism; there is no work stealing or task priority. Destruction waits
+/// for queued tasks to complete.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void Wait();
+
+  /// Number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Splits [0, n) into roughly equal chunks and runs `fn(begin, end)` on the
+  /// pool, blocking until all chunks complete. `fn` must be safe to invoke
+  /// concurrently on disjoint ranges.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+
+  /// A sensible default worker count for this machine.
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace seesaw
+
+#endif  // SEESAW_COMMON_THREAD_POOL_H_

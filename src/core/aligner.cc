@@ -1,0 +1,63 @@
+#include "core/aligner.h"
+
+#include "common/check.h"
+
+namespace seesaw::core {
+
+QueryAligner::QueryAligner(const AlignerOptions& options,
+                           linalg::VectorF q_text, const linalg::MatrixF* md)
+    : options_(options),
+      q_text_(q_text),
+      loss_(options.loss, std::move(q_text), md),
+      lbfgs_(options.lbfgs) {}
+
+void QueryAligner::AddFeedback(linalg::VecSpan x, bool positive,
+                               float weight) {
+  loss_.AddExample(x, positive ? 1.0f : 0.0f, weight);
+  if (positive) {
+    ++num_positive_;
+  } else {
+    ++num_negative_;
+  }
+}
+
+void QueryAligner::AddSoftFeedback(linalg::VecSpan x, float y, float weight) {
+  loss_.AddExample(x, y, weight);
+}
+
+void QueryAligner::Reset() {
+  loss_.ClearExamples();
+  num_positive_ = 0;
+  num_negative_ = 0;
+  have_warm_ = false;
+}
+
+StatusOr<linalg::VectorF> QueryAligner::Align() {
+  if (loss_.num_examples() == 0) {
+    return q_text_;  // no information yet: q1 = q0
+  }
+  const size_t d = q_text_.size();
+  optim::VectorD x0;
+  if (options_.warm_start && have_warm_) {
+    x0 = warm_;
+  } else {
+    x0.assign(d, 0.0);
+    for (size_t j = 0; j < d; ++j) x0[j] = q_text_[j];
+  }
+  SEESAW_ASSIGN_OR_RETURN(last_result_,
+                          lbfgs_.Minimize(loss_.AsObjective(), std::move(x0)));
+  warm_ = last_result_.x;
+  have_warm_ = true;
+
+  linalg::VectorF w(d);
+  for (size_t j = 0; j < d; ++j) w[j] = static_cast<float>(last_result_.x[j]);
+  float norm = linalg::NormalizeInPlace(linalg::MutVecSpan(w.data(), w.size()));
+  if (norm <= 1e-12f) {
+    // Degenerate all-zero solution (can only happen with pathological
+    // hyper-parameters); fall back to the text query.
+    return q_text_;
+  }
+  return w;
+}
+
+}  // namespace seesaw::core

@@ -1,0 +1,71 @@
+// QueryAligner: the `query_align` of Listing 1 — turns the text query plus
+// accumulated box feedback into the next query vector by minimizing the
+// AlignerLoss with L-BFGS. Work per call grows with the amount of feedback
+// (plus a d x d product), never with the database size — the paper's central
+// scalability property.
+#ifndef SEESAW_CORE_ALIGNER_H_
+#define SEESAW_CORE_ALIGNER_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/loss.h"
+#include "optim/lbfgs.h"
+
+namespace seesaw::core {
+
+/// Aligner configuration.
+struct AlignerOptions {
+  LossOptions loss;
+  optim::LbfgsOptions lbfgs = [] {
+    optim::LbfgsOptions o;
+    o.max_iterations = 60;  // "a few tens of steps" (§4.4)
+    o.gradient_tolerance = 1e-6;
+    return o;
+  }();
+  /// Warm-start each Align() from the previous solution instead of q0.
+  bool warm_start = true;
+};
+
+/// Stateful per-search aligner. Not thread-safe; one instance per session.
+class QueryAligner {
+ public:
+  /// `q_text` is the unit CLIP text embedding (q0). `md` may be null.
+  QueryAligner(const AlignerOptions& options, linalg::VectorF q_text,
+               const linalg::MatrixF* md);
+
+  /// Records one labeled feedback vector (a patch embedding).
+  void AddFeedback(linalg::VecSpan x, bool positive, float weight = 1.0f);
+
+  /// Records a soft-labeled example (used by the propagation variant).
+  void AddSoftFeedback(linalg::VecSpan x, float y, float weight = 1.0f);
+
+  /// Drops all accumulated feedback (restarts the search).
+  void Reset();
+
+  size_t num_positive() const { return num_positive_; }
+  size_t num_negative() const { return num_negative_; }
+  size_t num_examples() const { return loss_.num_examples(); }
+
+  /// Minimizes the loss and returns the unit-normalized next query vector
+  /// q_{t+1}. With no feedback recorded, returns q0 unchanged.
+  StatusOr<linalg::VectorF> Align();
+
+  /// Statistics of the last Align() call.
+  const optim::OptimResult& last_result() const { return last_result_; }
+
+ private:
+  AlignerOptions options_;
+  linalg::VectorF q_text_;
+  AlignerLoss loss_;
+  optim::Lbfgs lbfgs_;
+  optim::VectorD warm_;
+  bool have_warm_ = false;
+  size_t num_positive_ = 0;
+  size_t num_negative_ = 0;
+  optim::OptimResult last_result_;
+};
+
+}  // namespace seesaw::core
+
+#endif  // SEESAW_CORE_ALIGNER_H_

@@ -1,0 +1,167 @@
+#include "core/baselines/ens.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace seesaw::core {
+
+EnsSearcher::EnsSearcher(const EmbeddedDataset& embedded,
+                         const GraphContext& graph, linalg::VectorF q_text,
+                         const EnsOptions& options)
+    : SearcherBase(embedded),
+      options_(options),
+      graph_(&graph),
+      q_text_(std::move(q_text)) {
+  SEESAW_CHECK_EQ(embedded.num_vectors(), embedded.num_images())
+      << "EnsSearcher requires a coarse embedding (paper §5.4)";
+  SEESAW_CHECK_EQ(graph.num_nodes(), embedded.num_vectors());
+  const size_t n = embedded.num_vectors();
+  gamma_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = linalg::Dot(embedded.vectors().Row(i), linalg::VecSpan(q_text_));
+    double g = options_.calibrated
+                   ? options_.platt.Apply(s)
+                   : std::clamp(s, options_.prior_floor,
+                                1.0 - options_.prior_floor);
+    gamma_[i] = static_cast<float>(g);
+  }
+  num_.assign(n, 0.0f);
+  den_.assign(n, 0.0f);
+  labeled_.assign(n, 0);
+  label_value_.assign(n, 0);
+}
+
+double EnsSearcher::Probability(uint32_t i) const {
+  return (static_cast<double>(gamma_[i]) + num_[i]) / (1.0 + den_[i]);
+}
+
+void EnsSearcher::AddFeedback(const ImageFeedback& feedback) {
+  MarkSeen(feedback.image_idx);
+  uint32_t i = feedback.image_idx;
+  if (labeled_[i]) return;
+  labeled_[i] = 1;
+  label_value_[i] = feedback.relevant ? 1 : 0;
+  ++num_labeled_;
+  if (feedback.relevant) saw_positive_ = true;
+  // Incremental classifier update: only i's graph neighbors change.
+  const auto& w = graph_->adjacency();
+  auto idx = w.RowIndices(i);
+  auto val = w.RowValues(i);
+  for (size_t e = 0; e < idx.size(); ++e) {
+    den_[idx[e]] += val[e];
+    if (feedback.relevant) num_[idx[e]] += val[e];
+  }
+}
+
+Status EnsSearcher::Refit() { return Status::OK(); }
+
+double EnsSearcher::FutureSum(
+    uint32_t candidate, bool label, size_t m,
+    const std::vector<std::pair<float, uint32_t>>& top_list,
+    double /*top_list_sum*/) const {
+  if (m == 0) return 0.0;
+  const auto& w = graph_->adjacency();
+  auto idx = w.RowIndices(candidate);
+  auto val = w.RowValues(candidate);
+
+  // Perturbed probabilities of the candidate's unlabeled neighbors.
+  std::vector<std::pair<float, uint32_t>> updated;
+  updated.reserve(idx.size());
+  for (size_t e = 0; e < idx.size(); ++e) {
+    uint32_t j = idx[e];
+    if (labeled_[j] || j == candidate) continue;
+    double den = 1.0 + den_[j] + val[e];
+    double num = static_cast<double>(gamma_[j]) + num_[j] +
+                 (label ? val[e] : 0.0f);
+    updated.push_back({static_cast<float>(num / den), j});
+  }
+
+  // Merge: top_list minus (candidate + its perturbed neighbors) plus the
+  // perturbed values, then take the top m.
+  std::vector<float> pool;
+  pool.reserve(top_list.size() + updated.size());
+  auto is_affected = [&](uint32_t id) {
+    if (id == candidate) return true;
+    for (const auto& u : updated) {
+      if (u.second == id) return true;
+    }
+    return false;
+  };
+  for (const auto& [p, id] : top_list) {
+    if (!is_affected(id)) pool.push_back(p);
+  }
+  for (const auto& [p, id] : updated) pool.push_back(p);
+
+  size_t take = std::min(m, pool.size());
+  std::partial_sort(pool.begin(), pool.begin() + take, pool.end(),
+                    std::greater<float>());
+  double sum = 0.0;
+  for (size_t i = 0; i < take; ++i) sum += pool[i];
+  return sum;
+}
+
+std::vector<ScoredImage> EnsSearcher::NextBatch(size_t n) {
+  // Paper modification (2): greedy CLIP ranking until the first positive.
+  if (!saw_positive_) {
+    return TopImages(linalg::VecSpan(q_text_), n);
+  }
+  const size_t total = embedded().num_vectors();
+
+  // Remaining-budget horizon.
+  size_t horizon = options_.horizon;
+  if (options_.shrink_horizon) {
+    horizon = horizon > num_labeled_ ? horizon - num_labeled_ : 1;
+  }
+  const size_t future_m = horizon > 0 ? horizon - 1 : 0;
+
+  // Current probabilities of all unlabeled nodes.
+  std::vector<std::pair<float, uint32_t>> probs;
+  probs.reserve(total - num_labeled_);
+  for (size_t i = 0; i < total; ++i) {
+    if (labeled_[i]) continue;
+    probs.push_back(
+        {static_cast<float>(Probability(static_cast<uint32_t>(i))),
+         static_cast<uint32_t>(i)});
+  }
+  if (probs.empty()) return {};
+
+  // Buffered top list: enough entries that removing the candidate and its
+  // <= k perturbed neighbors still leaves m fill-ins.
+  size_t max_deg = graph_->knn().k * 2 + 4;
+  size_t top_len = std::min(probs.size(), future_m + max_deg + 8);
+  std::partial_sort(probs.begin(), probs.begin() + top_len, probs.end(),
+                    std::greater<>());
+  std::vector<std::pair<float, uint32_t>> top_list(probs.begin(),
+                                                   probs.begin() + top_len);
+  double top_sum = 0.0;
+  for (size_t i = 0; i < std::min(future_m, top_list.size()); ++i) {
+    top_sum += top_list[i].first;
+  }
+
+  // Lookahead utilities for the strongest candidates.
+  size_t n_cand = std::min(options_.max_candidates, probs.size());
+  std::vector<ScoredImage> scored;
+  scored.reserve(n_cand);
+  for (size_t c = 0; c < n_cand; ++c) {
+    auto [p, id] = probs[c];
+    double u;
+    if (future_m == 0) {
+      u = p;  // last pick: pure greedy (ENS reduces to a kNN model, Table 4)
+    } else {
+      double s1 = FutureSum(id, true, future_m, top_list, top_sum);
+      double s0 = FutureSum(id, false, future_m, top_list, top_sum);
+      u = p * (1.0 + s1) + (1.0 - p) * s0;
+    }
+    scored.push_back({id, static_cast<float>(u)});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredImage& a, const ScoredImage& b) {
+              return a.score > b.score;
+            });
+  if (scored.size() > n) scored.resize(n);
+  return scored;
+}
+
+}  // namespace seesaw::core

@@ -1,0 +1,87 @@
+// Efficient Nonmyopic Search (ENS, Jiang et al. ICML'17) — the active-search
+// baseline of §5.4, with the paper's two modifications:
+//   (1) per-vertex CLIP priors gamma_i (raw scores, or Platt-calibrated for
+//       the Table 4 study), and
+//   (2) greedy zero-shot ranking until the first positive is found.
+//
+// Model: soft kNN classifier on the dataset graph,
+//   p_i = (gamma_i + sum_{j in N(i), labeled} w_ij y_j)
+//       / (1      + sum_{j in N(i), labeled} w_ij).
+// Score: one-step lookahead of the expected number of positives found in the
+// remaining budget,
+//   u(i) = p_i * (1 + S(D + (i,1))) + (1 - p_i) * S(D + (i,0)),
+// where S(D') is the sum of the top-(t-1) probabilities among unlabeled
+// points under D'. Conditioning on i's label only perturbs i's graph
+// neighbors, so S is recomputed by merging the perturbed entries into a
+// buffered top list. Every step still scans all N probabilities — the linear
+// per-iteration cost the paper's Table 6 criticizes.
+#ifndef SEESAW_CORE_BASELINES_ENS_H_
+#define SEESAW_CORE_BASELINES_ENS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/baselines/platt.h"
+#include "core/graph_context.h"
+#include "core/searcher_base.h"
+
+namespace seesaw::core {
+
+/// ENS configuration.
+struct EnsOptions {
+  /// Reward horizon t (number of future picks considered). The benchmark
+  /// budget is 60 images.
+  size_t horizon = 60;
+  /// Shrink the horizon as budget is consumed ("reduce it after every step
+  /// so ENS can make optimal decisions given the time remaining").
+  bool shrink_horizon = true;
+  /// How many top-probability candidates get the full lookahead per step.
+  size_t max_candidates = 64;
+  /// Use Platt-calibrated priors (Table 4's "calibrated" row; requires
+  /// ground-truth access, so benchmark-only).
+  bool calibrated = false;
+  PlattScaling platt;
+  /// Raw-mode prior clamp: gamma_i = clamp(score, floor, 1 - floor).
+  double prior_floor = 1e-3;
+};
+
+/// ENS searcher. Requires a coarse embedding (one vector per image): the
+/// paper's ENS implementation does not support multiscale, which is part of
+/// its scalability critique.
+class EnsSearcher : public SearcherBase {
+ public:
+  /// `graph` must be built over the same embedded dataset and outlive the
+  /// searcher.
+  EnsSearcher(const EmbeddedDataset& embedded, const GraphContext& graph,
+              linalg::VectorF q_text, const EnsOptions& options);
+
+  std::string name() const override { return "ens"; }
+  std::vector<ScoredImage> NextBatch(size_t n) override;
+  void AddFeedback(const ImageFeedback& feedback) override;
+  Status Refit() override;
+
+  /// Current probability estimate for an image (diagnostics/tests).
+  double Probability(uint32_t image_idx) const;
+
+ private:
+  /// Sum of the top-m entries of the unlabeled probability pool when
+  /// `candidate` is labeled `label`, using the buffered top list.
+  double FutureSum(uint32_t candidate, bool label, size_t m,
+                   const std::vector<std::pair<float, uint32_t>>& top_list,
+                   double top_list_sum) const;
+
+  EnsOptions options_;
+  const GraphContext* graph_;
+  linalg::VectorF q_text_;
+  std::vector<float> gamma_;    // per-vertex prior
+  std::vector<float> num_;      // sum w_ij y_j over labeled neighbors
+  std::vector<float> den_;      // sum w_ij over labeled neighbors
+  std::vector<char> labeled_;
+  std::vector<char> label_value_;
+  size_t num_labeled_ = 0;
+  bool saw_positive_ = false;
+};
+
+}  // namespace seesaw::core
+
+#endif  // SEESAW_CORE_BASELINES_ENS_H_

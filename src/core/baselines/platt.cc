@@ -1,0 +1,57 @@
+#include "core/baselines/platt.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seesaw::core {
+
+double PlattScaling::Apply(double score) const {
+  return 1.0 / (1.0 + std::exp(-(a * score + b)));
+}
+
+StatusOr<PlattScaling> FitPlatt(const std::vector<double>& scores,
+                                const std::vector<int>& labels) {
+  if (scores.empty() || scores.size() != labels.size()) {
+    return Status::InvalidArgument("FitPlatt: empty or mismatched inputs");
+  }
+  size_t pos = 0;
+  for (int y : labels) pos += (y != 0);
+  if (pos == 0 || pos == labels.size()) {
+    return Status::InvalidArgument("FitPlatt: labels are all one class");
+  }
+
+  // Platt's target smoothing avoids saturation on separable data.
+  const double t_pos = (static_cast<double>(pos) + 1.0) /
+                       (static_cast<double>(pos) + 2.0);
+  const double t_neg = 1.0 / (static_cast<double>(labels.size() - pos) + 2.0);
+
+  double a = 1.0, b = 0.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    // Gradient and Hessian of the negative log-likelihood in (a, b).
+    double ga = 0, gb = 0, haa = 0, hab = 0, hbb = 0;
+    for (size_t i = 0; i < scores.size(); ++i) {
+      double s = scores[i];
+      double t = labels[i] ? t_pos : t_neg;
+      double p = 1.0 / (1.0 + std::exp(-(a * s + b)));
+      double diff = p - t;
+      ga += diff * s;
+      gb += diff;
+      double w = std::max(p * (1.0 - p), 1e-12);
+      haa += w * s * s;
+      hab += w * s;
+      hbb += w;
+    }
+    haa += 1e-9;
+    hbb += 1e-9;
+    double det = haa * hbb - hab * hab;
+    if (std::abs(det) < 1e-18) break;
+    double da = (hbb * ga - hab * gb) / det;
+    double db = (haa * gb - hab * ga) / det;
+    a -= da;
+    b -= db;
+    if (std::abs(da) < 1e-10 && std::abs(db) < 1e-10) break;
+  }
+  return PlattScaling{a, b};
+}
+
+}  // namespace seesaw::core

@@ -1,0 +1,32 @@
+// Platt scaling (Platt 2000): calibrates raw scores into probabilities via
+// p = sigmoid(a * s + b). Used by Table 4 of the paper to show ENS's
+// sensitivity to calibration — note the paper stresses this calibration
+// needs labeled data, so it is NOT available to a real deployment.
+#ifndef SEESAW_CORE_BASELINES_PLATT_H_
+#define SEESAW_CORE_BASELINES_PLATT_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace seesaw::core {
+
+/// Fitted calibration parameters.
+struct PlattScaling {
+  double a = 1.0;
+  double b = 0.0;
+
+  /// Calibrated probability for a raw score.
+  double Apply(double score) const;
+};
+
+/// Fits Platt scaling by maximum likelihood (logistic regression in one
+/// dimension with bias, minimized with Newton steps). `labels` are 0/1.
+/// Returns InvalidArgument when inputs are empty / mismatched or labels are
+/// all one class.
+StatusOr<PlattScaling> FitPlatt(const std::vector<double>& scores,
+                                const std::vector<int>& labels);
+
+}  // namespace seesaw::core
+
+#endif  // SEESAW_CORE_BASELINES_PLATT_H_

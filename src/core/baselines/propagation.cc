@@ -1,0 +1,70 @@
+#include "core/baselines/propagation.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace seesaw::core {
+
+PropagationSearcher::PropagationSearcher(const EmbeddedDataset& embedded,
+                                         const GraphContext& graph,
+                                         linalg::VectorF q_text,
+                                         const PropagationOptions& options)
+    : SearcherBase(embedded),
+      options_(options),
+      graph_(&graph),
+      q_text_(std::move(q_text)),
+      query_(q_text_) {
+  SEESAW_CHECK_EQ(graph.num_nodes(), embedded.num_vectors());
+}
+
+std::vector<ScoredImage> PropagationSearcher::NextBatch(size_t n) {
+  return TopImages(linalg::VecSpan(query_), n);
+}
+
+void PropagationSearcher::AddFeedback(const ImageFeedback& feedback) {
+  MarkSeen(feedback.image_idx);
+  // Box feedback maps to patch labels exactly as in SeeSaw (works for both
+  // coarse and multiscale embeddings).
+  for (const PatchLabel& label : LabelPatches(feedback)) {
+    observed_.push_back({label.vec_id, label.positive ? 1.0f : 0.0f});
+  }
+  dirty_ = true;
+}
+
+Status PropagationSearcher::Refit() {
+  if (!dirty_ || observed_.empty()) return Status::OK();
+  dirty_ = false;
+
+  // (1) Propagate observed labels across the whole database graph.
+  SEESAW_ASSIGN_OR_RETURN(
+      linalg::VectorF y_hat,
+      graph::PropagateLabels(graph_->adjacency(), observed_,
+                             options_.propagation));
+
+  // (2) Fit the query on the synthesized full-database training set,
+  // weighting every example by propagation confidence (unreached nodes sit
+  // at the 0.5 prior and carry no weight).
+  AlignerLoss loss(options_.loss, q_text_, /*md=*/nullptr);
+  const linalg::MatrixF& x = embedded().vectors();
+  for (size_t i = 0; i < x.rows(); ++i) {
+    float weight = 2.0f * std::abs(y_hat[i] - 0.5f);
+    if (weight < options_.min_confidence_weight) continue;
+    loss.AddExample(x.Row(i), y_hat[i], weight);
+  }
+  if (loss.num_examples() == 0) return Status::OK();
+  optim::Lbfgs lbfgs(options_.lbfgs);
+  optim::VectorD w0(q_text_.begin(), q_text_.end());
+  SEESAW_ASSIGN_OR_RETURN(optim::OptimResult result,
+                          lbfgs.Minimize(loss.AsObjective(), std::move(w0)));
+  linalg::VectorF w(result.x.size());
+  for (size_t j = 0; j < w.size(); ++j) {
+    w[j] = static_cast<float>(result.x[j]);
+  }
+  if (linalg::NormalizeInPlace(linalg::MutVecSpan(w)) > 1e-12f) {
+    query_ = std::move(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace seesaw::core

@@ -1,0 +1,73 @@
+// PropagationSearcher: the label-propagation variant of SeeSaw (§4.2) —
+// the conceptual pipeline that DB alignment approximates. On every refit it
+// (1) propagates the observed labels over the full kNN graph to obtain soft
+// labels y_hat for every database vector, then (2) fits the query vector on
+// the synthesized training set (X_D, y_hat) with the CLIP-alignment loss.
+// Both steps scale with the database size, which is why the paper replaces
+// them with the M_D quadratic term (Table 6, "prop." column).
+#ifndef SEESAW_CORE_BASELINES_PROPAGATION_H_
+#define SEESAW_CORE_BASELINES_PROPAGATION_H_
+
+#include <string>
+
+#include "core/graph_context.h"
+#include "core/loss.h"
+#include "core/searcher_base.h"
+#include "graph/label_propagation.h"
+#include "optim/lbfgs.h"
+
+namespace seesaw::core {
+
+/// Configuration for PropagationSearcher.
+struct PropagationOptions {
+  graph::LabelPropagationOptions propagation = [] {
+    graph::LabelPropagationOptions o;
+    o.prior = 0.5;  // unreached nodes are uninformative, not negative
+    return o;
+  }();
+  /// Propagated examples are weighted by confidence 2*|y_hat - 0.5| so nodes
+  /// the propagation never reached contribute nothing; examples below this
+  /// weight are dropped entirely.
+  double min_confidence_weight = 0.05;
+  /// Loss for the fit over (X_D, y_hat); the DB term is disabled because
+  /// propagation plays its role.
+  LossOptions loss = [] {
+    LossOptions l;
+    l.use_db_term = false;
+    return l;
+  }();
+  /// L-BFGS budget for the full-database fit (it dominates refit latency).
+  optim::LbfgsOptions lbfgs = [] {
+    optim::LbfgsOptions o;
+    o.max_iterations = 20;
+    return o;
+  }();
+};
+
+/// Searcher running propagation + full-database fit per round (works over
+/// coarse or multiscale embeddings; the graph must cover the same vectors).
+class PropagationSearcher : public SearcherBase {
+ public:
+  PropagationSearcher(const EmbeddedDataset& embedded,
+                      const GraphContext& graph, linalg::VectorF q_text,
+                      const PropagationOptions& options = {});
+
+  std::string name() const override { return "seesaw-prop"; }
+  std::vector<ScoredImage> NextBatch(size_t n) override;
+  void AddFeedback(const ImageFeedback& feedback) override;
+  Status Refit() override;
+
+  const linalg::VectorF& current_query() const { return query_; }
+
+ private:
+  PropagationOptions options_;
+  const GraphContext* graph_;
+  linalg::VectorF q_text_;
+  linalg::VectorF query_;
+  std::vector<std::pair<uint32_t, float>> observed_;
+  bool dirty_ = false;
+};
+
+}  // namespace seesaw::core
+
+#endif  // SEESAW_CORE_BASELINES_PROPAGATION_H_

@@ -1,0 +1,52 @@
+#include "core/baselines/rocchio.h"
+
+#include "common/check.h"
+
+namespace seesaw::core {
+
+RocchioSearcher::RocchioSearcher(const EmbeddedDataset& embedded,
+                                 linalg::VectorF q_text,
+                                 const RocchioOptions& options)
+    : SearcherBase(embedded),
+      options_(options),
+      q_text_(std::move(q_text)),
+      query_(q_text_),
+      pos_sum_(linalg::Zeros(embedded.dim())),
+      neg_sum_(linalg::Zeros(embedded.dim())) {
+  SEESAW_CHECK_EQ(q_text_.size(), embedded.dim());
+}
+
+std::vector<ScoredImage> RocchioSearcher::NextBatch(size_t n) {
+  return TopImages(linalg::VecSpan(query_), n);
+}
+
+void RocchioSearcher::AddFeedback(const ImageFeedback& feedback) {
+  MarkSeen(feedback.image_idx);
+  for (const PatchLabel& label : LabelPatches(feedback)) {
+    linalg::VecSpan x = embedded().vectors().Row(label.vec_id);
+    if (label.positive) {
+      linalg::Axpy(1.0f, x, linalg::MutVecSpan(pos_sum_));
+      ++num_pos_;
+    } else {
+      linalg::Axpy(1.0f, x, linalg::MutVecSpan(neg_sum_));
+      ++num_neg_;
+    }
+  }
+}
+
+Status RocchioSearcher::Refit() {
+  query_ = linalg::Scaled(static_cast<float>(options_.alpha),
+                          linalg::VecSpan(q_text_));
+  if (num_pos_ > 0) {
+    linalg::Axpy(static_cast<float>(options_.beta / num_pos_),
+                 linalg::VecSpan(pos_sum_), linalg::MutVecSpan(query_));
+  }
+  if (num_neg_ > 0) {
+    linalg::Axpy(static_cast<float>(-options_.gamma / num_neg_),
+                 linalg::VecSpan(neg_sum_), linalg::MutVecSpan(query_));
+  }
+  linalg::NormalizeInPlace(linalg::MutVecSpan(query_));
+  return Status::OK();
+}
+
+}  // namespace seesaw::core

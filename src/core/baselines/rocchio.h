@@ -1,0 +1,50 @@
+// Rocchio's relevance-feedback algorithm (Rocchio 1971), the classic IR
+// baseline of the paper's §5.4 (Eq. 6):
+//
+//   q_t = alpha * q0 + beta * mean(positive vectors)
+//                    - gamma * mean(negative vectors)
+#ifndef SEESAW_CORE_BASELINES_ROCCHIO_H_
+#define SEESAW_CORE_BASELINES_ROCCHIO_H_
+
+#include <string>
+
+#include "core/searcher_base.h"
+
+namespace seesaw::core {
+
+/// Rocchio hyper-parameters (paper: alpha=1, beta=.5, gamma=.25).
+struct RocchioOptions {
+  double alpha = 1.0;
+  double beta = 0.5;
+  double gamma = 0.25;
+};
+
+/// Rocchio searcher over the patch store. Positive examples are the patches
+/// overlapping feedback boxes; negatives are the non-overlapping patches —
+/// the same labeling SeeSaw uses, so the comparison isolates the update
+/// rule.
+class RocchioSearcher : public SearcherBase {
+ public:
+  RocchioSearcher(const EmbeddedDataset& embedded, linalg::VectorF q_text,
+                  const RocchioOptions& options = {});
+
+  std::string name() const override { return "rocchio"; }
+  std::vector<ScoredImage> NextBatch(size_t n) override;
+  void AddFeedback(const ImageFeedback& feedback) override;
+  Status Refit() override;
+
+  const linalg::VectorF& current_query() const { return query_; }
+
+ private:
+  RocchioOptions options_;
+  linalg::VectorF q_text_;
+  linalg::VectorF query_;
+  linalg::VectorF pos_sum_;
+  linalg::VectorF neg_sum_;
+  size_t num_pos_ = 0;
+  size_t num_neg_ = 0;
+};
+
+}  // namespace seesaw::core
+
+#endif  // SEESAW_CORE_BASELINES_ROCCHIO_H_

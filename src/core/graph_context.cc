@@ -1,0 +1,30 @@
+#include "core/graph_context.h"
+
+#include "graph/nn_descent.h"
+
+namespace seesaw::core {
+
+StatusOr<GraphContext> GraphContext::Build(const EmbeddedDataset& embedded,
+                                           const GraphContextOptions& options) {
+  if (options.k == 0) {
+    return Status::InvalidArgument("GraphContext: k must be positive");
+  }
+  GraphContext ctx;
+  const linalg::MatrixF& x = embedded.vectors();
+  if (x.rows() <= options.exact_threshold) {
+    ctx.knn_ = graph::ExactKnn(x, options.k);
+  } else {
+    graph::NnDescentOptions nnd;
+    nnd.k = options.k;
+    nnd.seed = options.seed;
+    SEESAW_ASSIGN_OR_RETURN(ctx.knn_, graph::NnDescent(x, nnd));
+  }
+  ctx.sigma_ = options.sigma > 0.0
+                   ? options.sigma
+                   : graph::MedianNeighborDistance(ctx.knn_);
+  if (ctx.sigma_ <= 0.0) ctx.sigma_ = 1.0;
+  ctx.adjacency_ = graph::GaussianAdjacency(ctx.knn_, ctx.sigma_);
+  return ctx;
+}
+
+}  // namespace seesaw::core

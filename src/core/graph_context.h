@@ -1,0 +1,49 @@
+// GraphContext: a kNN graph + Gaussian adjacency over an embedded dataset's
+// vectors, built once per dataset and shared across queries. Used by the ENS
+// baseline (its kNN classifier) and by the propagation variant of SeeSaw.
+#ifndef SEESAW_CORE_GRAPH_CONTEXT_H_
+#define SEESAW_CORE_GRAPH_CONTEXT_H_
+
+#include <memory>
+
+#include "common/statusor.h"
+#include "core/embedded_dataset.h"
+#include "graph/adjacency.h"
+
+namespace seesaw::core {
+
+/// Construction parameters for GraphContext.
+struct GraphContextOptions {
+  /// Neighbors per node (paper: k=10 for SeeSaw's graph, k=20 for ENS).
+  size_t k = 10;
+  /// Gaussian kernel width; <= 0 selects the adaptive median-distance width.
+  double sigma = 0.0;
+  /// Use exact kNN below this many vectors, NN-descent above.
+  size_t exact_threshold = 2048;
+  uint64_t seed = 29;
+};
+
+/// Shared per-dataset graph structures.
+class GraphContext {
+ public:
+  static StatusOr<GraphContext> Build(const EmbeddedDataset& embedded,
+                                      const GraphContextOptions& options);
+
+  const graph::KnnGraph& knn() const { return knn_; }
+  /// Symmetric Gaussian-weighted adjacency.
+  const linalg::SparseMatrixF& adjacency() const { return adjacency_; }
+  /// The kernel width actually used (resolved when adaptive).
+  double sigma() const { return sigma_; }
+  size_t num_nodes() const { return adjacency_.rows(); }
+
+ private:
+  GraphContext() = default;
+
+  graph::KnnGraph knn_;
+  linalg::SparseMatrixF adjacency_;
+  double sigma_ = 0.0;
+};
+
+}  // namespace seesaw::core
+
+#endif  // SEESAW_CORE_GRAPH_CONTEXT_H_

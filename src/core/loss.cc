@@ -1,0 +1,136 @@
+#include "core/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace seesaw::core {
+
+namespace {
+// Keeps the 1/|w| terms finite; far below any meaningful |w|.
+constexpr double kNormFloor = 1e-12;
+}  // namespace
+
+AlignerLoss::AlignerLoss(const LossOptions& options, linalg::VectorF q_text,
+                         const linalg::MatrixF* md)
+    : options_(options), q_text_(std::move(q_text)), md_(md) {
+  SEESAW_CHECK(!q_text_.empty());
+  if (md_ != nullptr) {
+    SEESAW_CHECK_EQ(md_->rows(), q_text_.size());
+    SEESAW_CHECK_EQ(md_->cols(), q_text_.size());
+  }
+}
+
+void AlignerLoss::AddExample(linalg::VecSpan x, float y, float weight) {
+  SEESAW_CHECK_EQ(x.size(), q_text_.size());
+  SEESAW_CHECK_GE(y, 0.0f);
+  SEESAW_CHECK_LE(y, 1.0f);
+  if (used_rows_ == examples_.rows()) {
+    // Grow geometrically; MatrixF has no push_back.
+    size_t new_rows = std::max<size_t>(16, examples_.rows() * 2);
+    linalg::MatrixF grown(new_rows, q_text_.size());
+    for (size_t r = 0; r < used_rows_; ++r) {
+      auto src = examples_.Row(r);
+      std::copy(src.begin(), src.end(), grown.MutableRow(r).begin());
+    }
+    examples_ = std::move(grown);
+  }
+  std::copy(x.begin(), x.end(), examples_.MutableRow(used_rows_).begin());
+  ++used_rows_;
+  labels_.push_back(y);
+  weights_.push_back(weight);
+}
+
+void AlignerLoss::ClearExamples() {
+  used_rows_ = 0;
+  labels_.clear();
+  weights_.clear();
+}
+
+double AlignerLoss::Evaluate(const optim::VectorD& w,
+                             optim::VectorD* grad) const {
+  const size_t d = q_text_.size();
+  SEESAW_CHECK_EQ(w.size(), d);
+  grad->assign(d, 0.0);
+
+  // float32 copy of w for fast dot products with the float rows.
+  linalg::VectorF wf(d);
+  for (size_t j = 0; j < d; ++j) wf[j] = static_cast<float>(w[j]);
+  linalg::VecSpan wspan(wf);
+
+  double loss = 0.0;
+
+  // Class-balance multipliers: each class contributes n/2 total mass.
+  double pos_mult = 1.0, neg_mult = 1.0;
+  if (options_.balance_classes && !labels_.empty()) {
+    double pos_mass = 0.0, neg_mass = 0.0;
+    for (size_t i = 0; i < labels_.size(); ++i) {
+      (labels_[i] >= 0.5f ? pos_mass : neg_mass) += weights_[i];
+    }
+    double total = pos_mass + neg_mass;
+    if (pos_mass > 0) pos_mult = total / (2.0 * pos_mass);
+    if (neg_mass > 0) neg_mult = total / (2.0 * neg_mass);
+  }
+
+  // --- Data term: sum_i weight_i * LogLoss(y_i, sigmoid(w.x_i)). ---
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    linalg::VecSpan x = examples_.Row(i);
+    // Double accumulation: float32 noise here would destabilize the L-BFGS
+    // line search once per-step decreases get small.
+    double s = linalg::DotDouble(x, wspan);
+    double y = labels_[i];
+    double wt = weights_[i] * (y >= 0.5f ? pos_mult : neg_mult);
+    // Numerically stable logistic loss: max(s,0) - s*y + log(1+exp(-|s|)).
+    double ll = std::max(s, 0.0) - s * y + std::log1p(std::exp(-std::abs(s)));
+    loss += wt * ll;
+    double p = 1.0 / (1.0 + std::exp(-s));
+    double coeff = wt * (p - y);
+    for (size_t j = 0; j < d; ++j) (*grad)[j] += coeff * x[j];
+  }
+
+  // --- lambda |w|^2. ---
+  double norm2 = 0.0;
+  for (size_t j = 0; j < d; ++j) norm2 += w[j] * w[j];
+  loss += options_.lambda * norm2;
+  for (size_t j = 0; j < d; ++j) (*grad)[j] += 2.0 * options_.lambda * w[j];
+
+  double norm = std::sqrt(std::max(norm2, kNormFloor));
+
+  // --- CLIP alignment: lambda_text * (1 - w.q0 / |w|). ---
+  if (options_.use_text_term && options_.lambda_text != 0.0) {
+    double wq = 0.0;
+    for (size_t j = 0; j < d; ++j) wq += w[j] * q_text_[j];
+    loss += options_.lambda_text * (1.0 - wq / norm);
+    // d/dw [w.q/|w|] = q/|w| - (w.q) w / |w|^3
+    double inv = 1.0 / norm;
+    double inv3 = inv * inv * inv;
+    for (size_t j = 0; j < d; ++j) {
+      (*grad)[j] +=
+          options_.lambda_text * (-q_text_[j] * inv + wq * w[j] * inv3);
+    }
+  }
+
+  // --- DB alignment: lambda_db * (w^T M w) / |w|^2. ---
+  if (options_.use_db_term && md_ != nullptr && options_.lambda_db != 0.0) {
+    linalg::VectorF mw = md_->MatVec(wspan);
+    double wmw = 0.0;
+    for (size_t j = 0; j < d; ++j) wmw += w[j] * mw[j];
+    double inv2 = 1.0 / std::max(norm2, kNormFloor);
+    loss += options_.lambda_db * wmw * inv2;
+    // d/dw = (2 M w) / |w|^2 - 2 (w^T M w) w / |w|^4
+    for (size_t j = 0; j < d; ++j) {
+      (*grad)[j] += options_.lambda_db * 2.0 * inv2 *
+                    (static_cast<double>(mw[j]) - wmw * inv2 * w[j]);
+    }
+  }
+  return loss;
+}
+
+optim::Objective AlignerLoss::AsObjective() const {
+  return [this](const optim::VectorD& w, optim::VectorD* grad) {
+    return Evaluate(w, grad);
+  };
+}
+
+}  // namespace seesaw::core

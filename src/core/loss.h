@@ -1,0 +1,90 @@
+// The SeeSaw query-alignment loss (§4.4, Table 1 of the paper):
+//
+//   L(w) =  sum_i LogLoss(y_i, sigmoid(w . x_i))     -- fit user feedback
+//         + lambda      * |w|^2                      -- bound |w|
+//         + lambda_text * (1 - w.q_text / |w|)       -- CLIP alignment (§4.1)
+//         + lambda_db   * (w^T M_D w) / |w|^2        -- DB alignment  (§4.2)
+//
+// No bias term: the paper found fitting b reduces the quality of w as a
+// query. The text and DB terms are scale-invariant in w; the lambda term
+// keeps the data term in its near-linear regime with few examples.
+#ifndef SEESAW_CORE_LOSS_H_
+#define SEESAW_CORE_LOSS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+#include "optim/objective.h"
+
+namespace seesaw::core {
+
+/// Loss hyper-parameters.
+///
+/// The paper reports lambda = 100, lambda_c = 10, lambda_D = 1000 for CLIP's
+/// 512-d embedding and its score/distance scales. The regularizer strengths
+/// only have meaning relative to the data term's magnitude, which depends on
+/// the embedding geometry; for the synthetic embedding the equivalent
+/// operating point (same qualitative balance: feedback outweighs the prior
+/// as examples accumulate, few-shot over-fits without the text term) is
+/// lambda = 1, lambda_text = 1, lambda_db = 0.3 against the trace-normalized
+/// M_D. The Table 7 bench sweeps a decade around these defaults, mirroring
+/// the paper's robustness study. See EXPERIMENTS.md.
+struct LossOptions {
+  /// ||w||^2 coefficient.
+  double lambda = 1.0;
+  /// CLIP-alignment coefficient; only applied when use_text_term.
+  double lambda_text = 1.0;
+  /// DB-alignment coefficient (M_D is trace-normalized to dim, so a random
+  /// unit direction scores ~1). Only applied when use_db_term and an M_D
+  /// matrix is provided.
+  double lambda_db = 0.3;
+  /// Ablation switches (Table 2 rows).
+  bool use_text_term = true;
+  bool use_db_term = true;
+  /// Re-weight examples so the positive and negative classes contribute
+  /// equal total mass (sklearn-style "balanced"). Box feedback produces an
+  /// extreme imbalance — one positive patch against tens of negatives per
+  /// image — under which unweighted logistic regression learns an
+  /// anti-popularity direction instead of the concept.
+  bool balance_classes = true;
+};
+
+/// Differentiable loss over the current feedback set. The feedback examples
+/// are float32 embedding vectors; evaluation happens in double precision.
+class AlignerLoss {
+ public:
+  /// `q_text` is the unit text query q0. `md` may be null (DB term off);
+  /// when provided it must be dim x dim and outlive this object.
+  AlignerLoss(const LossOptions& options, linalg::VectorF q_text,
+              const linalg::MatrixF* md);
+
+  /// Adds a labeled example (y = 1 positive, 0 negative). `weight` scales
+  /// its contribution; soft labels in [0,1] are allowed (used by the
+  /// propagation variant).
+  void AddExample(linalg::VecSpan x, float y, float weight = 1.0f);
+
+  void ClearExamples();
+  size_t num_examples() const { return labels_.size(); }
+  size_t dim() const { return q_text_.size(); }
+  const LossOptions& options() const { return options_; }
+
+  /// Evaluates L(w) and its gradient.
+  double Evaluate(const optim::VectorD& w, optim::VectorD* grad) const;
+
+  /// Adapter for the optim:: minimizers.
+  optim::Objective AsObjective() const;
+
+ private:
+  LossOptions options_;
+  linalg::VectorF q_text_;
+  const linalg::MatrixF* md_;
+  linalg::MatrixF examples_;  // grown row table
+  size_t used_rows_ = 0;
+  std::vector<float> labels_;
+  std::vector<float> weights_;
+};
+
+}  // namespace seesaw::core
+
+#endif  // SEESAW_CORE_LOSS_H_

@@ -1,0 +1,36 @@
+#include "core/multiscale.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace seesaw::core {
+
+std::vector<data::Box> TileImage(int width, int height,
+                                 const MultiscaleOptions& options) {
+  SEESAW_CHECK_GT(width, 0);
+  SEESAW_CHECK_GT(height, 0);
+  std::vector<data::Box> tiles;
+  tiles.push_back(data::Box{0, 0, static_cast<float>(width),
+                            static_cast<float>(height)});
+  if (!options.enabled) return tiles;
+
+  int min_dim = std::min(width, height);
+  int side = min_dim / 2;
+  // Fine tiles only when they would be at least the model's native input
+  // size ("as long as the resulting patch was larger than 224 pixels").
+  if (side < options.base_patch) return tiles;
+  int stride = side / 2;
+  SEESAW_CHECK_GT(stride, 0);
+
+  for (int y = 0; y + side <= height; y += stride) {
+    for (int x = 0; x + side <= width; x += stride) {
+      tiles.push_back(data::Box{
+          static_cast<float>(x), static_cast<float>(y),
+          static_cast<float>(x + side), static_cast<float>(y + side)});
+    }
+  }
+  return tiles;
+}
+
+}  // namespace seesaw::core

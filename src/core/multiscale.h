@@ -1,0 +1,32 @@
+// Multi-scale patch tiling (§4.3 of the paper).
+//
+// Each image maps to one coarse tile (the whole frame) plus, when the image
+// is large enough, a grid of square tiles of side max(base_patch,
+// min(W,H)/2) strided by half a tile. A 448x448 image yields exactly 1
+// coarse + 9 fine tiles (the paper's worked example). Images smaller than
+// 2 * base_patch on either side yield only the coarse tile.
+#ifndef SEESAW_CORE_MULTISCALE_H_
+#define SEESAW_CORE_MULTISCALE_H_
+
+#include <vector>
+
+#include "data/box.h"
+
+namespace seesaw::core {
+
+/// Tiling configuration.
+struct MultiscaleOptions {
+  /// Multi-vector representation on/off (off = coarse embedding only).
+  bool enabled = true;
+  /// The embedding model's native input size (CLIP: 224 px).
+  int base_patch = 224;
+};
+
+/// Tile boxes for an image of the given pixel size. The coarse (full-image)
+/// tile is always first.
+std::vector<data::Box> TileImage(int width, int height,
+                                 const MultiscaleOptions& options);
+
+}  // namespace seesaw::core
+
+#endif  // SEESAW_CORE_MULTISCALE_H_

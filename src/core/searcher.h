@@ -1,0 +1,54 @@
+// Searcher: the interface every search method implements (SeeSaw and all
+// baselines), mirroring the interaction loop of Listing 1 in the paper:
+// fetch a batch of unseen images, receive region feedback, refit, repeat.
+#ifndef SEESAW_CORE_SEARCHER_H_
+#define SEESAW_CORE_SEARCHER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/box.h"
+
+namespace seesaw::core {
+
+/// User (or oracle) feedback for one inspected image.
+struct ImageFeedback {
+  uint32_t image_idx = 0;
+  /// Whether the image contains the sought concept.
+  bool relevant = false;
+  /// Region boxes around the relevant areas (empty when not relevant).
+  std::vector<data::Box> boxes;
+};
+
+/// One ranked result.
+struct ScoredImage {
+  uint32_t image_idx = 0;
+  float score = 0.0f;
+};
+
+/// A search method driving one query session. Not thread-safe.
+class Searcher {
+ public:
+  virtual ~Searcher() = default;
+
+  /// Method name for reports ("seesaw", "zero-shot", "ens", ...).
+  virtual std::string name() const = 0;
+
+  /// Returns up to n best-scoring images not yet shown (best first). Images
+  /// returned here are not yet marked seen; they become seen via
+  /// AddFeedback.
+  virtual std::vector<ScoredImage> NextBatch(size_t n) = 0;
+
+  /// Records feedback for an image (marks it seen).
+  virtual void AddFeedback(const ImageFeedback& feedback) = 0;
+
+  /// Updates the internal query/model from feedback received so far.
+  /// Called once per round, after the batch's feedback.
+  virtual Status Refit() = 0;
+};
+
+}  // namespace seesaw::core
+
+#endif  // SEESAW_CORE_SEARCHER_H_

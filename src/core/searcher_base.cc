@@ -1,0 +1,84 @@
+#include "core/searcher_base.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace seesaw::core {
+
+SearcherBase::SearcherBase(const EmbeddedDataset& embedded)
+    : embedded_(&embedded), seen_(embedded.num_images(), 0) {}
+
+void SearcherBase::MarkSeen(uint32_t image_idx) {
+  SEESAW_CHECK_LT(image_idx, seen_.size());
+  if (!seen_[image_idx]) {
+    seen_[image_idx] = 1;
+    ++num_seen_;
+  }
+}
+
+std::vector<ScoredImage> SearcherBase::TopImages(linalg::VecSpan query,
+                                                 size_t n) const {
+  const auto& store = embedded_->store();
+  const auto& patches = embedded_->patches();
+  const size_t total = store.size();
+  // Patches of seen images are excluded inside the store scan.
+  store::ExcludeFn exclude = [this, &patches](uint32_t vec_id) {
+    return seen_[patches[vec_id].image_idx] != 0;
+  };
+
+  double avg_patches =
+      static_cast<double>(total) /
+      static_cast<double>(std::max<size_t>(1, embedded_->num_images()));
+  size_t k = static_cast<size_t>(
+      std::max<double>(16.0, (static_cast<double>(n) + 4) * avg_patches * 2));
+
+  std::vector<ScoredImage> out;
+  std::unordered_set<uint32_t> picked;
+  for (;;) {
+    k = std::min(k, total);
+    auto hits = store.TopK(query, k, exclude);
+    out.clear();
+    picked.clear();
+    // Hits come best-first, so the first patch of an image carries the
+    // image's max-pooled score (§4.3).
+    for (const auto& h : hits) {
+      uint32_t img = patches[h.id].image_idx;
+      if (picked.insert(img).second) {
+        out.push_back({img, h.score});
+        if (out.size() == n) return out;
+      }
+    }
+    if (hits.size() < k || k == total) {
+      return out;  // store exhausted; fewer than n unseen images remain
+    }
+    k *= 2;
+  }
+}
+
+std::vector<PatchLabel> SearcherBase::LabelPatches(
+    const ImageFeedback& feedback) const {
+  auto [begin, end] = embedded_->ImagePatchRange(feedback.image_idx);
+  std::vector<PatchLabel> labels;
+  labels.reserve(end - begin);
+  // Relevant feedback without region boxes means "the whole image is
+  // relevant" (a UI without box support, or a keyboard-only mark).
+  const bool whole_image = feedback.relevant && feedback.boxes.empty();
+  for (uint32_t v = begin; v < end; ++v) {
+    bool positive = whole_image;
+    if (feedback.relevant && !whole_image) {
+      const data::Box& patch_box = embedded_->patch(v).box;
+      for (const data::Box& fb_box : feedback.boxes) {
+        if (patch_box.Overlaps(fb_box)) {
+          positive = true;
+          break;
+        }
+      }
+    }
+    labels.push_back({v, positive});
+  }
+  return labels;
+}
+
+}  // namespace seesaw::core

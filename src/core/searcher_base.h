@@ -1,0 +1,54 @@
+// Shared machinery for vector-query searchers: seen-image bookkeeping,
+// max-pooled image ranking over the patch store, and mapping of box feedback
+// to patch labels (§4.3).
+#ifndef SEESAW_CORE_SEARCHER_BASE_H_
+#define SEESAW_CORE_SEARCHER_BASE_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/embedded_dataset.h"
+#include "core/searcher.h"
+
+namespace seesaw::core {
+
+/// One labeled patch derived from image feedback.
+struct PatchLabel {
+  uint32_t vec_id = 0;
+  bool positive = false;
+};
+
+/// Base class holding the embedded dataset and the seen set.
+class SearcherBase : public Searcher {
+ public:
+  explicit SearcherBase(const EmbeddedDataset& embedded);
+
+  const EmbeddedDataset& embedded() const { return *embedded_; }
+  size_t num_seen() const { return num_seen_; }
+  bool IsSeen(uint32_t image_idx) const { return seen_[image_idx] != 0; }
+
+ protected:
+  /// Marks an image as shown/labeled.
+  void MarkSeen(uint32_t image_idx);
+
+  /// Top-n unseen images by max patch score under `query` (best first).
+  /// Retries the store with a growing k until n distinct unseen images are
+  /// found or the store is exhausted.
+  std::vector<ScoredImage> TopImages(linalg::VecSpan query, size_t n) const;
+
+  /// Converts image feedback to patch labels: for a relevant image, patches
+  /// overlapping any feedback box are positive and the rest negative; for an
+  /// irrelevant image every patch is negative. (The coarse tile of a
+  /// relevant image always overlaps, hence is always positive — exactly the
+  /// paper's rule.)
+  std::vector<PatchLabel> LabelPatches(const ImageFeedback& feedback) const;
+
+ private:
+  const EmbeddedDataset* embedded_;
+  std::vector<char> seen_;
+  size_t num_seen_ = 0;
+};
+
+}  // namespace seesaw::core
+
+#endif  // SEESAW_CORE_SEARCHER_BASE_H_

@@ -1,0 +1,45 @@
+#include "core/seesaw_searcher.h"
+
+#include "common/check.h"
+
+namespace seesaw::core {
+
+SeeSawSearcher::SeeSawSearcher(const EmbeddedDataset& embedded,
+                               linalg::VectorF q_text,
+                               const SeeSawOptions& options)
+    : SearcherBase(embedded), options_(options), query_(q_text) {
+  SEESAW_CHECK_EQ(q_text.size(), embedded.dim());
+  aligner_ = std::make_unique<QueryAligner>(options_.aligner,
+                                            std::move(q_text), embedded.md());
+}
+
+std::string SeeSawSearcher::name() const {
+  if (!options_.label.empty()) return options_.label;
+  if (!options_.update_query) return "zero-shot";
+  if (!options_.aligner.loss.use_text_term) return "few-shot";
+  if (!options_.aligner.loss.use_db_term) return "query-align";
+  return "seesaw";
+}
+
+std::vector<ScoredImage> SeeSawSearcher::NextBatch(size_t n) {
+  return TopImages(linalg::VecSpan(query_), n);
+}
+
+void SeeSawSearcher::AddFeedback(const ImageFeedback& feedback) {
+  MarkSeen(feedback.image_idx);
+  if (!options_.update_query) return;  // zero-shot ignores feedback
+  for (const PatchLabel& label : LabelPatches(feedback)) {
+    aligner_->AddFeedback(embedded().vectors().Row(label.vec_id),
+                          label.positive);
+  }
+  dirty_ = true;
+}
+
+Status SeeSawSearcher::Refit() {
+  if (!options_.update_query || !dirty_) return Status::OK();
+  SEESAW_ASSIGN_OR_RETURN(query_, aligner_->Align());
+  dirty_ = false;
+  return Status::OK();
+}
+
+}  // namespace seesaw::core

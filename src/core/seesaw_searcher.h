@@ -1,0 +1,60 @@
+// SeeSawSearcher: the full system of the paper, and — via its ablation
+// switches — the zero-shot, few-shot and query-align-only variants used in
+// Tables 2 and 3.
+//
+//   Method            update_query  loss.use_text_term  loss.use_db_term
+//   zero-shot CLIP    false         -                   -
+//   few-shot CLIP     true          false               false
+//   + query align     true          true                false
+//   + DB align        true          true                true
+#ifndef SEESAW_CORE_SEESAW_SEARCHER_H_
+#define SEESAW_CORE_SEESAW_SEARCHER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/aligner.h"
+#include "core/searcher_base.h"
+
+namespace seesaw::core {
+
+/// Configuration for SeeSawSearcher.
+struct SeeSawOptions {
+  AlignerOptions aligner;
+  /// When false the query vector is never updated (zero-shot behaviour).
+  bool update_query = true;
+  /// Method name override for reports; empty = derived from flags.
+  std::string label;
+};
+
+/// The user-facing search session state for one text query.
+class SeeSawSearcher : public SearcherBase {
+ public:
+  /// `q_text` is the embedded text query (q0). The embedded dataset must
+  /// outlive the searcher. When DB alignment is enabled but the dataset has
+  /// no M_D, the DB term is silently skipped (matching a coarse-only
+  /// deployment without preprocessing).
+  SeeSawSearcher(const EmbeddedDataset& embedded, linalg::VectorF q_text,
+                 const SeeSawOptions& options);
+
+  std::string name() const override;
+  std::vector<ScoredImage> NextBatch(size_t n) override;
+  void AddFeedback(const ImageFeedback& feedback) override;
+  Status Refit() override;
+
+  /// The query vector currently used for lookups.
+  const linalg::VectorF& current_query() const { return query_; }
+
+  /// Aligner diagnostics (iterations of the last refit etc.).
+  const QueryAligner& aligner() const { return *aligner_; }
+
+ private:
+  SeeSawOptions options_;
+  linalg::VectorF query_;
+  std::unique_ptr<QueryAligner> aligner_;
+  bool dirty_ = false;  // new feedback since last refit
+};
+
+}  // namespace seesaw::core
+
+#endif  // SEESAW_CORE_SEESAW_SEARCHER_H_

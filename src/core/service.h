@@ -1,0 +1,64 @@
+// SeeSawService: the "server layer" of the paper's component diagram (§2) —
+// a single entry point that owns the preprocessed dataset and hands out
+// search sessions, the API an application (like the paper's web UI) builds
+// on.
+//
+//   auto service = SeeSawService::Create(dataset, options);
+//   auto session = service->StartSession("wheelchair");
+//   auto page = (*session)->NextBatch(10);
+//   (*session)->AddFeedback({image, /*relevant=*/true, boxes});
+//   (*session)->Refit();
+#ifndef SEESAW_CORE_SERVICE_H_
+#define SEESAW_CORE_SERVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/embedded_dataset.h"
+#include "core/seesaw_searcher.h"
+
+namespace seesaw::core {
+
+/// Service configuration: preprocessing plus per-session search options.
+struct ServiceOptions {
+  PreprocessOptions preprocess;
+  SeeSawOptions search;
+  /// Optional path to a preprocessing cache: when the file exists it is
+  /// loaded instead of re-embedding; when it does not, preprocessing runs
+  /// and the cache is written.
+  std::string cache_path;
+};
+
+/// Owns the embedded dataset and creates per-query search sessions.
+/// Thread-compatible: sessions are independent, but each session is
+/// single-threaded.
+class SeeSawService {
+ public:
+  /// Runs (or loads) preprocessing. `dataset` must outlive the service.
+  static StatusOr<SeeSawService> Create(const data::Dataset& dataset,
+                                        const ServiceOptions& options);
+
+  /// Starts a session from a category-name text query (NotFound for unknown
+  /// names).
+  StatusOr<std::unique_ptr<SeeSawSearcher>> StartSession(
+      const std::string& text_query) const;
+
+  /// Starts a session from an arbitrary query vector (must be unit-normed,
+  /// matching the embedding dimension).
+  StatusOr<std::unique_ptr<SeeSawSearcher>> StartSession(
+      linalg::VectorF query_vector) const;
+
+  const EmbeddedDataset& embedded() const { return *embedded_; }
+
+ private:
+  SeeSawService(const data::Dataset* dataset, ServiceOptions options)
+      : dataset_(dataset), options_(std::move(options)) {}
+
+  const data::Dataset* dataset_;
+  ServiceOptions options_;
+  std::unique_ptr<EmbeddedDataset> embedded_;
+};
+
+}  // namespace seesaw::core
+
+#endif  // SEESAW_CORE_SERVICE_H_

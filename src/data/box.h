@@ -1,0 +1,45 @@
+// Axis-aligned pixel boxes: ground-truth object regions and the region
+// annotations users draw as feedback (§4.3 of the paper).
+#ifndef SEESAW_DATA_BOX_H_
+#define SEESAW_DATA_BOX_H_
+
+#include <algorithm>
+
+namespace seesaw::data {
+
+/// Axis-aligned box in pixel coordinates, [x0, x1) x [y0, y1).
+struct Box {
+  float x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+
+  float Width() const { return std::max(0.0f, x1 - x0); }
+  float Height() const { return std::max(0.0f, y1 - y0); }
+  float Area() const { return Width() * Height(); }
+  bool Empty() const { return Area() <= 0.0f; }
+
+  /// Intersection box (possibly empty).
+  Box Intersect(const Box& other) const {
+    return Box{std::max(x0, other.x0), std::max(y0, other.y0),
+               std::min(x1, other.x1), std::min(y1, other.y1)};
+  }
+
+  /// Area of overlap with `other`.
+  float IntersectionArea(const Box& other) const {
+    return Intersect(other).Area();
+  }
+
+  /// True when the boxes share positive area.
+  bool Overlaps(const Box& other) const {
+    return IntersectionArea(other) > 0.0f;
+  }
+
+  /// Intersection-over-union in [0, 1].
+  float Iou(const Box& other) const {
+    float inter = IntersectionArea(other);
+    float uni = Area() + other.Area() - inter;
+    return uni > 0.0f ? inter / uni : 0.0f;
+  }
+};
+
+}  // namespace seesaw::data
+
+#endif  // SEESAW_DATA_BOX_H_

@@ -1,0 +1,265 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace seesaw::data {
+
+namespace {
+
+/// Draws a Poisson count via inversion (small means only).
+int PoissonDraw(Rng& rng, double mean) {
+  if (mean <= 0.0) return 0;
+  double l = std::exp(-mean);
+  double p = 1.0;
+  int k = 0;
+  do {
+    ++k;
+    p *= rng.Uniform();
+  } while (p > l && k < 1000);
+  return k - 1;
+}
+
+/// Places one object of `concept_id` into `img`, sampling mode, scale,
+/// position and salience from the profile.
+void PlaceObject(const DatasetProfile& profile,
+                 const clip::ConceptSpace& space, int concept_id,
+                 ImageRecord& img, Rng& rng) {
+  ObjectInstance obj;
+  obj.concept_id = concept_id;
+  const clip::Concept& c = space.concept_at(concept_id);
+  obj.mode_id = static_cast<int>(rng.Categorical(c.mode_weights));
+
+  double min_dim = std::min(img.width, img.height);
+  double log_lo = std::log(profile.object_scale_min);
+  double log_hi = std::log(profile.object_scale_max);
+  double scale = std::exp(rng.Uniform(log_lo, log_hi));
+  float side = static_cast<float>(std::max(4.0, scale * min_dim));
+  side = std::min(side, static_cast<float>(std::min(img.width, img.height)));
+
+  // Mild aspect jitter so boxes are not all square.
+  float aspect = static_cast<float>(std::exp(rng.Gaussian(0.0, 0.18)));
+  float bw = std::min(static_cast<float>(img.width), side * aspect);
+  float bh = std::min(static_cast<float>(img.height), side / aspect);
+
+  float x0 = static_cast<float>(rng.Uniform(0.0, img.width - bw));
+  float y0 = static_cast<float>(rng.Uniform(0.0, img.height - bh));
+  obj.box = Box{x0, y0, x0 + bw, y0 + bh};
+  obj.salience =
+      static_cast<float>(rng.LogNormal(0.0, profile.salience_sigma));
+  img.objects.push_back(obj);
+}
+
+}  // namespace
+
+StatusOr<Dataset> Dataset::Generate(const DatasetProfile& profile) {
+  if (profile.num_images == 0 || profile.num_concepts == 0) {
+    return Status::InvalidArgument("Dataset: images and concepts must be > 0");
+  }
+  if (profile.object_scale_min <= 0 ||
+      profile.object_scale_max < profile.object_scale_min ||
+      profile.object_scale_max > 1.0) {
+    return Status::InvalidArgument("Dataset: bad object scale range");
+  }
+  if (profile.min_image_width <= 0 ||
+      profile.max_image_width < profile.min_image_width ||
+      profile.min_image_height <= 0 ||
+      profile.max_image_height < profile.min_image_height) {
+    return Status::InvalidArgument("Dataset: bad image size range");
+  }
+
+  Rng rng(profile.seed);
+
+  // --- Concept space: per-concept deficits and mode structure. ---
+  std::vector<clip::ConceptSpec> specs;
+  specs.reserve(profile.num_concepts);
+  for (size_t c = 0; c < profile.num_concepts; ++c) {
+    clip::ConceptSpec spec;
+    if (c < profile.concept_names.size()) {
+      spec.name = profile.concept_names[c];
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "category_%03zu", c);
+      spec.name = buf;
+    }
+    bool hard;
+    if (profile.deficit_tail_on_rare) {
+      size_t num_tail = static_cast<size_t>(
+          std::ceil(profile.deficit_tail_prob *
+                    static_cast<double>(profile.num_concepts)));
+      hard = c + num_tail >= profile.num_concepts;  // rarest Zipf indices
+    } else {
+      hard = rng.Bernoulli(profile.deficit_tail_prob);
+    }
+    spec.alignment_deficit =
+        hard ? rng.Uniform(profile.deficit_tail_lo, profile.deficit_tail_hi)
+             : rng.Uniform(profile.deficit_base_lo, profile.deficit_base_hi);
+    if (c < profile.concept_deficits.size() &&
+        profile.concept_deficits[c] >= 0.0) {
+      spec.alignment_deficit = profile.concept_deficits[c];
+    }
+    if (profile.max_modes > 1 && rng.Bernoulli(profile.multimode_prob)) {
+      spec.num_modes = static_cast<int>(rng.UniformInt(2, profile.max_modes));
+    } else {
+      spec.num_modes = 1;
+    }
+    spec.mode_spread = profile.mode_spread;
+    spec.mode_weight_decay = profile.mode_weight_decay;
+    specs.push_back(std::move(spec));
+  }
+
+  clip::ConceptSpaceOptions space_options;
+  space_options.dim = profile.embedding_dim;
+  space_options.num_backgrounds = profile.num_backgrounds;
+  space_options.text_canonical_bias = profile.text_canonical_bias;
+  space_options.seed = rng.engine()();
+  SEESAW_ASSIGN_OR_RETURN(clip::ConceptSpace space,
+                          clip::ConceptSpace::Create(space_options, specs));
+
+  Dataset ds;
+  ds.profile_ = profile;
+  ds.space_ = std::make_shared<const clip::ConceptSpace>(std::move(space));
+  ds.model_ = std::make_unique<clip::SyntheticClip>(ds.space_);
+
+  // --- Category frequency: Zipf weights over concepts. ---
+  std::vector<double> concept_weights(profile.num_concepts);
+  for (size_t c = 0; c < profile.num_concepts; ++c) {
+    concept_weights[c] =
+        1.0 / std::pow(static_cast<double>(c + 1), profile.zipf_exponent);
+  }
+
+  // --- Images and objects. ---
+  ds.images_.reserve(profile.num_images);
+  for (size_t i = 0; i < profile.num_images; ++i) {
+    ImageRecord img;
+    img.width = static_cast<int>(
+        rng.UniformInt(profile.min_image_width, profile.max_image_width));
+    img.height = static_cast<int>(
+        rng.UniformInt(profile.min_image_height, profile.max_image_height));
+    img.background_id = static_cast<int>(rng.UniformInt(
+        0, static_cast<int64_t>(profile.num_backgrounds) - 1));
+    img.noise_seed = rng.engine()();
+
+    int count = PoissonDraw(rng, profile.mean_objects_per_image);
+    count = std::clamp(count, profile.min_objects_per_image,
+                       profile.max_objects_per_image);
+    for (int o = 0; o < count; ++o) {
+      int concept_id = static_cast<int>(rng.Categorical(concept_weights));
+      PlaceObject(profile, *ds.space_, concept_id, img, rng);
+    }
+    ds.images_.push_back(std::move(img));
+  }
+
+  // --- Guarantee minimum positives per concept. ---
+  auto count_positives = [&ds](size_t concept_id) {
+    size_t n = 0;
+    for (const ImageRecord& img : ds.images_) {
+      for (const ObjectInstance& o : img.objects) {
+        if (o.concept_id == static_cast<int>(concept_id)) {
+          ++n;
+          break;
+        }
+      }
+    }
+    return n;
+  };
+  for (size_t c = 0; c < profile.num_concepts; ++c) {
+    size_t have = count_positives(c);
+    while (have < profile.min_positives_per_concept) {
+      size_t target = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(ds.images_.size()) - 1));
+      if (ds.IsPositiveUnindexed(target, c)) continue;
+      PlaceObject(profile, *ds.space_, static_cast<int>(c), ds.images_[target],
+                  rng);
+      ++have;
+    }
+  }
+
+  // --- Index positives. ---
+  ds.positives_.assign(profile.num_concepts, {});
+  for (size_t i = 0; i < ds.images_.size(); ++i) {
+    std::vector<char> seen(profile.num_concepts, 0);
+    for (const ObjectInstance& o : ds.images_[i].objects) {
+      if (!seen[o.concept_id]) {
+        seen[o.concept_id] = 1;
+        ds.positives_[o.concept_id].push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+  return ds;
+}
+
+bool Dataset::IsPositiveUnindexed(size_t image_idx, size_t concept_id) const {
+  for (const ObjectInstance& o : images_[image_idx].objects) {
+    if (o.concept_id == static_cast<int>(concept_id)) return true;
+  }
+  return false;
+}
+
+bool Dataset::IsPositive(size_t image_idx, size_t concept_id) const {
+  SEESAW_CHECK_LT(concept_id, positives_.size());
+  const auto& list = positives_[concept_id];
+  return std::binary_search(list.begin(), list.end(),
+                            static_cast<uint32_t>(image_idx));
+}
+
+std::vector<Box> Dataset::ConceptBoxes(size_t image_idx,
+                                       size_t concept_id) const {
+  SEESAW_CHECK_LT(image_idx, images_.size());
+  std::vector<Box> boxes;
+  for (const ObjectInstance& o : images_[image_idx].objects) {
+    if (o.concept_id == static_cast<int>(concept_id)) boxes.push_back(o.box);
+  }
+  return boxes;
+}
+
+clip::PatchContent Dataset::RegionContent(size_t image_idx, const Box& region,
+                                          uint32_t region_index) const {
+  SEESAW_CHECK_LT(image_idx, images_.size());
+  const ImageRecord& img = images_[image_idx];
+  clip::PatchContent content;
+  content.background_id = img.background_id;
+  content.background_weight = static_cast<float>(profile_.background_weight);
+  content.noise_scale = static_cast<float>(profile_.noise_scale);
+  // Mix the image seed with the region index (splitmix64-style) so each
+  // region of each image has an independent but reproducible noise draw.
+  uint64_t z = img.noise_seed + 0x9E3779B97F4A7C15ull *
+                                    (static_cast<uint64_t>(region_index) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  content.noise_seed = z ^ (z >> 31);
+
+  float region_area = region.Area();
+  if (region_area <= 0.0f) return content;
+  for (const ObjectInstance& obj : img.objects) {
+    float overlap = obj.box.IntersectionArea(region);
+    if (overlap <= 0.0f) continue;
+    float visible_frac = overlap / std::max(obj.box.Area(), 1e-6f);
+    float area_ratio = overlap / region_area;
+    float prominence =
+        obj.salience * visible_frac *
+        static_cast<float>(
+            std::pow(area_ratio, profile_.prominence_gamma));
+    if (prominence <= 1e-6f) continue;
+    content.objects.push_back({obj.concept_id, obj.mode_id, prominence});
+  }
+  return content;
+}
+
+linalg::VectorF Dataset::EmbedRegion(size_t image_idx, const Box& region,
+                                     uint32_t region_index) const {
+  return model_->EmbedPatch(RegionContent(image_idx, region, region_index));
+}
+
+std::vector<size_t> Dataset::EvaluableConcepts(size_t min_positives) const {
+  std::vector<size_t> out;
+  for (size_t c = 0; c < positives_.size(); ++c) {
+    if (positives_[c].size() >= min_positives) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace seesaw::data

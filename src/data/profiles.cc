@@ -1,0 +1,175 @@
+#include "data/profiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seesaw::data {
+
+namespace {
+
+size_t ScaleCount(size_t base, double scale, size_t min_value) {
+  return std::max<size_t>(
+      min_value, static_cast<size_t>(std::lround(base * scale)));
+}
+
+}  // namespace
+
+DatasetProfile BddLikeProfile(double scale) {
+  DatasetProfile p;
+  p.name = "bdd";
+  p.num_images = ScaleCount(4000, scale, 200);
+  // BDD has 10-ish labeled classes; the paper evaluates 12 queries. The
+  // head (car, person, ...) is extremely common, the tail (wheelchair) is
+  // one-in-a-thousand — hence the strong Zipf exponent.
+  p.num_concepts = 12;
+  p.concept_names = {"car",           "person",        "traffic light",
+                     "traffic sign",  "truck",         "bus",
+                     "bicycle",       "rider",         "motorcycle",
+                     "train",         "dog",           "wheelchair"};
+  p.zipf_exponent = 1.9;
+  // Dash-cam frames: large images, many small objects.
+  p.min_image_width = 1120;
+  p.max_image_width = 1280;
+  p.min_image_height = 640;
+  p.max_image_height = 720;
+  p.mean_objects_per_image = 6.0;
+  p.max_objects_per_image = 14;
+  p.object_scale_min = 0.035;
+  p.object_scale_max = 0.30;
+  // Busy street scenes: high clutter drowns small objects in the coarse
+  // embedding — the reason multiscale matters most on BDD (Table 2).
+  p.background_weight = 0.55;
+  p.noise_scale = 0.55;
+  p.prominence_gamma = 0.35;
+  // Driving classes are common in web training data -> deficits mostly low,
+  // but the rare tail (wheelchair-style queries) is badly aligned: 3/12 in
+  // the paper.
+  p.deficit_base_lo = 0.02;
+  p.deficit_base_hi = 0.18;
+  p.deficit_tail_prob = 0.25;  // exactly 3 of 12 classes, like the paper
+  p.deficit_tail_lo = 0.55;
+  p.deficit_tail_hi = 0.70;
+  p.deficit_tail_on_rare = true;  // the hard classes are the rare ones
+  p.multimode_prob = 0.15;
+  p.mode_spread = 0.40;
+  p.min_positives_per_concept = 12;
+  p.seed = 0xBDDu;
+  return p;
+}
+
+DatasetProfile ObjectNetLikeProfile(double scale) {
+  DatasetProfile p;
+  p.name = "objectnet";
+  p.num_images = ScaleCount(6000, scale, 300);
+  // Paper: 313 categories, bias-controlled viewpoints. We scale to 150 by
+  // default to fit the 2-core benchmark budget (documented in
+  // EXPERIMENTS.md).
+  p.num_concepts = ScaleCount(150, std::min(scale, 1.0), 24);
+  p.zipf_exponent = 0.15;  // intentionally balanced dataset
+  // Fixed 224x224 images with one centered, dominant object: multiscale
+  // produces a single coarse tile, matching the paper's "ObjectNet does not
+  // benefit from multiscale".
+  p.min_image_width = 224;
+  p.max_image_width = 224;
+  p.min_image_height = 224;
+  p.max_image_height = 224;
+  p.mean_objects_per_image = 1.0;
+  p.min_objects_per_image = 1;
+  p.max_objects_per_image = 1;
+  p.object_scale_min = 0.55;
+  p.object_scale_max = 0.95;
+  p.background_weight = 0.25;
+  p.noise_scale = 0.32;
+  p.prominence_gamma = 0.45;
+  // Unusual viewpoints/rotations make many text queries misaligned: the
+  // paper finds 102/313 (~1/3) of categories below AP .5.
+  p.deficit_base_lo = 0.03;
+  p.deficit_base_hi = 0.25;
+  p.deficit_tail_prob = 0.75;
+  p.deficit_tail_lo = 0.42;
+  p.deficit_tail_hi = 0.80;
+  // ObjectNet's controlled rotations/viewpoints make most categories
+  // multi-modal; the text query anchors to the canonical view, so secondary
+  // modes become hard positives (low full-ranking AP, Fig. 4) that an ideal
+  // fitted vector still separates.
+  p.multimode_prob = 0.75;
+  p.max_modes = 4;
+  p.mode_spread = 2.0;  // secondary viewpoints nearly orthogonal
+  p.text_canonical_bias = 0.90;
+  p.mode_weight_decay = 0.40;  // canonical view is <half the instances
+  p.min_positives_per_concept = 10;
+  p.seed = 0x0B1Eu;
+  return p;
+}
+
+DatasetProfile CocoLikeProfile(double scale) {
+  DatasetProfile p;
+  p.name = "coco";
+  p.num_images = ScaleCount(5000, scale, 250);
+  p.num_concepts = 80;
+  p.zipf_exponent = 0.7;
+  // Flickr-style photos: medium images, a few prominent objects. COCO's
+  // images likely appeared in CLIP training -> low deficits nearly
+  // everywhere (5/80 hard in the paper).
+  p.min_image_width = 640;
+  p.max_image_width = 900;
+  p.min_image_height = 480;
+  p.max_image_height = 640;
+  p.mean_objects_per_image = 3.0;
+  p.max_objects_per_image = 10;
+  p.object_scale_min = 0.06;
+  p.object_scale_max = 0.65;
+  p.background_weight = 0.35;
+  p.noise_scale = 0.50;
+  p.prominence_gamma = 0.40;
+  p.deficit_base_lo = 0.03;
+  p.deficit_base_hi = 0.32;
+  p.deficit_tail_prob = 0.10;
+  p.deficit_tail_lo = 0.45;
+  p.deficit_tail_hi = 0.68;
+  p.multimode_prob = 0.10;
+  p.mode_spread = 0.35;
+  p.min_positives_per_concept = 10;
+  p.seed = 0xC0C0u;
+  return p;
+}
+
+DatasetProfile LvisLikeProfile(double scale) {
+  DatasetProfile p;
+  p.name = "lvis";
+  // LVIS re-annotates COCO images with a much larger vocabulary including
+  // many small background objects. Paper: 1203 categories; we scale to 300.
+  p.num_images = ScaleCount(5000, scale, 250);
+  p.num_concepts = ScaleCount(300, std::min(scale, 1.0), 40);
+  p.zipf_exponent = 1.1;
+  p.min_image_width = 640;
+  p.max_image_width = 900;
+  p.min_image_height = 480;
+  p.max_image_height = 640;
+  p.mean_objects_per_image = 5.0;
+  p.max_objects_per_image = 14;
+  // Long-vocabulary annotations include many small objects.
+  p.object_scale_min = 0.05;
+  p.object_scale_max = 0.45;
+  p.background_weight = 0.40;
+  p.noise_scale = 0.55;
+  p.prominence_gamma = 0.38;
+  // Rare vocabulary -> heavy deficit tail: 456/1203 hard in the paper.
+  p.deficit_base_lo = 0.02;
+  p.deficit_base_hi = 0.22;
+  p.deficit_tail_prob = 0.36;
+  p.deficit_tail_lo = 0.32;
+  p.deficit_tail_hi = 0.80;
+  p.multimode_prob = 0.25;
+  p.mode_spread = 0.45;
+  p.min_positives_per_concept = 5;
+  p.seed = 0x1B15u;
+  return p;
+}
+
+std::vector<DatasetProfile> AllPaperProfiles(double scale) {
+  return {LvisLikeProfile(scale), ObjectNetLikeProfile(scale),
+          CocoLikeProfile(scale), BddLikeProfile(scale)};
+}
+
+}  // namespace seesaw::data

@@ -1,0 +1,39 @@
+// The four evaluation-dataset profiles mirroring the paper's benchmarks.
+//
+// Each profile is tuned so the *zero-shot CLIP accuracy distribution* (the
+// paper's Fig. 1) has the right qualitative shape:
+//   - COCO-like:     almost every query easy (paper: 6% of 80 below AP .5)
+//   - BDD-like:      few, mostly common driving classes; small objects in
+//                    large frames; a rare long tail (wheelchair) (3/12 hard)
+//   - ObjectNet-like: centered single objects in 224px images (multiscale
+//                    cannot help), many misaligned queries (102/313 hard)
+//   - LVIS-like:     many categories incl. small/rare objects with a heavy
+//                    deficit tail (456/1203 hard)
+//
+// `scale` multiplies the image count (and for LVIS/ObjectNet the category
+// count) so tests can run tiny instances of the same distributions.
+#ifndef SEESAW_DATA_PROFILES_H_
+#define SEESAW_DATA_PROFILES_H_
+
+#include "data/dataset.h"
+
+namespace seesaw::data {
+
+/// BDD-like driving-scene profile.
+DatasetProfile BddLikeProfile(double scale = 1.0);
+
+/// ObjectNet-like centered-object profile.
+DatasetProfile ObjectNetLikeProfile(double scale = 1.0);
+
+/// COCO-like everyday-scene profile.
+DatasetProfile CocoLikeProfile(double scale = 1.0);
+
+/// LVIS-like long-vocabulary profile.
+DatasetProfile LvisLikeProfile(double scale = 1.0);
+
+/// All four profiles in paper order {LVIS, ObjectNet, COCO, BDD}.
+std::vector<DatasetProfile> AllPaperProfiles(double scale = 1.0);
+
+}  // namespace seesaw::data
+
+#endif  // SEESAW_DATA_PROFILES_H_

@@ -1,0 +1,123 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace seesaw::eval {
+
+double TaskAp(const std::vector<char>& relevance, size_t total_relevant,
+              size_t target) {
+  if (total_relevant == 0 || target == 0) return 0.0;
+  const size_t r = std::min(target, total_relevant);
+  double precision_sum = 0.0;
+  size_t found = 0;
+  for (size_t i = 0; i < relevance.size() && found < r; ++i) {
+    if (relevance[i]) {
+      ++found;
+      precision_sum +=
+          static_cast<double>(found) / static_cast<double>(i + 1);
+    }
+  }
+  return precision_sum / static_cast<double>(r);
+}
+
+double FullRankingAp(const std::vector<float>& scores,
+                     const std::vector<char>& labels) {
+  SEESAW_CHECK_EQ(scores.size(), labels.size());
+  size_t total_relevant = 0;
+  for (char l : labels) total_relevant += (l != 0);
+  if (total_relevant == 0) return 0.0;
+
+  std::vector<uint32_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  double precision_sum = 0.0;
+  size_t found = 0;
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    if (labels[order[rank]]) {
+      ++found;
+      precision_sum +=
+          static_cast<double>(found) / static_cast<double>(rank + 1);
+    }
+  }
+  return precision_sum / static_cast<double>(total_relevant);
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+double Quantile(std::vector<double> v, double q) {
+  SEESAW_CHECK(!v.empty());
+  SEESAW_CHECK_GE(q, 0.0);
+  SEESAW_CHECK_LE(q, 1.0);
+  std::sort(v.begin(), v.end());
+  double pos = q * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(pos));
+  size_t hi = static_cast<size_t>(std::ceil(pos));
+  double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double Median(std::vector<double> v) { return Quantile(std::move(v), 0.5); }
+
+std::vector<std::pair<double, double>> Cdf(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  std::vector<std::pair<double, double>> out;
+  out.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out.push_back({values[i], static_cast<double>(i + 1) /
+                                  static_cast<double>(values.size())});
+  }
+  return out;
+}
+
+double FractionBelow(const std::vector<double>& values, double threshold) {
+  if (values.empty()) return 0.0;
+  size_t below = 0;
+  for (double v : values) below += (v < threshold);
+  return static_cast<double>(below) / static_cast<double>(values.size());
+}
+
+namespace {
+
+BootstrapCi BootstrapCi_(const std::vector<double>& values, double confidence,
+                         int resamples, uint64_t seed, bool use_median) {
+  SEESAW_CHECK(!values.empty());
+  Rng rng(seed);
+  std::vector<double> stats(resamples);
+  std::vector<double> sample(values.size());
+  for (int r = 0; r < resamples; ++r) {
+    for (size_t i = 0; i < values.size(); ++i) {
+      sample[i] = values[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(values.size()) - 1))];
+    }
+    stats[r] = use_median ? Median(sample) : Mean(sample);
+  }
+  double alpha = (1.0 - confidence) / 2.0;
+  return BootstrapCi{Quantile(stats, alpha), Quantile(stats, 1.0 - alpha)};
+}
+
+}  // namespace
+
+BootstrapCi BootstrapCiMean(const std::vector<double>& values,
+                            double confidence, int resamples, uint64_t seed) {
+  return BootstrapCi_(values, confidence, resamples, seed, false);
+}
+
+BootstrapCi BootstrapCiMedian(const std::vector<double>& values,
+                              double confidence, int resamples,
+                              uint64_t seed) {
+  return BootstrapCi_(values, confidence, resamples, seed, true);
+}
+
+}  // namespace seesaw::eval

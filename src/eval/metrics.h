@@ -1,0 +1,61 @@
+// Accuracy metrics and summary statistics for the evaluation (§5.1).
+#ifndef SEESAW_EVAL_METRICS_H_
+#define SEESAW_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace seesaw::eval {
+
+/// Average Precision for the paper's benchmark task (§5.1): the searcher
+/// inspects images in order (`relevance[i]` = was the i-th inspected image
+/// relevant) until it finds `target` positives or exhausts its budget.
+/// R = min(target, total_relevant); AP = (sum of precisions at each found
+/// positive) / R, with unfound positives contributing 0. Only the first
+/// `target` positives count. Range [0, 1].
+double TaskAp(const std::vector<char>& relevance, size_t total_relevant,
+              size_t target = 10);
+
+/// Standard full-ranking AP: rank all items by descending score and average
+/// the precision at every relevant item (used by the Fig. 4 ideal-vector
+/// study). `labels[i]` is 1 when item i is relevant. Returns 0 when nothing
+/// is relevant. Ties broken by index for determinism.
+double FullRankingAp(const std::vector<float>& scores,
+                     const std::vector<char>& labels);
+
+/// Arithmetic mean (0 for empty input).
+double Mean(const std::vector<double>& v);
+
+/// Linear-interpolation quantile, q in [0, 1]. Copies and sorts.
+double Quantile(std::vector<double> v, double q);
+
+/// Median (Quantile 0.5).
+double Median(std::vector<double> v);
+
+/// Empirical CDF: sorted (value, fraction of values <= value) pairs.
+std::vector<std::pair<double, double>> Cdf(std::vector<double> values);
+
+/// Fraction of values strictly below `threshold`.
+double FractionBelow(const std::vector<double>& values, double threshold);
+
+/// Two-sided bootstrap confidence interval.
+struct BootstrapCi {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Percentile-bootstrap CI for the mean.
+BootstrapCi BootstrapCiMean(const std::vector<double>& values,
+                            double confidence = 0.95, int resamples = 2000,
+                            uint64_t seed = 123);
+
+/// Percentile-bootstrap CI for the median.
+BootstrapCi BootstrapCiMedian(const std::vector<double>& values,
+                              double confidence = 0.95, int resamples = 2000,
+                              uint64_t seed = 123);
+
+}  // namespace seesaw::eval
+
+#endif  // SEESAW_EVAL_METRICS_H_

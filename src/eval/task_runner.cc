@@ -1,0 +1,81 @@
+#include "eval/task_runner.h"
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "eval/metrics.h"
+
+namespace seesaw::eval {
+
+TaskResult RunSearchTask(core::Searcher& searcher,
+                         const data::Dataset& dataset, size_t concept_id,
+                         const TaskOptions& options) {
+  SEESAW_CHECK_GT(options.batch_size, 0u);
+  TaskResult result;
+  Stopwatch total;
+
+  while (result.found < options.target_positives &&
+         result.inspected < options.max_images) {
+    size_t want = std::min(options.batch_size,
+                           options.max_images - result.inspected);
+    auto batch = searcher.NextBatch(want);
+    if (batch.empty()) break;  // store exhausted
+
+    // The human inspects the batch image by image; we stop mid-batch once
+    // the target is met (remaining images are never seen).
+    for (const core::ScoredImage& hit : batch) {
+      bool relevant = dataset.IsPositive(hit.image_idx, concept_id);
+      core::ImageFeedback fb;
+      fb.image_idx = hit.image_idx;
+      fb.relevant = relevant;
+      if (relevant) {
+        fb.boxes = dataset.ConceptBoxes(hit.image_idx, concept_id);
+      }
+      searcher.AddFeedback(fb);
+      result.relevance.push_back(relevant ? 1 : 0);
+      ++result.inspected;
+      if (relevant) ++result.found;
+      if (result.found >= options.target_positives ||
+          result.inspected >= options.max_images) {
+        break;
+      }
+    }
+    SEESAW_CHECK(searcher.Refit().ok());
+    ++result.rounds;
+  }
+
+  result.total_seconds = total.ElapsedSeconds();
+  result.seconds_per_round =
+      result.rounds > 0 ? result.total_seconds /
+                              static_cast<double>(result.rounds)
+                        : result.total_seconds;
+  result.ap = TaskAp(result.relevance, dataset.positives(concept_id).size(),
+                     options.target_positives);
+  return result;
+}
+
+std::vector<double> BenchmarkRun::Aps() const {
+  std::vector<double> out;
+  out.reserve(results.size());
+  for (const TaskResult& r : results) out.push_back(r.ap);
+  return out;
+}
+
+double BenchmarkRun::MeanAp() const { return Mean(Aps()); }
+
+BenchmarkRun RunBenchmark(const SearcherFactory& factory,
+                          const data::Dataset& dataset,
+                          const std::vector<size_t>& concepts,
+                          const TaskOptions& options) {
+  BenchmarkRun run;
+  run.concepts = concepts;
+  run.results.reserve(concepts.size());
+  for (size_t concept_id : concepts) {
+    auto searcher = factory(concept_id);
+    SEESAW_CHECK(searcher != nullptr);
+    run.results.push_back(
+        RunSearchTask(*searcher, dataset, concept_id, options));
+  }
+  return run;
+}
+
+}  // namespace seesaw::eval

@@ -1,0 +1,66 @@
+// The paper's benchmark task (§5.1): starting from the category-name text
+// query, find `target_positives` (10) examples within `max_images` (60)
+// inspected images, with the dataset ground truth standing in for the human
+// (relevance + region boxes as feedback).
+#ifndef SEESAW_EVAL_TASK_RUNNER_H_
+#define SEESAW_EVAL_TASK_RUNNER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/searcher.h"
+#include "data/dataset.h"
+
+namespace seesaw::eval {
+
+/// Task parameters (paper: find 10 within 60).
+struct TaskOptions {
+  size_t target_positives = 10;
+  size_t max_images = 60;
+  /// Images shown between refits ("each loop consists of a batch of a user
+  /// specified size"). Active-search baselines use 1.
+  size_t batch_size = 10;
+};
+
+/// Outcome of one search task.
+struct TaskResult {
+  double ap = 0.0;              ///< Task AP (see metrics.h).
+  size_t found = 0;             ///< Positives found (<= target).
+  size_t inspected = 0;         ///< Images inspected (<= max_images).
+  size_t rounds = 0;            ///< Feedback rounds executed.
+  std::vector<char> relevance;  ///< Per-inspected-image relevance sequence.
+  double total_seconds = 0.0;   ///< System time (lookup + refit), no human.
+  /// Mean system latency per feedback iteration (the Table 6 metric).
+  double seconds_per_round = 0.0;
+};
+
+/// Runs one task: drives `searcher` with ground-truth feedback for
+/// `concept_id` until the target is met or the budget is exhausted.
+TaskResult RunSearchTask(core::Searcher& searcher,
+                         const data::Dataset& dataset, size_t concept_id,
+                         const TaskOptions& options);
+
+/// Builds a fresh searcher for a concept (captures dataset + method config).
+using SearcherFactory =
+    std::function<std::unique_ptr<core::Searcher>(size_t concept_id)>;
+
+/// Results of a multi-query benchmark run.
+struct BenchmarkRun {
+  std::vector<size_t> concepts;
+  std::vector<TaskResult> results;
+
+  /// AP values in concept order.
+  std::vector<double> Aps() const;
+  double MeanAp() const;
+};
+
+/// Runs the task for every concept in `concepts` with a fresh searcher each.
+BenchmarkRun RunBenchmark(const SearcherFactory& factory,
+                          const data::Dataset& dataset,
+                          const std::vector<size_t>& concepts,
+                          const TaskOptions& options);
+
+}  // namespace seesaw::eval
+
+#endif  // SEESAW_EVAL_TASK_RUNNER_H_

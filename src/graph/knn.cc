@@ -1,0 +1,66 @@
+#include "graph/knn.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace seesaw::graph {
+
+KnnGraph ExactKnn(const linalg::MatrixF& x, size_t k, ThreadPool* pool) {
+  const size_t n = x.rows();
+  SEESAW_CHECK_GT(n, 1u);
+  k = std::min(k, n - 1);
+  KnnGraph graph;
+  graph.k = k;
+  graph.neighbors.assign(n, {});
+
+  auto compute_range = [&](size_t begin, size_t end) {
+    std::vector<Neighbor> all(n - 1);
+    for (size_t i = begin; i < end; ++i) {
+      size_t m = 0;
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        all[m++] = {static_cast<uint32_t>(j),
+                    linalg::SquaredDistance(x.Row(i), x.Row(j))};
+      }
+      std::partial_sort(all.begin(), all.begin() + k, all.end(),
+                        [](const Neighbor& a, const Neighbor& b) {
+                          return a.dist2 < b.dist2;
+                        });
+      graph.neighbors[i].assign(all.begin(), all.begin() + k);
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->ParallelFor(n, compute_range);
+  } else {
+    compute_range(0, n);
+  }
+  return graph;
+}
+
+double KnnRecall(const KnnGraph& approx, const KnnGraph& exact) {
+  SEESAW_CHECK_EQ(approx.num_nodes(), exact.num_nodes());
+  if (exact.num_nodes() == 0) return 1.0;
+  double total = 0.0;
+  for (size_t i = 0; i < exact.num_nodes(); ++i) {
+    const auto& truth = exact.neighbors[i];
+    if (truth.empty()) {
+      total += 1.0;
+      continue;
+    }
+    size_t hits = 0;
+    for (const Neighbor& t : truth) {
+      for (const Neighbor& a : approx.neighbors[i]) {
+        if (a.id == t.id) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    total += static_cast<double>(hits) / static_cast<double>(truth.size());
+  }
+  return total / static_cast<double>(exact.num_nodes());
+}
+
+}  // namespace seesaw::graph

@@ -1,0 +1,42 @@
+// k-nearest-neighbor graphs over embedding tables.
+//
+// The kNN graph is the backbone of database alignment (§4.2): its Gaussian-
+// weighted adjacency defines the Laplacian inside M_D, label propagation,
+// and the ENS baseline's classifier.
+#ifndef SEESAW_GRAPH_KNN_H_
+#define SEESAW_GRAPH_KNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "linalg/matrix.h"
+
+namespace seesaw::graph {
+
+/// One directed neighbor edge.
+struct Neighbor {
+  uint32_t id = 0;
+  float dist2 = 0.0f;  ///< Squared Euclidean distance.
+};
+
+/// Directed kNN graph: `neighbors[i]` holds up to k nearest nodes of i
+/// (excluding i itself), sorted by ascending distance.
+struct KnnGraph {
+  size_t k = 0;
+  std::vector<std::vector<Neighbor>> neighbors;
+
+  size_t num_nodes() const { return neighbors.size(); }
+};
+
+/// Exact brute-force kNN over the rows of `x`. O(n^2 d); reference
+/// implementation for tests and small datasets. Uses `pool` when non-null.
+KnnGraph ExactKnn(const linalg::MatrixF& x, size_t k,
+                  ThreadPool* pool = nullptr);
+
+/// Fraction of true kNN edges recovered by `approx` (averaged over nodes).
+double KnnRecall(const KnnGraph& approx, const KnnGraph& exact);
+
+}  // namespace seesaw::graph
+
+#endif  // SEESAW_GRAPH_KNN_H_

@@ -1,0 +1,57 @@
+#include "graph/label_propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seesaw::graph {
+
+using linalg::SparseMatrixF;
+using linalg::VectorF;
+
+StatusOr<VectorF> PropagateLabels(
+    const SparseMatrixF& w,
+    const std::vector<std::pair<uint32_t, float>>& labels,
+    const LabelPropagationOptions& options) {
+  if (w.rows() != w.cols()) {
+    return Status::InvalidArgument("PropagateLabels: W must be square");
+  }
+  const size_t n = w.rows();
+  std::vector<char> clamped(n, 0);
+  VectorF f(n, static_cast<float>(options.prior));
+  for (const auto& [node, value] : labels) {
+    if (node >= n) {
+      return Status::InvalidArgument("PropagateLabels: label out of range");
+    }
+    clamped[node] = 1;
+    f[node] = value;
+  }
+
+  VectorF degrees = w.RowSums();
+  VectorF next(n, 0.0f);
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    double max_delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (clamped[i]) {
+        next[i] = f[i];
+        continue;
+      }
+      if (degrees[i] <= 0.0f) {
+        next[i] = f[i];  // isolated node keeps its prior
+        continue;
+      }
+      auto idx = w.RowIndices(i);
+      auto val = w.RowValues(i);
+      float acc = 0.0f;
+      for (size_t e = 0; e < idx.size(); ++e) acc += val[e] * f[idx[e]];
+      float updated = acc / degrees[i];
+      max_delta = std::max(max_delta,
+                           static_cast<double>(std::abs(updated - f[i])));
+      next[i] = updated;
+    }
+    f.swap(next);
+    if (max_delta < options.tolerance) break;
+  }
+  return f;
+}
+
+}  // namespace seesaw::graph

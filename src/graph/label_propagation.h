@@ -1,0 +1,40 @@
+// Label propagation (Zhu & Ghahramani 2002): semi-supervised soft labels on
+// the kNN graph. The conceptual starting point of DB alignment (§4.2) and
+// the expensive per-round variant timed in Table 6 ("prop." column).
+#ifndef SEESAW_GRAPH_LABEL_PROPAGATION_H_
+#define SEESAW_GRAPH_LABEL_PROPAGATION_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/statusor.h"
+#include "linalg/sparse.h"
+
+namespace seesaw::graph {
+
+/// Options for PropagateLabels.
+struct LabelPropagationOptions {
+  /// Maximum propagation sweeps.
+  int max_iters = 60;
+  /// Stop when the max absolute change of any soft label in a sweep is below
+  /// this.
+  double tolerance = 1e-4;
+  /// Initial value of unlabeled nodes (the prior; 0.5 = uninformative, lower
+  /// values encode that positives are rare).
+  double prior = 0.0;
+};
+
+/// Runs iterative propagation f <- D^{-1} W f with labeled nodes clamped to
+/// their observed values. Returns the soft labels (size = w.rows()).
+///
+/// `labels` holds (node, value in [0,1]) pairs; duplicate nodes keep the last
+/// value. Returns InvalidArgument when labels reference out-of-range nodes.
+StatusOr<linalg::VectorF> PropagateLabels(
+    const linalg::SparseMatrixF& w,
+    const std::vector<std::pair<uint32_t, float>>& labels,
+    const LabelPropagationOptions& options);
+
+}  // namespace seesaw::graph
+
+#endif  // SEESAW_GRAPH_LABEL_PROPAGATION_H_

@@ -1,0 +1,172 @@
+#include "graph/nn_descent.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace seesaw::graph {
+
+namespace {
+
+/// Bounded neighbor list kept as a max-heap on dist2 so the worst kept
+/// neighbor is at heap[0]. `is_new` flags drive the incremental local join.
+struct HeapEntry {
+  uint32_t id;
+  float dist2;
+  bool is_new;
+};
+
+struct NeighborHeap {
+  std::vector<HeapEntry> entries;
+  size_t capacity = 0;
+
+  static bool Less(const HeapEntry& a, const HeapEntry& b) {
+    return a.dist2 < b.dist2;
+  }
+
+  bool Contains(uint32_t id) const {
+    for (const HeapEntry& e : entries) {
+      if (e.id == id) return true;
+    }
+    return false;
+  }
+
+  /// Tries to insert (id, dist2); returns true if the list changed.
+  bool Push(uint32_t id, float dist2) {
+    if (entries.size() >= capacity && dist2 >= entries.front().dist2) {
+      return false;
+    }
+    if (Contains(id)) return false;
+    if (entries.size() >= capacity) {
+      std::pop_heap(entries.begin(), entries.end(), Less);
+      entries.pop_back();
+    }
+    entries.push_back({id, dist2, true});
+    std::push_heap(entries.begin(), entries.end(), Less);
+    return true;
+  }
+};
+
+}  // namespace
+
+StatusOr<KnnGraph> NnDescent(const linalg::MatrixF& x,
+                             const NnDescentOptions& options) {
+  const size_t n = x.rows();
+  if (n < 2) {
+    return Status::InvalidArgument("NnDescent: need at least 2 vectors");
+  }
+  if (options.k == 0) {
+    return Status::InvalidArgument("NnDescent: k must be positive");
+  }
+  const size_t k = std::min(options.k, n - 1);
+  // Small neighbor lists starve the local join of candidates and hurt
+  // convergence; build with a floor of 10 and truncate afterwards.
+  const size_t build_k = std::min(std::max<size_t>(k, 10), n - 1);
+  Rng rng(options.seed);
+
+  // Random initialization.
+  std::vector<NeighborHeap> heaps(n);
+  for (size_t i = 0; i < n; ++i) {
+    heaps[i].capacity = build_k;
+    auto picks = rng.SampleWithoutReplacement(n - 1, build_k);
+    for (size_t p : picks) {
+      uint32_t j = static_cast<uint32_t>(p < i ? p : p + 1);  // skip self
+      heaps[i].Push(j, linalg::SquaredDistance(x.Row(i), x.Row(j)));
+    }
+  }
+
+  std::vector<std::vector<uint32_t>> new_fwd(n), old_fwd(n);
+  std::vector<std::vector<uint32_t>> new_rev(n), old_rev(n);
+  const size_t max_sample = std::max<size_t>(
+      1, static_cast<size_t>(options.sample_rate * build_k));
+
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    // Build sampled forward lists and mark sampled new entries as old.
+    for (size_t i = 0; i < n; ++i) {
+      new_fwd[i].clear();
+      old_fwd[i].clear();
+      new_rev[i].clear();
+      old_rev[i].clear();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      // Count new entries, sample up to max_sample of them.
+      std::vector<size_t> new_positions;
+      for (size_t e = 0; e < heaps[i].entries.size(); ++e) {
+        if (heaps[i].entries[e].is_new) {
+          new_positions.push_back(e);
+        } else {
+          old_fwd[i].push_back(heaps[i].entries[e].id);
+        }
+      }
+      rng.Shuffle(new_positions);
+      size_t take = std::min(max_sample, new_positions.size());
+      for (size_t t = 0; t < take; ++t) {
+        HeapEntry& e = heaps[i].entries[new_positions[t]];
+        new_fwd[i].push_back(e.id);
+        e.is_new = false;
+      }
+    }
+    // Reverse lists.
+    for (size_t i = 0; i < n; ++i) {
+      for (uint32_t j : new_fwd[i]) new_rev[j].push_back(static_cast<uint32_t>(i));
+      for (uint32_t j : old_fwd[i]) old_rev[j].push_back(static_cast<uint32_t>(i));
+    }
+
+    size_t updates = 0;
+    std::vector<uint32_t> new_set, old_set;
+    for (size_t i = 0; i < n; ++i) {
+      new_set = new_fwd[i];
+      old_set = old_fwd[i];
+      // Sampled reverse neighbors join the sets (bounded for cost control).
+      {
+        auto& nr = new_rev[i];
+        rng.Shuffle(nr);
+        size_t take = std::min(max_sample, nr.size());
+        new_set.insert(new_set.end(), nr.begin(), nr.begin() + take);
+        auto& orv = old_rev[i];
+        rng.Shuffle(orv);
+        take = std::min(max_sample, orv.size());
+        old_set.insert(old_set.end(), orv.begin(), orv.begin() + take);
+      }
+      // Local join: new x new, and new x old.
+      for (size_t a = 0; a < new_set.size(); ++a) {
+        uint32_t u = new_set[a];
+        for (size_t b = a + 1; b < new_set.size(); ++b) {
+          uint32_t v = new_set[b];
+          if (u == v) continue;
+          float d2 = linalg::SquaredDistance(x.Row(u), x.Row(v));
+          if (heaps[u].Push(v, d2)) ++updates;
+          if (heaps[v].Push(u, d2)) ++updates;
+        }
+        for (uint32_t v : old_set) {
+          if (u == v) continue;
+          float d2 = linalg::SquaredDistance(x.Row(u), x.Row(v));
+          if (heaps[u].Push(v, d2)) ++updates;
+          if (heaps[v].Push(u, d2)) ++updates;
+        }
+      }
+    }
+    if (static_cast<double>(updates) <
+        options.delta * static_cast<double>(n) * static_cast<double>(build_k)) {
+      break;
+    }
+  }
+
+  KnnGraph graph;
+  graph.k = k;
+  graph.neighbors.assign(n, {});
+  for (size_t i = 0; i < n; ++i) {
+    auto& out = graph.neighbors[i];
+    out.reserve(heaps[i].entries.size());
+    for (const HeapEntry& e : heaps[i].entries) {
+      out.push_back({e.id, e.dist2});
+    }
+    std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+      return a.dist2 < b.dist2;
+    });
+    if (out.size() > k) out.resize(k);  // truncate the build_k floor
+  }
+  return graph;
+}
+
+}  // namespace seesaw::graph

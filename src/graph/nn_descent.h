@@ -1,0 +1,37 @@
+// NN-descent (Dong, Moses & Li, WWW'11): approximate kNN-graph construction
+// by iterated local joins — the algorithm the paper uses to build its graph
+// at scale (§4.2).
+#ifndef SEESAW_GRAPH_NN_DESCENT_H_
+#define SEESAW_GRAPH_NN_DESCENT_H_
+
+#include <cstdint>
+
+#include "common/statusor.h"
+#include "graph/knn.h"
+
+namespace seesaw::graph {
+
+/// Tuning knobs for NnDescent.
+struct NnDescentOptions {
+  /// Neighbors per node in the produced graph.
+  size_t k = 10;
+  /// Sample rate for the local join (rho in the paper). Lower is faster but
+  /// converges slower.
+  double sample_rate = 0.7;
+  /// Maximum outer iterations.
+  int max_iters = 14;
+  /// Early-stop when the fraction of updated edges in an iteration drops
+  /// below this.
+  double delta = 0.002;
+  /// RNG seed for the random initial graph and join sampling.
+  uint64_t seed = 11;
+};
+
+/// Builds an approximate kNN graph over the rows of `x`.
+/// Returns InvalidArgument when x has fewer than 2 rows or k == 0.
+StatusOr<KnnGraph> NnDescent(const linalg::MatrixF& x,
+                             const NnDescentOptions& options);
+
+}  // namespace seesaw::graph
+
+#endif  // SEESAW_GRAPH_NN_DESCENT_H_

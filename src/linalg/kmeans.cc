@@ -1,0 +1,114 @@
+#include "linalg/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace seesaw::linalg {
+
+namespace {
+
+/// k-means++ seeding: first centroid uniform, then D^2-weighted draws.
+MatrixF SeedCentroids(const MatrixF& points, size_t k, Rng& rng) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  MatrixF centroids(k, d);
+  size_t first = static_cast<size_t>(rng.UniformInt(0, n - 1));
+  std::copy(points.Row(first).begin(), points.Row(first).end(),
+            centroids.MutableRow(0).begin());
+
+  std::vector<double> dist2(n, std::numeric_limits<double>::max());
+  for (size_t c = 1; c < k; ++c) {
+    // Update distances against the most recent centroid.
+    for (size_t i = 0; i < n; ++i) {
+      double d2 = SquaredDistance(points.Row(i), centroids.Row(c - 1));
+      dist2[i] = std::min(dist2[i], d2);
+    }
+    dist2[first] = 0.0;
+    std::vector<double> weights(dist2.begin(), dist2.end());
+    double total = 0;
+    for (double w : weights) total += w;
+    size_t pick;
+    if (total <= 0) {
+      pick = static_cast<size_t>(rng.UniformInt(0, n - 1));
+    } else {
+      pick = rng.Categorical(weights);
+    }
+    std::copy(points.Row(pick).begin(), points.Row(pick).end(),
+              centroids.MutableRow(c).begin());
+  }
+  return centroids;
+}
+
+}  // namespace
+
+StatusOr<KMeansResult> KMeans(const MatrixF& points,
+                              const KMeansOptions& options) {
+  if (points.rows() == 0 || points.cols() == 0) {
+    return Status::InvalidArgument("KMeans: empty input");
+  }
+  if (options.num_clusters == 0) {
+    return Status::InvalidArgument("KMeans: need at least one cluster");
+  }
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  const size_t k = std::min(options.num_clusters, n);
+  Rng rng(options.seed);
+
+  KMeansResult result;
+  result.centroids = SeedCentroids(points, k, rng);
+  result.assignment.assign(n, 0);
+
+  std::vector<size_t> counts(k, 0);
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    size_t changed = 0;
+    result.inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      uint32_t best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        double d2 = SquaredDistance(points.Row(i), result.centroids.Row(c));
+        if (d2 < best) {
+          best = d2;
+          best_c = static_cast<uint32_t>(c);
+        }
+      }
+      if (result.assignment[i] != best_c) {
+        result.assignment[i] = best_c;
+        ++changed;
+      }
+      result.inertia += best;
+    }
+    // Update step.
+    MatrixF sums(k, d, 0.0f);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      Axpy(1.0f, points.Row(i), sums.MutableRow(result.assignment[i]));
+      ++counts[result.assignment[i]];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        size_t pick = static_cast<size_t>(rng.UniformInt(0, n - 1));
+        std::copy(points.Row(pick).begin(), points.Row(pick).end(),
+                  result.centroids.MutableRow(c).begin());
+        continue;
+      }
+      auto row = result.centroids.MutableRow(c);
+      float inv = 1.0f / static_cast<float>(counts[c]);
+      for (size_t j = 0; j < d; ++j) row[j] = sums.At(c, j) * inv;
+    }
+    if (static_cast<double>(changed) <
+        options.reassignment_tolerance * static_cast<double>(n)) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace seesaw::linalg

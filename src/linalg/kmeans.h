@@ -1,0 +1,39 @@
+// Lloyd's k-means over float32 rows — the coarse quantizer behind the
+// IVF-Flat store (the FAISS-style index family the paper's ecosystem uses).
+#ifndef SEESAW_LINALG_KMEANS_H_
+#define SEESAW_LINALG_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "linalg/matrix.h"
+
+namespace seesaw::linalg {
+
+/// K-means configuration.
+struct KMeansOptions {
+  size_t num_clusters = 16;
+  int max_iters = 25;
+  /// Stop when the fraction of points changing assignment drops below this.
+  double reassignment_tolerance = 0.002;
+  uint64_t seed = 31;
+};
+
+/// K-means result: centroids plus per-point assignments.
+struct KMeansResult {
+  MatrixF centroids;               ///< num_clusters x dim.
+  std::vector<uint32_t> assignment;  ///< size = #points.
+  double inertia = 0.0;            ///< Sum of squared distances to centroids.
+  int iterations = 0;
+};
+
+/// Runs Lloyd's algorithm with k-means++ style seeding (greedy D^2
+/// sampling). Returns InvalidArgument for empty input or k < 1; k is clamped
+/// to the number of points.
+StatusOr<KMeansResult> KMeans(const MatrixF& points,
+                              const KMeansOptions& options);
+
+}  // namespace seesaw::linalg
+
+#endif  // SEESAW_LINALG_KMEANS_H_

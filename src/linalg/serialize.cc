@@ -1,0 +1,25 @@
+#include "linalg/serialize.h"
+
+namespace seesaw::linalg {
+
+Status SaveMatrix(BinaryWriter& writer, const MatrixF& m) {
+  SEESAW_RETURN_IF_ERROR(writer.WriteU64(m.rows()));
+  SEESAW_RETURN_IF_ERROR(writer.WriteU64(m.cols()));
+  return writer.WriteFloats(m.data().data(), m.data().size());
+}
+
+StatusOr<MatrixF> LoadMatrix(BinaryReader& reader) {
+  SEESAW_ASSIGN_OR_RETURN(uint64_t rows, reader.ReadU64());
+  SEESAW_ASSIGN_OR_RETURN(uint64_t cols, reader.ReadU64());
+  // 16 GiB of float32 is beyond anything this library handles — treat as
+  // corruption rather than attempting the allocation.
+  if (rows * cols > (1ull << 32)) {
+    return Status::IoError("matrix dimensions implausible");
+  }
+  MatrixF m(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  SEESAW_RETURN_IF_ERROR(
+      reader.ReadFloats(m.mutable_data().data(), m.mutable_data().size()));
+  return m;
+}
+
+}  // namespace seesaw::linalg

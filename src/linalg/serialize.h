@@ -1,0 +1,18 @@
+// Binary (de)serialization of linalg containers.
+#ifndef SEESAW_LINALG_SERIALIZE_H_
+#define SEESAW_LINALG_SERIALIZE_H_
+
+#include "common/binary_io.h"
+#include "linalg/matrix.h"
+
+namespace seesaw::linalg {
+
+/// Writes rows, cols, then row-major float data.
+Status SaveMatrix(BinaryWriter& writer, const MatrixF& m);
+
+/// Reads a matrix written by SaveMatrix. Guards against implausible sizes.
+StatusOr<MatrixF> LoadMatrix(BinaryReader& reader);
+
+}  // namespace seesaw::linalg
+
+#endif  // SEESAW_LINALG_SERIALIZE_H_

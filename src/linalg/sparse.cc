@@ -1,0 +1,145 @@
+#include "linalg/sparse.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace seesaw::linalg {
+
+SparseMatrixF SparseMatrixF::FromTriplets(size_t rows, size_t cols,
+                                          std::vector<Triplet> triplets) {
+  SparseMatrixF m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  for (const Triplet& t : triplets) {
+    SEESAW_CHECK_LT(t.row, rows);
+    SEESAW_CHECK_LT(t.col, cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  size_t i = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    m.row_ptr_[r] = m.values_.size();
+    while (i < triplets.size() && triplets[i].row == r) {
+      uint32_t c = triplets[i].col;
+      float v = 0.0f;
+      while (i < triplets.size() && triplets[i].row == r &&
+             triplets[i].col == c) {
+        v += triplets[i].value;
+        ++i;
+      }
+      m.col_idx_.push_back(c);
+      m.values_.push_back(v);
+    }
+  }
+  m.row_ptr_[rows] = m.values_.size();
+  return m;
+}
+
+VectorF SparseMatrixF::Apply(VecSpan x) const {
+  SEESAW_CHECK_EQ(x.size(), cols_);
+  VectorF y(rows_, 0.0f);
+  for (size_t r = 0; r < rows_; ++r) {
+    float acc = 0.0f;
+    for (uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+VectorF SparseMatrixF::ApplyTranspose(VecSpan x) const {
+  SEESAW_CHECK_EQ(x.size(), rows_);
+  VectorF y(cols_, 0.0f);
+  for (size_t r = 0; r < rows_; ++r) {
+    float xr = x[r];
+    if (xr == 0.0f) continue;
+    for (uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      y[col_idx_[k]] += values_[k] * xr;
+    }
+  }
+  return y;
+}
+
+VectorF SparseMatrixF::RowSums() const {
+  VectorF sums(rows_, 0.0f);
+  for (size_t r = 0; r < rows_; ++r) {
+    float acc = 0.0f;
+    for (uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) acc += values_[k];
+    sums[r] = acc;
+  }
+  return sums;
+}
+
+SparseMatrixF SparseMatrixF::SymmetrizedSum() const {
+  SEESAW_CHECK_EQ(rows_, cols_);
+  std::vector<Triplet> triplets;
+  triplets.reserve(nnz() * 2);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      uint32_t c = col_idx_[k];
+      float v = values_[k];
+      if (c == static_cast<uint32_t>(r)) {
+        triplets.push_back({static_cast<uint32_t>(r), c, v});
+      } else {
+        triplets.push_back({static_cast<uint32_t>(r), c, v});
+        triplets.push_back({c, static_cast<uint32_t>(r), v});
+      }
+    }
+  }
+  return FromTriplets(rows_, cols_, std::move(triplets));
+}
+
+std::span<const uint32_t> SparseMatrixF::RowIndices(size_t r) const {
+  SEESAW_CHECK_LT(r, rows_);
+  return std::span<const uint32_t>(col_idx_.data() + row_ptr_[r],
+                                   row_ptr_[r + 1] - row_ptr_[r]);
+}
+
+std::span<const float> SparseMatrixF::RowValues(size_t r) const {
+  SEESAW_CHECK_LT(r, rows_);
+  return std::span<const float>(values_.data() + row_ptr_[r],
+                                row_ptr_[r + 1] - row_ptr_[r]);
+}
+
+MatrixF SparseMatrixF::ProjectQuadratic(const MatrixF& x) const {
+  SEESAW_CHECK_EQ(rows_, cols_);
+  SEESAW_CHECK_EQ(x.rows(), rows_);
+  const size_t d = x.cols();
+  // Y = A X, row by row to keep memory at one extra row.
+  MatrixF result(d, d, 0.0f);
+  VectorF ax_row(d, 0.0f);
+  for (size_t r = 0; r < rows_; ++r) {
+    std::fill(ax_row.begin(), ax_row.end(), 0.0f);
+    for (uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      Axpy(values_[k], x.Row(col_idx_[k]),
+           MutVecSpan(ax_row.data(), ax_row.size()));
+    }
+    // result += x_r * ax_row^T
+    result.AddOuterProduct(1.0f, x.Row(r), ax_row);
+  }
+  return result;
+}
+
+double SparseMatrixF::Bilinear(VecSpan x, VecSpan y) const {
+  SEESAW_CHECK_EQ(x.size(), rows_);
+  SEESAW_CHECK_EQ(y.size(), cols_);
+  double acc = 0.0;
+  for (size_t r = 0; r < rows_; ++r) {
+    if (x[r] == 0.0f) continue;
+    double row_acc = 0.0;
+    for (uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      row_acc += static_cast<double>(values_[k]) * y[col_idx_[k]];
+    }
+    acc += static_cast<double>(x[r]) * row_acc;
+  }
+  return acc;
+}
+
+}  // namespace seesaw::linalg

@@ -1,0 +1,72 @@
+// Compressed-sparse-row float32 matrix, used for the kNN-graph adjacency W
+// and the graph Laplacian D - W in database alignment (§4.2 of the paper).
+#ifndef SEESAW_LINALG_SPARSE_H_
+#define SEESAW_LINALG_SPARSE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace seesaw::linalg {
+
+/// One (row, col, value) entry used to assemble a sparse matrix.
+struct Triplet {
+  uint32_t row;
+  uint32_t col;
+  float value;
+};
+
+/// Immutable CSR sparse matrix.
+class SparseMatrixF {
+ public:
+  /// Empty 0x0 matrix.
+  SparseMatrixF() = default;
+
+  /// Builds a rows x cols CSR matrix from triplets. Duplicate (row, col)
+  /// entries are summed. Triplets may be in any order.
+  static SparseMatrixF FromTriplets(size_t rows, size_t cols,
+                                    std::vector<Triplet> triplets);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  /// y = A * x.
+  VectorF Apply(VecSpan x) const;
+
+  /// y = A^T * x.
+  VectorF ApplyTranspose(VecSpan x) const;
+
+  /// Row-sums as a vector (the diagonal of the degree matrix when this is a
+  /// graph adjacency).
+  VectorF RowSums() const;
+
+  /// Returns (A + A^T)/1 with duplicate entries summed — used to symmetrize a
+  /// directed kNN adjacency. Diagonal entries are preserved as-is.
+  SparseMatrixF SymmetrizedSum() const;
+
+  /// Iteration over row r: parallel spans of column indices and values.
+  std::span<const uint32_t> RowIndices(size_t r) const;
+  std::span<const float> RowValues(size_t r) const;
+
+  /// Dense d x d product X^T * A * X where X is n x d and A is this (n x n).
+  /// Computed as X^T * (A X) in O(nnz * d + n * d^2).
+  MatrixF ProjectQuadratic(const MatrixF& x) const;
+
+  /// x^T A y for dense vectors (sizes must match rows/cols).
+  double Bilinear(VecSpan x, VecSpan y) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<uint64_t> row_ptr_;  // size rows_+1
+  std::vector<uint32_t> col_idx_;  // size nnz
+  std::vector<float> values_;      // size nnz
+};
+
+}  // namespace seesaw::linalg
+
+#endif  // SEESAW_LINALG_SPARSE_H_

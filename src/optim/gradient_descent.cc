@@ -1,0 +1,87 @@
+#include "optim/gradient_descent.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seesaw::optim {
+
+namespace {
+double InfNorm(const VectorD& a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::abs(v));
+  return m;
+}
+double SquaredNorm(const VectorD& a) {
+  double s = 0.0;
+  for (double v : a) s += v * v;
+  return s;
+}
+}  // namespace
+
+GradientDescent::GradientDescent(GradientDescentOptions options)
+    : options_(options) {}
+
+StatusOr<OptimResult> GradientDescent::Minimize(const Objective& objective,
+                                                VectorD x0) const {
+  if (x0.empty()) {
+    return Status::InvalidArgument("GradientDescent: empty starting point");
+  }
+  OptimResult result;
+  result.x = std::move(x0);
+  const size_t dim = result.x.size();
+
+  VectorD grad(dim, 0.0);
+  double f = objective(result.x, &grad);
+  ++result.function_evals;
+  if (!std::isfinite(f)) {
+    return Status::InvalidArgument(
+        "GradientDescent: objective not finite at x0");
+  }
+
+  VectorD trial(dim, 0.0);
+  VectorD trial_grad(dim, 0.0);
+  double step = options_.initial_step;
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    result.iterations = iter;
+    double gnorm = InfNorm(grad);
+    result.gradient_norm = gnorm;
+    if (gnorm < options_.gradient_tolerance) {
+      result.reason = TerminationReason::kGradientTolerance;
+      result.f = f;
+      return result;
+    }
+    double g2 = SquaredNorm(grad);
+    bool accepted = false;
+    double local_step = step;
+    for (int bt = 0; bt < options_.max_backtracks; ++bt) {
+      for (size_t j = 0; j < dim; ++j) {
+        trial[j] = result.x[j] - local_step * grad[j];
+      }
+      double f_trial = objective(trial, &trial_grad);
+      ++result.function_evals;
+      if (std::isfinite(f_trial) &&
+          f_trial <= f - options_.armijo_c1 * local_step * g2) {
+        result.x.swap(trial);
+        grad.swap(trial_grad);
+        f = f_trial;
+        accepted = true;
+        // Gentle step growth so a conservative step can recover.
+        step = std::min(local_step * 2.0, options_.initial_step);
+        break;
+      }
+      local_step *= options_.backtrack_factor;
+    }
+    if (!accepted) {
+      result.reason = TerminationReason::kLineSearchFailed;
+      result.f = f;
+      return result;
+    }
+  }
+  result.reason = TerminationReason::kMaxIterations;
+  result.f = f;
+  result.iterations = options_.max_iterations;
+  return result;
+}
+
+}  // namespace seesaw::optim

@@ -1,0 +1,36 @@
+// Plain gradient descent with backtracking — a reference minimizer used in
+// tests to cross-check L-BFGS solutions and as a robust fallback.
+#ifndef SEESAW_OPTIM_GRADIENT_DESCENT_H_
+#define SEESAW_OPTIM_GRADIENT_DESCENT_H_
+
+#include "common/statusor.h"
+#include "optim/lbfgs.h"
+#include "optim/objective.h"
+
+namespace seesaw::optim {
+
+/// Options for GradientDescent::Minimize.
+struct GradientDescentOptions {
+  int max_iterations = 2000;
+  double initial_step = 1.0;
+  double backtrack_factor = 0.5;
+  double armijo_c1 = 1e-4;
+  double gradient_tolerance = 1e-7;
+  int max_backtracks = 60;
+};
+
+/// Armijo-backtracking gradient descent.
+class GradientDescent {
+ public:
+  explicit GradientDescent(GradientDescentOptions options = {});
+
+  /// Minimizes `objective` from x0; same result contract as Lbfgs::Minimize.
+  StatusOr<OptimResult> Minimize(const Objective& objective, VectorD x0) const;
+
+ private:
+  GradientDescentOptions options_;
+};
+
+}  // namespace seesaw::optim
+
+#endif  // SEESAW_OPTIM_GRADIENT_DESCENT_H_

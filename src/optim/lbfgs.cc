@@ -1,0 +1,277 @@
+#include "optim/lbfgs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/check.h"
+
+namespace seesaw::optim {
+
+namespace {
+
+double Dot(const VectorD& a, const VectorD& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double InfNorm(const VectorD& a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::abs(v));
+  return m;
+}
+
+bool IsFinite(double v) { return std::isfinite(v); }
+
+/// One (s, y) curvature pair with its cached 1/(y.s).
+struct Correction {
+  VectorD s;
+  VectorD y;
+  double rho;
+};
+
+/// Evaluation bundle along the search ray x + a * p.
+struct RayEval {
+  double a;       // step length
+  double f;       // objective value
+  double dphi;    // directional derivative g(x + a p) . p
+  VectorD x;      // iterate
+  VectorD grad;   // gradient
+};
+
+}  // namespace
+
+std::string TerminationReasonToString(TerminationReason r) {
+  switch (r) {
+    case TerminationReason::kGradientTolerance:
+      return "gradient_tolerance";
+    case TerminationReason::kFunctionTolerance:
+      return "function_tolerance";
+    case TerminationReason::kMaxIterations:
+      return "max_iterations";
+    case TerminationReason::kLineSearchFailed:
+      return "line_search_failed";
+  }
+  return "unknown";
+}
+
+Lbfgs::Lbfgs(LbfgsOptions options) : options_(options) {}
+
+StatusOr<OptimResult> Lbfgs::Minimize(const Objective& objective,
+                                      VectorD x0) const {
+  if (x0.empty()) {
+    return Status::InvalidArgument("Lbfgs: empty starting point");
+  }
+  const size_t dim = x0.size();
+  OptimResult result;
+  result.x = std::move(x0);
+
+  VectorD grad(dim, 0.0);
+  double f = objective(result.x, &grad);
+  ++result.function_evals;
+  if (!IsFinite(f)) {
+    return Status::InvalidArgument("Lbfgs: objective not finite at x0");
+  }
+  SEESAW_CHECK_EQ(grad.size(), dim);
+
+  std::deque<Correction> history;
+  VectorD direction(dim, 0.0);
+  // Scratch vectors reused across iterations.
+  VectorD q(dim, 0.0);
+  std::vector<double> alpha_buf;
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    result.iterations = iter;
+    double gnorm = InfNorm(grad);
+    result.gradient_norm = gnorm;
+    if (gnorm < options_.gradient_tolerance) {
+      result.reason = TerminationReason::kGradientTolerance;
+      result.f = f;
+      return result;
+    }
+
+    // --- Two-loop recursion: direction = -H_k * grad. ---
+    q = grad;
+    alpha_buf.assign(history.size(), 0.0);
+    for (size_t i = history.size(); i-- > 0;) {
+      const Correction& c = history[i];
+      double a = c.rho * Dot(c.s, q);
+      alpha_buf[i] = a;
+      for (size_t j = 0; j < dim; ++j) q[j] -= a * c.y[j];
+    }
+    if (!history.empty()) {
+      const Correction& last = history.back();
+      double yy = Dot(last.y, last.y);
+      double gamma = yy > 0 ? 1.0 / (last.rho * yy) : 1.0;
+      for (double& v : q) v *= gamma;
+    }
+    for (size_t i = 0; i < history.size(); ++i) {
+      const Correction& c = history[i];
+      double beta = c.rho * Dot(c.y, q);
+      double a = alpha_buf[i];
+      for (size_t j = 0; j < dim; ++j) q[j] += (a - beta) * c.s[j];
+    }
+    for (size_t j = 0; j < dim; ++j) direction[j] = -q[j];
+
+    double dphi0 = Dot(grad, direction);
+    if (dphi0 >= 0) {
+      // Not a descent direction (stale curvature); restart with steepest
+      // descent.
+      history.clear();
+      for (size_t j = 0; j < dim; ++j) direction[j] = -grad[j];
+      dphi0 = Dot(grad, direction);
+      if (dphi0 >= 0) {
+        // Gradient is numerically zero.
+        result.reason = TerminationReason::kGradientTolerance;
+        result.f = f;
+        return result;
+      }
+    }
+
+    // --- Strong-Wolfe line search (Nocedal & Wright alg. 3.5 flavor). ---
+    auto eval_at = [&](double a) {
+      RayEval e;
+      e.a = a;
+      e.x.resize(dim);
+      for (size_t j = 0; j < dim; ++j) e.x[j] = result.x[j] + a * direction[j];
+      e.grad.resize(dim);
+      e.f = objective(e.x, &e.grad);
+      ++result.function_evals;
+      e.dphi = Dot(e.grad, direction);
+      return e;
+    };
+
+    const double c1 = options_.wolfe_c1;
+    const double c2 = options_.wolfe_c2;
+    double a_prev = 0.0, f_prev = f;
+    double a_cur = 1.0;
+    bool found = false;
+    RayEval best;
+    RayEval lo, hi;
+    bool bracketed = false;
+
+    for (int ls = 0; ls < options_.max_line_search_steps; ++ls) {
+      RayEval e = eval_at(a_cur);
+      if (!IsFinite(e.f)) {
+        // Step overshot into a non-finite region; shrink.
+        a_cur = 0.5 * (a_prev + a_cur);
+        continue;
+      }
+      if (e.f > f + c1 * a_cur * dphi0 || (ls > 0 && e.f >= f_prev)) {
+        lo = (ls == 0) ? eval_at(0.0) : best;
+        if (ls == 0) {
+          lo.a = 0.0;
+          lo.f = f;
+          lo.dphi = dphi0;
+          lo.x = result.x;
+          lo.grad = grad;
+        }
+        hi = std::move(e);
+        bracketed = true;
+        break;
+      }
+      if (std::abs(e.dphi) <= -c2 * dphi0) {
+        best = std::move(e);
+        found = true;
+        break;
+      }
+      if (e.dphi >= 0) {
+        lo = std::move(e);
+        hi.a = a_prev;
+        hi.f = f_prev;
+        // hi gradient info only needed for zoom interpolation bounds; refill:
+        hi = eval_at(a_prev);
+        std::swap(lo, hi);  // keep lo as the lower-f endpoint
+        if (lo.f > hi.f) std::swap(lo, hi);
+        bracketed = true;
+        break;
+      }
+      best = e;
+      a_prev = a_cur;
+      f_prev = e.f;
+      a_cur *= 2.0;
+    }
+
+    if (!found && bracketed) {
+      // Zoom phase: bisection with quadratic interpolation.
+      for (int z = 0; z < options_.max_line_search_steps && !found; ++z) {
+        double span = hi.a - lo.a;
+        double a_try;
+        // Quadratic interpolation using lo.f, lo.dphi, hi.f.
+        double denom = 2.0 * (hi.f - lo.f - lo.dphi * span);
+        if (std::abs(denom) > 1e-18) {
+          a_try = lo.a - lo.dphi * span * span / denom;
+        } else {
+          a_try = lo.a + 0.5 * span;
+        }
+        double lo_b = std::min(lo.a, hi.a), hi_b = std::max(lo.a, hi.a);
+        double margin = 0.1 * (hi_b - lo_b);
+        a_try = std::clamp(a_try, lo_b + margin, hi_b - margin);
+        if (!IsFinite(a_try) || hi_b - lo_b < 1e-16) break;
+
+        RayEval e = eval_at(a_try);
+        if (!IsFinite(e.f) || e.f > f + c1 * e.a * dphi0 || e.f >= lo.f) {
+          hi = std::move(e);
+        } else {
+          if (std::abs(e.dphi) <= -c2 * dphi0) {
+            best = std::move(e);
+            found = true;
+            break;
+          }
+          if (e.dphi * (hi.a - lo.a) >= 0) hi = lo;
+          lo = std::move(e);
+        }
+      }
+      if (!found && lo.a > 0 && lo.f < f) {
+        // Accept the best point seen even if curvature was not satisfied;
+        // this matches practical L-BFGS implementations.
+        best = lo;
+        found = true;
+      }
+    }
+
+    if (!found) {
+      result.reason = TerminationReason::kLineSearchFailed;
+      result.f = f;
+      return result;
+    }
+
+    // --- Update curvature history. ---
+    Correction c;
+    c.s.resize(dim);
+    c.y.resize(dim);
+    for (size_t j = 0; j < dim; ++j) {
+      c.s[j] = best.x[j] - result.x[j];
+      c.y[j] = best.grad[j] - grad[j];
+    }
+    double ys = Dot(c.y, c.s);
+    if (ys > 1e-12) {
+      c.rho = 1.0 / ys;
+      history.push_back(std::move(c));
+      if (static_cast<int>(history.size()) > options_.history_size) {
+        history.pop_front();
+      }
+    }
+
+    double f_new = best.f;
+    result.x = std::move(best.x);
+    grad = std::move(best.grad);
+    bool f_converged =
+        std::abs(f - f_new) <= options_.f_tolerance * std::max(1.0, std::abs(f));
+    f = f_new;
+    if (f_converged) {
+      result.reason = TerminationReason::kFunctionTolerance;
+      result.f = f;
+      result.iterations = iter + 1;
+      return result;
+    }
+  }
+
+  result.reason = TerminationReason::kMaxIterations;
+  result.f = f;
+  result.iterations = options_.max_iterations;
+  return result;
+}
+
+}  // namespace seesaw::optim

@@ -1,0 +1,78 @@
+// Limited-memory BFGS (Liu & Nocedal 1989) with a strong-Wolfe line search.
+//
+// This is the minimizer behind SeeSaw's query aligner (§4.4 of the paper):
+// the loss is smooth and low-dimensional (embedding dim), and L-BFGS
+// converges in a few tens of iterations with no learning-rate tuning.
+#ifndef SEESAW_OPTIM_LBFGS_H_
+#define SEESAW_OPTIM_LBFGS_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "optim/objective.h"
+
+namespace seesaw::optim {
+
+/// Tuning knobs for Lbfgs::Minimize.
+struct LbfgsOptions {
+  /// Maximum outer iterations.
+  int max_iterations = 100;
+  /// Number of (s, y) correction pairs retained.
+  int history_size = 10;
+  /// Stop when the gradient inf-norm falls below this.
+  double gradient_tolerance = 1e-7;
+  /// Stop when |f_{k+1} - f_k| <= f_tolerance * max(1, |f_k|).
+  double f_tolerance = 1e-12;
+  /// Sufficient-decrease (Armijo) constant.
+  double wolfe_c1 = 1e-4;
+  /// Curvature constant for the strong Wolfe condition.
+  double wolfe_c2 = 0.9;
+  /// Maximum line-search trials per iteration.
+  int max_line_search_steps = 40;
+};
+
+/// Why the optimizer stopped.
+enum class TerminationReason {
+  kGradientTolerance,
+  kFunctionTolerance,
+  kMaxIterations,
+  kLineSearchFailed,
+};
+
+std::string TerminationReasonToString(TerminationReason r);
+
+/// Outcome of a minimization.
+struct OptimResult {
+  VectorD x;                  ///< Final iterate.
+  double f = 0.0;             ///< Objective at x.
+  double gradient_norm = 0;   ///< Inf-norm of the gradient at x.
+  int iterations = 0;         ///< Outer iterations performed.
+  int function_evals = 0;     ///< Total objective evaluations.
+  TerminationReason reason = TerminationReason::kMaxIterations;
+
+  /// True when the run ended by meeting a tolerance (not by iteration cap or
+  /// line-search breakdown).
+  bool converged() const {
+    return reason == TerminationReason::kGradientTolerance ||
+           reason == TerminationReason::kFunctionTolerance;
+  }
+};
+
+/// L-BFGS minimizer. Stateless between Minimize calls; safe to reuse.
+class Lbfgs {
+ public:
+  explicit Lbfgs(LbfgsOptions options = {});
+
+  /// Minimizes `objective` starting from x0. Returns InvalidArgument for an
+  /// empty x0 or non-finite initial objective.
+  StatusOr<OptimResult> Minimize(const Objective& objective, VectorD x0) const;
+
+  const LbfgsOptions& options() const { return options_; }
+
+ private:
+  LbfgsOptions options_;
+};
+
+}  // namespace seesaw::optim
+
+#endif  // SEESAW_OPTIM_LBFGS_H_

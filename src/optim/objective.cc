@@ -1,0 +1,21 @@
+#include "optim/objective.h"
+
+namespace seesaw::optim {
+
+VectorD NumericalGradient(const std::function<double(const VectorD&)>& f,
+                          const VectorD& x, double step) {
+  VectorD grad(x.size(), 0.0);
+  VectorD probe = x;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double orig = probe[i];
+    probe[i] = orig + step;
+    double fp = f(probe);
+    probe[i] = orig - step;
+    double fm = f(probe);
+    probe[i] = orig;
+    grad[i] = (fp - fm) / (2.0 * step);
+  }
+  return grad;
+}
+
+}  // namespace seesaw::optim

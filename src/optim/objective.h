@@ -1,0 +1,25 @@
+// Objective-function interface shared by the optimizers.
+#ifndef SEESAW_OPTIM_OBJECTIVE_H_
+#define SEESAW_OPTIM_OBJECTIVE_H_
+
+#include <functional>
+#include <vector>
+
+namespace seesaw::optim {
+
+/// Optimization runs in double precision even though embeddings are float32;
+/// curvature estimates in L-BFGS are sensitive to round-off.
+using VectorD = std::vector<double>;
+
+/// Evaluates f(x) and writes the gradient into *grad (resized by the callee
+/// if needed). Must be deterministic for a given x.
+using Objective = std::function<double(const VectorD& x, VectorD* grad)>;
+
+/// Computes a central-difference numerical gradient of `f` at `x`.
+/// For test use: O(dim) objective evaluations.
+VectorD NumericalGradient(const std::function<double(const VectorD&)>& f,
+                          const VectorD& x, double step = 1e-5);
+
+}  // namespace seesaw::optim
+
+#endif  // SEESAW_OPTIM_OBJECTIVE_H_

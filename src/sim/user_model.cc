@@ -1,0 +1,82 @@
+#include "sim/user_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+
+namespace seesaw::sim {
+
+AnnotationTimeModel BaselineUiTimes() {
+  AnnotationTimeModel t;
+  t.skip_mean = 1.98;
+  t.mark_mean = 3.00;
+  return t;
+}
+
+AnnotationTimeModel SeeSawUiTimes() {
+  AnnotationTimeModel t;
+  t.skip_mean = 2.40;
+  t.mark_mean = 4.40;
+  return t;
+}
+
+SimulatedUser::SimulatedUser(const AnnotationTimeModel& times,
+                             double speed_sigma, uint64_t seed)
+    : times_(times), rng_(seed) {
+  speed_ = rng_.LogNormal(0.0, speed_sigma);
+}
+
+double SimulatedUser::AnnotationSeconds(bool marked) {
+  double mean = marked ? times_.mark_mean : times_.skip_mean;
+  // Log-normal jitter with the requested mean: E[exp(N(mu, s^2))] =
+  // exp(mu + s^2/2), so mu = log(mean) - s^2/2.
+  double s = times_.jitter_sigma;
+  double mu = std::log(mean) - 0.5 * s * s;
+  return speed_ * rng_.LogNormal(mu, s);
+}
+
+EndToEndResult SimulateSession(core::Searcher& searcher,
+                               const data::Dataset& dataset,
+                               size_t concept_id, SimulatedUser& user,
+                               const EndToEndOptions& options) {
+  EndToEndResult result;
+  double clock = 0.0;
+
+  while (clock < options.time_limit_seconds &&
+         result.found < options.target_positives) {
+    Stopwatch system_time;
+    auto batch = searcher.NextBatch(options.batch_size);
+    clock += system_time.ElapsedSeconds() + options.fixed_round_latency;
+    if (batch.empty()) break;
+
+    for (const core::ScoredImage& hit : batch) {
+      bool relevant = dataset.IsPositive(hit.image_idx, concept_id);
+      clock += user.AnnotationSeconds(relevant);
+      if (clock >= options.time_limit_seconds) {
+        clock = options.time_limit_seconds;
+        result.elapsed_seconds = clock;
+        result.completed = false;
+        return result;
+      }
+      core::ImageFeedback fb;
+      fb.image_idx = hit.image_idx;
+      fb.relevant = relevant;
+      if (relevant) fb.boxes = dataset.ConceptBoxes(hit.image_idx, concept_id);
+      searcher.AddFeedback(fb);
+      ++result.inspected;
+      if (relevant) ++result.found;
+      if (result.found >= options.target_positives) break;
+    }
+    Stopwatch refit_time;
+    (void)searcher.Refit();
+    clock += refit_time.ElapsedSeconds();
+  }
+
+  result.elapsed_seconds = std::min(clock, options.time_limit_seconds);
+  result.completed = result.found >= options.target_positives;
+  if (!result.completed) result.elapsed_seconds = options.time_limit_seconds;
+  return result;
+}
+
+}  // namespace seesaw::sim

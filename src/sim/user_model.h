@@ -1,0 +1,83 @@
+// Simulated users for the end-to-end evaluation (§5.5 of the paper).
+//
+// The paper measured 40 humans; we reproduce the *arithmetic* of their
+// experiment: per-image annotation times whose means match Table 5
+// (baseline UI: ~2.0 s to skip, ~3.0 s to mark; SeeSaw UI: ~2.4 s to skip,
+// ~4.4 s to mark+draw a box), per-user speed variation, a 6-minute cap, and
+// completion = 10 positives found.
+#ifndef SEESAW_SIM_USER_MODEL_H_
+#define SEESAW_SIM_USER_MODEL_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "core/searcher.h"
+#include "data/dataset.h"
+
+namespace seesaw::sim {
+
+/// Mean per-image handling times for one UI (seconds).
+struct AnnotationTimeModel {
+  /// Image inspected and skipped (not relevant).
+  double skip_mean = 1.98;
+  /// Image marked relevant (baseline: keypress; SeeSaw: keypress + box).
+  double mark_mean = 3.00;
+  /// Log-normal jitter (sigma of log-time) around the means per event.
+  double jitter_sigma = 0.35;
+};
+
+/// Baseline UI times (Table 5, "baseline" column).
+AnnotationTimeModel BaselineUiTimes();
+
+/// SeeSaw UI times including box drawing (Table 5, "seesaw" column).
+AnnotationTimeModel SeeSawUiTimes();
+
+/// One simulated user: a deterministic stream of annotation times.
+class SimulatedUser {
+ public:
+  /// `speed_sigma` is the log-normal sigma of the per-user speed multiplier
+  /// (slow vs fast workers).
+  SimulatedUser(const AnnotationTimeModel& times, double speed_sigma,
+                uint64_t seed);
+
+  /// Seconds this user spends on an image given whether they mark it.
+  double AnnotationSeconds(bool marked);
+
+  double speed_multiplier() const { return speed_; }
+
+ private:
+  AnnotationTimeModel times_;
+  double speed_;
+  Rng rng_;
+};
+
+/// End-to-end session parameters (§5.5: find 10 within 6 minutes).
+struct EndToEndOptions {
+  size_t target_positives = 10;
+  double time_limit_seconds = 360.0;
+  size_t batch_size = 10;
+  /// Extra per-round system latency added on top of measured searcher time
+  /// (models network/UI overhead); 0 keeps measured time only.
+  double fixed_round_latency = 0.0;
+};
+
+/// Outcome of one simulated session.
+struct EndToEndResult {
+  /// Wall-clock at completion, or the cap when the task was not finished.
+  double elapsed_seconds = 0.0;
+  size_t found = 0;
+  size_t inspected = 0;
+  bool completed = false;
+};
+
+/// Drives `searcher` with ground-truth feedback for `concept_id`, charging
+/// the user's annotation time per image and the real system time per round,
+/// until 10 positives are found or the clock passes the cap.
+EndToEndResult SimulateSession(core::Searcher& searcher,
+                               const data::Dataset& dataset,
+                               size_t concept_id, SimulatedUser& user,
+                               const EndToEndOptions& options);
+
+}  // namespace seesaw::sim
+
+#endif  // SEESAW_SIM_USER_MODEL_H_

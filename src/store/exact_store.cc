@@ -1,0 +1,65 @@
+#include "store/exact_store.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace seesaw::store {
+
+namespace {
+
+/// Min-heap comparator on score so the heap root is the weakest kept hit.
+struct ScoreGreater {
+  bool operator()(const SearchResult& a, const SearchResult& b) const {
+    return a.score > b.score;
+  }
+};
+
+}  // namespace
+
+double RecallAgainst(const std::vector<SearchResult>& got,
+                     const std::vector<SearchResult>& truth) {
+  if (truth.empty()) return 1.0;
+  size_t hits = 0;
+  for (const SearchResult& t : truth) {
+    for (const SearchResult& g : got) {
+      if (g.id == t.id) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+StatusOr<ExactStore> ExactStore::Create(linalg::MatrixF vectors) {
+  if (vectors.rows() == 0 || vectors.cols() == 0) {
+    return Status::InvalidArgument("ExactStore: empty vector table");
+  }
+  return ExactStore(std::move(vectors));
+}
+
+std::vector<SearchResult> ExactStore::TopK(linalg::VecSpan query, size_t k,
+                                           const ExcludeFn& exclude) const {
+  std::priority_queue<SearchResult, std::vector<SearchResult>, ScoreGreater>
+      heap;
+  const size_t n = vectors_.rows();
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t id = static_cast<uint32_t>(i);
+    if (exclude && exclude(id)) continue;
+    float s = linalg::Dot(vectors_.Row(i), query);
+    if (heap.size() < k) {
+      heap.push({id, s});
+    } else if (s > heap.top().score) {
+      heap.pop();
+      heap.push({id, s});
+    }
+  }
+  std::vector<SearchResult> out(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    out[i] = heap.top();
+    heap.pop();
+  }
+  return out;
+}
+
+}  // namespace seesaw::store

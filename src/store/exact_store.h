@@ -1,0 +1,42 @@
+// ExactStore: brute-force max-inner-product scan. The accuracy reference for
+// AnnoyIndex and the default store at benchmark scale.
+#ifndef SEESAW_STORE_EXACT_STORE_H_
+#define SEESAW_STORE_EXACT_STORE_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "store/vector_store.h"
+
+namespace seesaw::store {
+
+/// Exact top-k scan over a dense row-major table.
+class ExactStore : public VectorStore {
+ public:
+  /// Takes ownership of `vectors` (rows are the stored vectors). Rows need
+  /// not be unit-norm, but SeeSaw always stores unit vectors.
+  static StatusOr<ExactStore> Create(linalg::MatrixF vectors);
+
+  size_t size() const override { return vectors_.rows(); }
+  size_t dim() const override { return vectors_.cols(); }
+
+  std::vector<SearchResult> TopK(linalg::VecSpan query, size_t k,
+                                 const ExcludeFn& exclude) const override;
+  using VectorStore::TopK;
+
+  linalg::VecSpan GetVector(uint32_t id) const override {
+    return vectors_.Row(id);
+  }
+
+  /// The underlying table (used to build graphs over the same vectors).
+  const linalg::MatrixF& vectors() const { return vectors_; }
+
+ private:
+  explicit ExactStore(linalg::MatrixF vectors) : vectors_(std::move(vectors)) {}
+
+  linalg::MatrixF vectors_;
+};
+
+}  // namespace seesaw::store
+
+#endif  // SEESAW_STORE_EXACT_STORE_H_

@@ -1,0 +1,81 @@
+#include "store/ivf_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/check.h"
+
+namespace seesaw::store {
+
+StatusOr<IvfFlatIndex> IvfFlatIndex::Build(const IvfOptions& options,
+                                           linalg::MatrixF vectors) {
+  if (vectors.rows() == 0 || vectors.cols() == 0) {
+    return Status::InvalidArgument("IvfFlatIndex: empty vector table");
+  }
+  IvfFlatIndex index(options, std::move(vectors));
+  const size_t n = index.vectors_.rows();
+
+  size_t num_lists = options.num_lists != 0
+                         ? options.num_lists
+                         : std::max<size_t>(
+                               1, static_cast<size_t>(std::sqrt(
+                                      static_cast<double>(n))));
+  num_lists = std::min(num_lists, n);
+
+  linalg::KMeansOptions km;
+  km.num_clusters = num_lists;
+  km.max_iters = options.train_iters;
+  km.seed = options.seed;
+  SEESAW_ASSIGN_OR_RETURN(linalg::KMeansResult clustering,
+                          linalg::KMeans(index.vectors_, km));
+  index.centroids_ = std::move(clustering.centroids);
+  index.lists_.assign(index.centroids_.rows(), {});
+  for (size_t i = 0; i < n; ++i) {
+    index.lists_[clustering.assignment[i]].push_back(
+        static_cast<uint32_t>(i));
+  }
+  return index;
+}
+
+std::vector<SearchResult> IvfFlatIndex::TopK(linalg::VecSpan query, size_t k,
+                                             const ExcludeFn& exclude) const {
+  SEESAW_CHECK_EQ(query.size(), vectors_.cols());
+  // Rank cells by centroid inner product (vectors are unit norm, so inner
+  // product ordering ~ distance ordering).
+  std::vector<std::pair<float, uint32_t>> cells(lists_.size());
+  for (size_t c = 0; c < lists_.size(); ++c) {
+    cells[c] = {linalg::Dot(centroids_.Row(c), query),
+                static_cast<uint32_t>(c)};
+  }
+  size_t probe = std::min(std::max<size_t>(options_.nprobe, 1), cells.size());
+  std::partial_sort(cells.begin(), cells.begin() + probe, cells.end(),
+                    std::greater<>());
+
+  // Exhaustive scan within the probed lists, min-heap of the best k.
+  auto cmp = [](const SearchResult& a, const SearchResult& b) {
+    return a.score > b.score;
+  };
+  std::priority_queue<SearchResult, std::vector<SearchResult>, decltype(cmp)>
+      heap(cmp);
+  for (size_t p = 0; p < probe; ++p) {
+    for (uint32_t id : lists_[cells[p].second]) {
+      if (exclude && exclude(id)) continue;
+      float s = linalg::Dot(vectors_.Row(id), query);
+      if (heap.size() < k) {
+        heap.push({id, s});
+      } else if (s > heap.top().score) {
+        heap.pop();
+        heap.push({id, s});
+      }
+    }
+  }
+  std::vector<SearchResult> out(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    out[i] = heap.top();
+    heap.pop();
+  }
+  return out;
+}
+
+}  // namespace seesaw::store

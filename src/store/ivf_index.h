@@ -1,0 +1,62 @@
+// IvfFlatIndex: inverted-file flat index (FAISS "IVF,Flat" style) —
+// k-means coarse quantizer + exhaustive scan of the closest `nprobe`
+// inverted lists. The second ANN family alongside AnnoyIndex; §2.2 of the
+// paper only requires an approximate MIPS store, and shipping two
+// interchangeable backends exercises that abstraction.
+#ifndef SEESAW_STORE_IVF_INDEX_H_
+#define SEESAW_STORE_IVF_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "linalg/kmeans.h"
+#include "store/vector_store.h"
+
+namespace seesaw::store {
+
+/// Build/query knobs for IvfFlatIndex.
+struct IvfOptions {
+  /// Number of inverted lists (k-means cells); 0 = sqrt(n) heuristic.
+  size_t num_lists = 0;
+  /// Lists scanned per query. More lists -> higher recall, slower queries.
+  size_t nprobe = 4;
+  /// K-means training iterations.
+  int train_iters = 20;
+  uint64_t seed = 37;
+};
+
+/// Inverted-file index over a fixed table of vectors.
+class IvfFlatIndex : public VectorStore {
+ public:
+  /// Trains the quantizer and assigns every vector to a list.
+  static StatusOr<IvfFlatIndex> Build(const IvfOptions& options,
+                                      linalg::MatrixF vectors);
+
+  size_t size() const override { return vectors_.rows(); }
+  size_t dim() const override { return vectors_.cols(); }
+
+  std::vector<SearchResult> TopK(linalg::VecSpan query, size_t k,
+                                 const ExcludeFn& exclude) const override;
+  using VectorStore::TopK;
+
+  linalg::VecSpan GetVector(uint32_t id) const override {
+    return vectors_.Row(id);
+  }
+
+  size_t num_lists() const { return lists_.size(); }
+  const IvfOptions& options() const { return options_; }
+
+ private:
+  IvfFlatIndex(IvfOptions options, linalg::MatrixF vectors)
+      : options_(options), vectors_(std::move(vectors)) {}
+
+  IvfOptions options_;
+  linalg::MatrixF vectors_;
+  linalg::MatrixF centroids_;             // num_lists x dim
+  std::vector<std::vector<uint32_t>> lists_;  // member ids per cell
+};
+
+}  // namespace seesaw::store
+
+#endif  // SEESAW_STORE_IVF_INDEX_H_

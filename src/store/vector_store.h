@@ -1,0 +1,63 @@
+// VectorStore: maximum-inner-product lookup over a table of unit vectors.
+//
+// This is the "indexed vector store" of the paper's §2.2 (Annoy in their
+// implementation). Lookups may be approximate: SeeSaw tolerates results that
+// are among the top scores rather than exactly the top (the embedding itself
+// carries more error than the index).
+#ifndef SEESAW_STORE_VECTOR_STORE_H_
+#define SEESAW_STORE_VECTOR_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace seesaw::store {
+
+/// One scored hit.
+struct SearchResult {
+  uint32_t id = 0;
+  float score = 0.0f;
+};
+
+/// Predicate deciding whether a vector id should be skipped (e.g. patches of
+/// images the user has already seen). May be null meaning "keep everything".
+using ExcludeFn = std::function<bool(uint32_t)>;
+
+/// Interface for max-inner-product stores.
+class VectorStore {
+ public:
+  virtual ~VectorStore() = default;
+
+  /// Number of vectors.
+  virtual size_t size() const = 0;
+
+  /// Vector dimensionality.
+  virtual size_t dim() const = 0;
+
+  /// Returns up to k results with the largest inner product against `query`,
+  /// sorted by descending score, skipping ids for which `exclude` returns
+  /// true. Fewer than k results are returned only when the store (after
+  /// exclusions) is smaller than k or the index exhausts its candidates.
+  virtual std::vector<SearchResult> TopK(linalg::VecSpan query, size_t k,
+                                         const ExcludeFn& exclude) const = 0;
+
+  /// Convenience overload without exclusions.
+  std::vector<SearchResult> TopK(linalg::VecSpan query, size_t k) const {
+    return TopK(query, k, ExcludeFn());
+  }
+
+  /// Read access to vector `id`.
+  virtual linalg::VecSpan GetVector(uint32_t id) const = 0;
+};
+
+/// Fraction of `truth` ids present in `got` (recall@k for index quality
+/// checks; both inputs are TopK outputs over the same query).
+double RecallAgainst(const std::vector<SearchResult>& got,
+                     const std::vector<SearchResult>& truth);
+
+}  // namespace seesaw::store
+
+#endif  // SEESAW_STORE_VECTOR_STORE_H_

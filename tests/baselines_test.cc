@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/baselines/ens.h"
+#include "core/seesaw_searcher.h"
+#include "core/baselines/platt.h"
+#include "core/baselines/propagation.h"
+#include "core/graph_context.h"
+#include "data/profiles.h"
+
+namespace seesaw::core {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<data::Dataset> dataset;
+  std::unique_ptr<EmbeddedDataset> embedded;
+  std::unique_ptr<GraphContext> graph;
+};
+
+Fixture MakeCoarseFixture(uint64_t seed = 0) {
+  auto profile = data::CocoLikeProfile(0.05);
+  profile.embedding_dim = 32;
+  if (seed) profile.seed = seed;
+  auto ds = data::Dataset::Generate(profile);
+  EXPECT_TRUE(ds.ok());
+  Fixture f;
+  f.dataset = std::make_unique<data::Dataset>(std::move(*ds));
+  PreprocessOptions options;
+  options.multiscale.enabled = false;
+  options.build_md = false;
+  auto ed = EmbeddedDataset::Build(*f.dataset, options);
+  EXPECT_TRUE(ed.ok());
+  f.embedded = std::make_unique<EmbeddedDataset>(std::move(*ed));
+  GraphContextOptions gopts;
+  gopts.k = 10;
+  auto g = GraphContext::Build(*f.embedded, gopts);
+  EXPECT_TRUE(g.ok());
+  f.graph = std::make_unique<GraphContext>(std::move(*g));
+  return f;
+}
+
+// ----------------------------------------------------------------- Platt --
+
+TEST(PlattTest, ValidatesInput) {
+  EXPECT_FALSE(FitPlatt({}, {}).ok());
+  EXPECT_FALSE(FitPlatt({1.0}, {1, 0}).ok());
+  EXPECT_FALSE(FitPlatt({1.0, 2.0}, {1, 1}).ok());  // one class
+}
+
+TEST(PlattTest, CalibratesSeparableScores) {
+  // Positives have scores ~1, negatives ~0: fitted p(1) high, p(0) low.
+  std::vector<double> scores;
+  std::vector<int> labels;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    bool pos = i % 2 == 0;
+    scores.push_back((pos ? 1.0 : 0.0) + rng.Gaussian(0, 0.15));
+    labels.push_back(pos);
+  }
+  auto platt = FitPlatt(scores, labels);
+  ASSERT_TRUE(platt.ok());
+  EXPECT_GT(platt->Apply(1.0), 0.85);
+  EXPECT_LT(platt->Apply(0.0), 0.15);
+  EXPECT_NEAR(platt->Apply(0.5), 0.5, 0.15);
+}
+
+TEST(PlattTest, CalibratedProbabilitiesMatchEmpiricalRates) {
+  // Draw scores whose true P(y=1|s) = sigmoid(3s - 1); Platt must recover
+  // approximately that mapping.
+  Rng rng(2);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 5000; ++i) {
+    double s = rng.Uniform(-1, 2);
+    double p = 1.0 / (1.0 + std::exp(-(3 * s - 1)));
+    scores.push_back(s);
+    labels.push_back(rng.Bernoulli(p));
+  }
+  auto platt = FitPlatt(scores, labels);
+  ASSERT_TRUE(platt.ok());
+  EXPECT_NEAR(platt->a, 3.0, 0.5);
+  EXPECT_NEAR(platt->b, -1.0, 0.3);
+}
+
+TEST(PlattTest, MonotoneInScore) {
+  auto platt = FitPlatt({0.0, 0.2, 0.8, 1.0}, {0, 0, 1, 1});
+  ASSERT_TRUE(platt.ok());
+  double prev = -1;
+  for (double s = -1; s <= 2; s += 0.25) {
+    double p = platt->Apply(s);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+// ------------------------------------------------------------------- ENS --
+
+TEST(EnsTest, ProbabilityStartsAtPrior) {
+  auto f = MakeCoarseFixture();
+  EnsOptions options;
+  EnsSearcher ens(*f.embedded, *f.graph, f.embedded->TextQuery(0), options);
+  // With no labels, p_i = gamma_i / 1 = clamped CLIP score.
+  auto q0 = f.embedded->TextQuery(0);
+  for (uint32_t i = 0; i < 20; ++i) {
+    double s = linalg::Dot(f.embedded->vectors().Row(i), linalg::VecSpan(q0));
+    double expected = std::clamp(s, options.prior_floor,
+                                 1.0 - options.prior_floor);
+    EXPECT_NEAR(ens.Probability(i), expected, 1e-6);
+  }
+}
+
+TEST(EnsTest, PositiveLabelRaisesNeighborProbability) {
+  auto f = MakeCoarseFixture();
+  EnsSearcher ens(*f.embedded, *f.graph, f.embedded->TextQuery(0), {});
+  // Pick a node and one of its graph neighbors.
+  uint32_t node = 5;
+  ASSERT_FALSE(f.graph->knn().neighbors[node].empty());
+  uint32_t neighbor = f.graph->knn().neighbors[node][0].id;
+  double before = ens.Probability(neighbor);
+  ImageFeedback fb;
+  fb.image_idx = node;
+  fb.relevant = true;
+  ens.AddFeedback(fb);
+  EXPECT_GT(ens.Probability(neighbor), before);
+}
+
+TEST(EnsTest, NegativeLabelLowersNeighborProbability) {
+  auto f = MakeCoarseFixture();
+  EnsSearcher ens(*f.embedded, *f.graph, f.embedded->TextQuery(0), {});
+  uint32_t node = 9;
+  ASSERT_FALSE(f.graph->knn().neighbors[node].empty());
+  uint32_t neighbor = f.graph->knn().neighbors[node][0].id;
+  double before = ens.Probability(neighbor);
+  ImageFeedback fb;
+  fb.image_idx = node;
+  fb.relevant = false;
+  ens.AddFeedback(fb);
+  EXPECT_LT(ens.Probability(neighbor), before);
+}
+
+TEST(EnsTest, GreedyClipUntilFirstPositive) {
+  // Paper modification: before any positive, ENS ranks by the CLIP query.
+  auto f = MakeCoarseFixture();
+  auto q0 = f.embedded->TextQuery(0);
+  EnsSearcher ens(*f.embedded, *f.graph, q0, {});
+  SeeSawOptions zs_opts;
+  zs_opts.update_query = false;
+  SeeSawSearcher zs(*f.embedded, q0, zs_opts);
+  auto ens_batch = ens.NextBatch(5);
+  auto zs_batch = zs.NextBatch(5);
+  ASSERT_EQ(ens_batch.size(), zs_batch.size());
+  for (size_t i = 0; i < ens_batch.size(); ++i) {
+    EXPECT_EQ(ens_batch[i].image_idx, zs_batch[i].image_idx);
+  }
+}
+
+TEST(EnsTest, SwitchesToLookaheadAfterFirstPositive) {
+  auto f = MakeCoarseFixture();
+  EnsSearcher ens(*f.embedded, *f.graph, f.embedded->TextQuery(0), {});
+  uint32_t pos_img = f.dataset->positives(0)[0];
+  ImageFeedback fb;
+  fb.image_idx = pos_img;
+  fb.relevant = true;
+  ens.AddFeedback(fb);
+  auto batch = ens.NextBatch(3);
+  EXPECT_FALSE(batch.empty());
+  for (const auto& hit : batch) {
+    EXPECT_NE(hit.image_idx, pos_img);  // labeled images never re-surface
+  }
+}
+
+TEST(EnsTest, HorizonOneIsGreedyKnn) {
+  // Table 4, t=1 column: "ENS effectively becomes a greedy kNN-model".
+  auto f = MakeCoarseFixture();
+  EnsOptions options;
+  options.horizon = 1;
+  options.shrink_horizon = false;
+  EnsSearcher ens(*f.embedded, *f.graph, f.embedded->TextQuery(0), options);
+  uint32_t pos_img = f.dataset->positives(0)[0];
+  ImageFeedback fb;
+  fb.image_idx = pos_img;
+  fb.relevant = true;
+  ens.AddFeedback(fb);
+
+  auto batch = ens.NextBatch(5);
+  ASSERT_GE(batch.size(), 2u);
+  // Greedy means ordered by raw probability.
+  for (size_t i = 1; i < batch.size(); ++i) {
+    EXPECT_GE(ens.Probability(batch[i - 1].image_idx) + 1e-9,
+              ens.Probability(batch[i].image_idx));
+  }
+}
+
+TEST(EnsTest, CalibratedPriorsUsePlatt) {
+  auto f = MakeCoarseFixture();
+  EnsOptions options;
+  options.calibrated = true;
+  options.platt = PlattScaling{4.0, -1.0};
+  EnsSearcher ens(*f.embedded, *f.graph, f.embedded->TextQuery(0), options);
+  auto q0 = f.embedded->TextQuery(0);
+  double s = linalg::Dot(f.embedded->vectors().Row(3), linalg::VecSpan(q0));
+  EXPECT_NEAR(ens.Probability(3), 1.0 / (1.0 + std::exp(-(4.0 * s - 1.0))),
+              1e-6);
+}
+
+TEST(EnsTest, NeverReturnsSeenImages) {
+  auto f = MakeCoarseFixture();
+  EnsSearcher ens(*f.embedded, *f.graph, f.embedded->TextQuery(0), {});
+  std::set<uint32_t> seen;
+  for (int round = 0; round < 10; ++round) {
+    auto batch = ens.NextBatch(1);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_TRUE(seen.insert(batch[0].image_idx).second);
+    ImageFeedback fb;
+    fb.image_idx = batch[0].image_idx;
+    fb.relevant = f.dataset->IsPositive(batch[0].image_idx, 0);
+    ens.AddFeedback(fb);
+  }
+}
+
+// ----------------------------------------------------------- Propagation --
+
+TEST(PropagationSearcherTest, RefitProducesUnitQueryAndImproves) {
+  auto f = MakeCoarseFixture();
+  size_t concept_id = 0;
+  auto q0 = f.embedded->TextQuery(concept_id);
+  PropagationSearcher prop(*f.embedded, *f.graph, q0);
+
+  // Feed it several ground-truth labels.
+  const auto& positives = f.dataset->positives(concept_id);
+  ASSERT_GE(positives.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    ImageFeedback fb;
+    fb.image_idx = positives[i];
+    fb.relevant = true;
+    prop.AddFeedback(fb);
+  }
+  for (uint32_t img = 0; img < 5; ++img) {
+    if (f.dataset->IsPositive(img, concept_id)) continue;
+    ImageFeedback fb;
+    fb.image_idx = img;
+    fb.relevant = false;
+    prop.AddFeedback(fb);
+  }
+  ASSERT_TRUE(prop.Refit().ok());
+  EXPECT_NEAR(linalg::Norm(prop.current_query()), 1.0f, 1e-4f);
+
+  // The refit query must separate the labeled positives from the labeled
+  // negatives (it was trained on their propagated neighborhood).
+  auto mean_score = [&](const linalg::VectorF& q, bool positive) {
+    double total = 0;
+    size_t count = 0;
+    for (uint32_t img = 0; img < 5; ++img) {
+      bool is_pos = f.dataset->IsPositive(img, concept_id);
+      if (is_pos != positive) continue;
+      total += linalg::Dot(f.embedded->vectors().Row(img), linalg::VecSpan(q));
+      ++count;
+    }
+    for (size_t i = 0; i < 3 && positive; ++i) {
+      total += linalg::Dot(f.embedded->vectors().Row(positives[i]),
+                           linalg::VecSpan(q));
+      ++count;
+    }
+    return count ? total / static_cast<double>(count) : 0.0;
+  };
+  EXPECT_GT(mean_score(prop.current_query(), true),
+            mean_score(prop.current_query(), false));
+}
+
+TEST(PropagationSearcherTest, NoFeedbackKeepsQ0) {
+  auto f = MakeCoarseFixture();
+  auto q0 = f.embedded->TextQuery(1);
+  PropagationSearcher prop(*f.embedded, *f.graph, q0);
+  ASSERT_TRUE(prop.Refit().ok());
+  EXPECT_EQ(prop.current_query(), q0);
+}
+
+// ---------------------------------------------------------- GraphContext --
+
+TEST(GraphContextTest, BuildsSymmetricAdjacency) {
+  auto f = MakeCoarseFixture();
+  EXPECT_EQ(f.graph->num_nodes(), f.embedded->num_vectors());
+  EXPECT_GT(f.graph->sigma(), 0.0);
+  // Adjacency symmetric: probe with bilinear forms.
+  Rng rng(3);
+  const size_t n = f.graph->num_nodes();
+  linalg::VectorF x(n), y(n);
+  for (auto& v : x) v = static_cast<float>(rng.Gaussian());
+  for (auto& v : y) v = static_cast<float>(rng.Gaussian());
+  EXPECT_NEAR(f.graph->adjacency().Bilinear(x, y),
+              f.graph->adjacency().Bilinear(y, x), 1e-2);
+}
+
+TEST(GraphContextTest, RejectsZeroK) {
+  auto f = MakeCoarseFixture();
+  GraphContextOptions options;
+  options.k = 0;
+  EXPECT_FALSE(GraphContext::Build(*f.embedded, options).ok());
+}
+
+}  // namespace
+}  // namespace seesaw::core

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "clip/concept_space.h"
+#include "clip/synthetic_clip.h"
+#include "linalg/vector_ops.h"
+
+namespace seesaw::clip {
+namespace {
+
+using linalg::Cosine;
+using linalg::Norm;
+using linalg::VectorF;
+
+ConceptSpaceOptions SmallOptions() {
+  ConceptSpaceOptions o;
+  o.dim = 64;
+  o.num_backgrounds = 4;
+  o.seed = 5;
+  return o;
+}
+
+TEST(ConceptSpaceTest, CreateValidatesInputs) {
+  EXPECT_FALSE(ConceptSpace::Create({.dim = 2}, {{"a"}}).ok());
+  EXPECT_FALSE(
+      ConceptSpace::Create({.dim = 16, .num_backgrounds = 0}, {{"a"}}).ok());
+  EXPECT_FALSE(ConceptSpace::Create(SmallOptions(), {{""}}).ok());
+  EXPECT_FALSE(ConceptSpace::Create(SmallOptions(), {{"a"}, {"a"}}).ok());
+  ConceptSpec bad_modes{"a"};
+  bad_modes.num_modes = 0;
+  EXPECT_FALSE(ConceptSpace::Create(SmallOptions(), {bad_modes}).ok());
+  ConceptSpec bad_deficit{"a"};
+  bad_deficit.alignment_deficit = 1.5;
+  EXPECT_FALSE(ConceptSpace::Create(SmallOptions(), {bad_deficit}).ok());
+}
+
+TEST(ConceptSpaceTest, VectorsAreUnitNorm) {
+  ConceptSpec spec{"cat"};
+  spec.num_modes = 3;
+  spec.alignment_deficit = 0.4;
+  auto space = ConceptSpace::Create(SmallOptions(), {spec});
+  ASSERT_TRUE(space.ok());
+  const Concept& c = space->concept_at(0);
+  for (const auto& mode : c.modes) EXPECT_NEAR(Norm(mode), 1.0f, 1e-5f);
+  EXPECT_NEAR(Norm(c.text_embedding), 1.0f, 1e-5f);
+  for (size_t b = 0; b < space->num_backgrounds(); ++b) {
+    EXPECT_NEAR(Norm(space->background(b)), 1.0f, 1e-5f);
+  }
+}
+
+TEST(ConceptSpaceTest, ModeWeightsSumToOne) {
+  ConceptSpec spec{"dog"};
+  spec.num_modes = 3;
+  auto space = ConceptSpace::Create(SmallOptions(), {spec});
+  ASSERT_TRUE(space.ok());
+  double total = 0;
+  for (double w : space->concept_at(0).mode_weights) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ConceptSpaceTest, ZeroDeficitTextSitsOnModeCentroid) {
+  ConceptSpec spec{"bird"};
+  spec.alignment_deficit = 0.0;
+  auto space = ConceptSpace::Create(SmallOptions(), {spec});
+  ASSERT_TRUE(space.ok());
+  const Concept& c = space->concept_at(0);
+  EXPECT_GT(Cosine(c.text_embedding, c.ModeCentroid()), 0.999f);
+}
+
+TEST(ConceptSpaceTest, LargerDeficitLowersTextAlignment) {
+  // The deficit knob must be monotone: that is what Fig. 2a's geometry needs.
+  double prev_cos = 1.1;
+  for (double deficit : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    ConceptSpec spec{"thing"};
+    spec.alignment_deficit = deficit;
+    ConceptSpaceOptions o = SmallOptions();
+    o.seed = 77;  // same geometry each round, only the deficit varies
+    auto space = ConceptSpace::Create(o, {spec});
+    ASSERT_TRUE(space.ok());
+    const Concept& c = space->concept_at(0);
+    double cos = Cosine(c.text_embedding, c.ModeCentroid());
+    EXPECT_LT(cos, prev_cos);
+    prev_cos = cos;
+  }
+}
+
+TEST(ConceptSpaceTest, MultiModeConceptsSpread) {
+  ConceptSpec spec{"multi"};
+  spec.num_modes = 2;
+  spec.mode_spread = 0.8;
+  auto space = ConceptSpace::Create(SmallOptions(), {spec});
+  ASSERT_TRUE(space.ok());
+  const Concept& c = space->concept_at(0);
+  float cos = Cosine(c.modes[0], c.modes[1]);
+  EXPECT_LT(cos, 0.95f);  // modes are distinct
+  EXPECT_GT(cos, 0.0f);   // but still related
+}
+
+TEST(ConceptSpaceTest, FindConceptByName) {
+  auto space = ConceptSpace::Create(SmallOptions(), {{"cat"}, {"dog"}});
+  ASSERT_TRUE(space.ok());
+  auto id = space->FindConcept("dog");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 1u);
+  EXPECT_TRUE(space->FindConcept("bird").status().IsNotFound());
+}
+
+TEST(ConceptSpaceTest, DeterministicGivenSeed) {
+  auto a = ConceptSpace::Create(SmallOptions(), {{"x"}});
+  auto b = ConceptSpace::Create(SmallOptions(), {{"x"}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->concept_at(0).modes[0], b->concept_at(0).modes[0]);
+}
+
+TEST(RandomUnitVectorTest, UnitNormAndNearOrthogonalInHighDim) {
+  Rng rng(3);
+  auto a = RandomUnitVector(rng, 256);
+  auto b = RandomUnitVector(rng, 256);
+  EXPECT_NEAR(Norm(a), 1.0f, 1e-5f);
+  EXPECT_LT(std::abs(Cosine(a, b)), 0.25f);
+}
+
+// ----------------------------------------------------------- SyntheticClip --
+
+class SyntheticClipTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ConceptSpec cat{"cat"};
+    ConceptSpec dog{"dog"};
+    dog.alignment_deficit = 0.5;
+    auto space = ConceptSpace::Create(SmallOptions(), {cat, dog});
+    ASSERT_TRUE(space.ok());
+    space_ = std::make_shared<const ConceptSpace>(std::move(*space));
+    model_ = std::make_unique<SyntheticClip>(space_);
+  }
+
+  std::shared_ptr<const ConceptSpace> space_;
+  std::unique_ptr<SyntheticClip> model_;
+};
+
+TEST_F(SyntheticClipTest, PatchEmbeddingIsUnitNorm) {
+  PatchContent content;
+  content.objects.push_back({0, 0, 0.8f});
+  content.background_id = 1;
+  auto v = model_->EmbedPatch(content);
+  EXPECT_NEAR(Norm(v), 1.0f, 1e-5f);
+}
+
+TEST_F(SyntheticClipTest, PatchEmbeddingIsDeterministic) {
+  PatchContent content;
+  content.objects.push_back({0, 0, 0.5f});
+  content.noise_seed = 999;
+  auto first = model_->EmbedPatch(content);
+  EXPECT_EQ(first, model_->EmbedPatch(content));
+  content.noise_seed = 1000;
+  EXPECT_NE(first, model_->EmbedPatch(content));
+}
+
+TEST_F(SyntheticClipTest, ProminentObjectDominatesEmbedding) {
+  PatchContent strong;
+  strong.objects.push_back({0, 0, 2.0f});
+  strong.background_weight = 0.2f;
+  strong.noise_scale = 0.05f;
+  auto v = model_->EmbedPatch(strong);
+  const auto& mode = space_->concept_at(0).modes[0];
+  EXPECT_GT(Cosine(v, mode), 0.9f);
+}
+
+TEST_F(SyntheticClipTest, FaintObjectIsWashedOutByBackground) {
+  PatchContent faint;
+  faint.objects.push_back({0, 0, 0.02f});
+  faint.background_weight = 1.0f;
+  faint.noise_scale = 0.05f;
+  auto v = model_->EmbedPatch(faint);
+  const auto& mode = space_->concept_at(0).modes[0];
+  EXPECT_LT(Cosine(v, mode), 0.3f);
+}
+
+TEST_F(SyntheticClipTest, EmptyPatchIsBackgroundPlusNoise) {
+  PatchContent empty;
+  empty.background_id = 0;
+  empty.background_weight = 1.0f;
+  empty.noise_scale = 0.0f;
+  auto v = model_->EmbedPatch(empty);
+  EXPECT_GT(Cosine(v, space_->background(0)), 0.999f);
+}
+
+TEST_F(SyntheticClipTest, TextLookupByIdAndName) {
+  auto by_id = model_->EmbedText(size_t{1});
+  auto by_name = model_->EmbedText("dog");
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_EQ(by_id, *by_name);
+  EXPECT_TRUE(model_->EmbedText("unknown").status().IsNotFound());
+}
+
+TEST_F(SyntheticClipTest, WellAlignedTextRanksItsConceptHigher) {
+  // cat has deficit 0, dog 0.5: the cat text vector must be better aligned
+  // with cat patches than the dog text vector is with dog patches.
+  PatchContent cat_patch;
+  cat_patch.objects.push_back({0, 0, 1.0f});
+  cat_patch.noise_scale = 0;
+  cat_patch.background_weight = 0.1f;
+  PatchContent dog_patch;
+  dog_patch.objects.push_back({1, 0, 1.0f});
+  dog_patch.noise_scale = 0;
+  dog_patch.background_weight = 0.1f;
+
+  float cat_align = Cosine(model_->EmbedPatch(cat_patch),
+                           model_->EmbedText(size_t{0}));
+  float dog_align = Cosine(model_->EmbedPatch(dog_patch),
+                           model_->EmbedText(size_t{1}));
+  EXPECT_GT(cat_align, dog_align);
+}
+
+}  // namespace
+}  // namespace seesaw::clip

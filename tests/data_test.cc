@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/box.h"
+#include "data/dataset.h"
+#include "data/profiles.h"
+
+namespace seesaw::data {
+namespace {
+
+// ------------------------------------------------------------------- Box --
+
+TEST(BoxTest, AreaAndEmpty) {
+  Box b{0, 0, 4, 3};
+  EXPECT_FLOAT_EQ(b.Area(), 12);
+  EXPECT_FALSE(b.Empty());
+  Box inverted{5, 5, 2, 2};
+  EXPECT_FLOAT_EQ(inverted.Area(), 0);
+  EXPECT_TRUE(inverted.Empty());
+}
+
+TEST(BoxTest, IntersectionGeometry) {
+  Box a{0, 0, 10, 10};
+  Box b{5, 5, 15, 15};
+  EXPECT_FLOAT_EQ(a.IntersectionArea(b), 25);
+  EXPECT_TRUE(a.Overlaps(b));
+  Box c{20, 20, 30, 30};
+  EXPECT_FLOAT_EQ(a.IntersectionArea(c), 0);
+  EXPECT_FALSE(a.Overlaps(c));
+}
+
+TEST(BoxTest, TouchingEdgesDoNotOverlap) {
+  Box a{0, 0, 10, 10};
+  Box b{10, 0, 20, 10};
+  EXPECT_FALSE(a.Overlaps(b));
+}
+
+TEST(BoxTest, IouKnownValues) {
+  Box a{0, 0, 10, 10};
+  EXPECT_FLOAT_EQ(a.Iou(a), 1.0f);
+  Box half{0, 0, 10, 5};
+  EXPECT_FLOAT_EQ(a.Iou(half), 0.5f);
+  Box disjoint{100, 100, 110, 110};
+  EXPECT_FLOAT_EQ(a.Iou(disjoint), 0.0f);
+}
+
+// --------------------------------------------------------------- Dataset --
+
+DatasetProfile TinyProfile() {
+  DatasetProfile p;
+  p.name = "tiny";
+  p.num_images = 120;
+  p.num_concepts = 8;
+  p.embedding_dim = 32;
+  p.min_image_width = 300;
+  p.max_image_width = 500;
+  p.min_image_height = 300;
+  p.max_image_height = 400;
+  p.mean_objects_per_image = 2.0;
+  p.min_positives_per_concept = 3;
+  p.seed = 7;
+  return p;
+}
+
+TEST(DatasetTest, ValidatesProfile) {
+  DatasetProfile p = TinyProfile();
+  p.num_images = 0;
+  EXPECT_FALSE(Dataset::Generate(p).ok());
+  p = TinyProfile();
+  p.object_scale_min = 0;
+  EXPECT_FALSE(Dataset::Generate(p).ok());
+  p = TinyProfile();
+  p.max_image_width = p.min_image_width - 1;
+  EXPECT_FALSE(Dataset::Generate(p).ok());
+}
+
+TEST(DatasetTest, GeneratesRequestedCounts) {
+  auto ds = Dataset::Generate(TinyProfile());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_images(), 120u);
+  EXPECT_EQ(ds->space().num_concepts(), 8u);
+  EXPECT_EQ(ds->space().dim(), 32u);
+}
+
+TEST(DatasetTest, DeterministicGivenSeed) {
+  auto a = Dataset::Generate(TinyProfile());
+  auto b = Dataset::Generate(TinyProfile());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_images(), b->num_images());
+  for (size_t i = 0; i < a->num_images(); ++i) {
+    EXPECT_EQ(a->image(i).objects.size(), b->image(i).objects.size());
+    EXPECT_EQ(a->image(i).width, b->image(i).width);
+  }
+}
+
+TEST(DatasetTest, ObjectsFitInsideImages) {
+  auto ds = Dataset::Generate(TinyProfile());
+  ASSERT_TRUE(ds.ok());
+  for (const ImageRecord& img : ds->images()) {
+    for (const ObjectInstance& o : img.objects) {
+      EXPECT_GE(o.box.x0, 0);
+      EXPECT_GE(o.box.y0, 0);
+      EXPECT_LE(o.box.x1, img.width + 1e-3f);
+      EXPECT_LE(o.box.y1, img.height + 1e-3f);
+      EXPECT_FALSE(o.box.Empty());
+    }
+  }
+}
+
+TEST(DatasetTest, MinimumPositivesGuaranteed) {
+  auto ds = Dataset::Generate(TinyProfile());
+  ASSERT_TRUE(ds.ok());
+  for (size_t c = 0; c < ds->space().num_concepts(); ++c) {
+    EXPECT_GE(ds->positives(c).size(), 3u) << "concept " << c;
+  }
+}
+
+TEST(DatasetTest, PositivesIndexMatchesIsPositive) {
+  auto ds = Dataset::Generate(TinyProfile());
+  ASSERT_TRUE(ds.ok());
+  for (size_t c = 0; c < ds->space().num_concepts(); ++c) {
+    size_t count = 0;
+    for (size_t i = 0; i < ds->num_images(); ++i) {
+      if (ds->IsPositive(i, c)) {
+        ++count;
+        EXPECT_FALSE(ds->ConceptBoxes(i, c).empty());
+      } else {
+        EXPECT_TRUE(ds->ConceptBoxes(i, c).empty());
+      }
+    }
+    EXPECT_EQ(count, ds->positives(c).size());
+  }
+}
+
+TEST(DatasetTest, EvaluableConceptsRespectsThreshold) {
+  auto ds = Dataset::Generate(TinyProfile());
+  ASSERT_TRUE(ds.ok());
+  auto evaluable = ds->EvaluableConcepts(3);
+  EXPECT_EQ(evaluable.size(), 8u);  // min_positives_per_concept = 3
+  auto high_bar = ds->EvaluableConcepts(ds->num_images());
+  EXPECT_TRUE(high_bar.empty());
+}
+
+TEST(DatasetTest, ZipfMakesEarlyConceptsMoreFrequent) {
+  DatasetProfile p = TinyProfile();
+  p.num_images = 800;
+  p.zipf_exponent = 1.5;
+  p.min_positives_per_concept = 0;
+  auto ds = Dataset::Generate(p);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_GT(ds->positives(0).size(), ds->positives(7).size() * 2);
+}
+
+TEST(DatasetTest, RegionContentSeesOnlyOverlappingObjects) {
+  auto ds = Dataset::Generate(TinyProfile());
+  ASSERT_TRUE(ds.ok());
+  // Find an image with at least one object.
+  for (size_t i = 0; i < ds->num_images(); ++i) {
+    const ImageRecord& img = ds->image(i);
+    if (img.objects.empty()) continue;
+    const Box& obj_box = img.objects[0].box;
+    // A region exactly on the object sees it; a region outside doesn't.
+    auto inside = ds->RegionContent(i, obj_box, 0);
+    bool found = false;
+    for (const auto& o : inside.objects) {
+      if (o.concept_id == img.objects[0].concept_id) found = true;
+    }
+    EXPECT_TRUE(found);
+    Box outside{-100, -100, -1, -1};
+    auto empty = ds->RegionContent(i, outside, 1);
+    EXPECT_TRUE(empty.objects.empty());
+    return;
+  }
+  FAIL() << "no image with objects";
+}
+
+TEST(DatasetTest, SmallObjectLessProminentInFullImageThanInTightRegion) {
+  // The multiscale motivation (§4.3): prominence saturates with relative
+  // area, so the same object is weaker in the coarse view.
+  auto ds = Dataset::Generate(TinyProfile());
+  ASSERT_TRUE(ds.ok());
+  for (size_t i = 0; i < ds->num_images(); ++i) {
+    const ImageRecord& img = ds->image(i);
+    for (const ObjectInstance& obj : img.objects) {
+      if (obj.box.Area() > 0.2f * img.Bounds().Area()) continue;
+      auto coarse = ds->RegionContent(i, img.Bounds(), 0);
+      auto tight = ds->RegionContent(i, obj.box, 1);
+      float coarse_prom = 0, tight_prom = 0;
+      for (const auto& o : coarse.objects) {
+        if (o.concept_id == obj.concept_id) coarse_prom = o.prominence;
+      }
+      for (const auto& o : tight.objects) {
+        if (o.concept_id == obj.concept_id) tight_prom = o.prominence;
+      }
+      EXPECT_GT(tight_prom, coarse_prom);
+      return;
+    }
+  }
+  GTEST_SKIP() << "no small object found";
+}
+
+TEST(DatasetTest, EmbedRegionIsUnitAndDeterministic) {
+  auto ds = Dataset::Generate(TinyProfile());
+  ASSERT_TRUE(ds.ok());
+  Box region{0, 0, 200, 200};
+  auto v1 = ds->EmbedRegion(0, region, 0);
+  auto v2 = ds->EmbedRegion(0, region, 0);
+  EXPECT_EQ(v1, v2);
+  EXPECT_NEAR(linalg::Norm(v1), 1.0f, 1e-5f);
+  auto v3 = ds->EmbedRegion(0, region, 1);  // different region index
+  EXPECT_NE(v1, v3);
+}
+
+// -------------------------------------------------------------- Profiles --
+
+TEST(ProfilesTest, AllProfilesGenerateAtTinyScale) {
+  for (auto profile : data::AllPaperProfiles(0.05)) {
+    profile.embedding_dim = 32;
+    auto ds = Dataset::Generate(profile);
+    ASSERT_TRUE(ds.ok()) << profile.name;
+    EXPECT_GT(ds->num_images(), 0u);
+    EXPECT_FALSE(ds->EvaluableConcepts(1).empty());
+  }
+}
+
+TEST(ProfilesTest, ObjectNetIsFixedSizeSingleObject) {
+  auto profile = ObjectNetLikeProfile(0.05);
+  profile.embedding_dim = 32;
+  auto ds = Dataset::Generate(profile);
+  ASSERT_TRUE(ds.ok());
+  for (const ImageRecord& img : ds->images()) {
+    EXPECT_EQ(img.width, 224);
+    EXPECT_EQ(img.height, 224);
+    EXPECT_GE(img.objects.size(), 1u);
+  }
+}
+
+TEST(ProfilesTest, BddHasNamedRareClasses) {
+  auto profile = BddLikeProfile(0.1);
+  profile.embedding_dim = 32;
+  auto ds = Dataset::Generate(profile);
+  ASSERT_TRUE(ds.ok());
+  auto wheelchair = ds->space().FindConcept("wheelchair");
+  ASSERT_TRUE(wheelchair.ok());
+  auto car = ds->space().FindConcept("car");
+  ASSERT_TRUE(car.ok());
+  // Zipf head vs tail: cars much more common than wheelchairs.
+  EXPECT_GT(ds->positives(*car).size(), ds->positives(*wheelchair).size() * 3);
+}
+
+TEST(ProfilesTest, ScaleParameterScalesImages) {
+  auto small = CocoLikeProfile(0.1);
+  auto large = CocoLikeProfile(1.0);
+  EXPECT_LT(small.num_images, large.num_images);
+}
+
+}  // namespace
+}  // namespace seesaw::data

@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clip/concept_space.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "graph/adjacency.h"
+#include "graph/knn.h"
+#include "graph/label_propagation.h"
+#include "graph/nn_descent.h"
+
+namespace seesaw::graph {
+namespace {
+
+using linalg::MatrixF;
+using linalg::SparseMatrixF;
+using linalg::VectorF;
+
+MatrixF RandomTable(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  MatrixF table(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = table.MutableRow(i);
+    for (size_t j = 0; j < d; ++j) row[j] = static_cast<float>(rng.Gaussian());
+    linalg::NormalizeInPlace(row);
+  }
+  return table;
+}
+
+/// Two well-separated Gaussian blobs; useful for propagation tests.
+MatrixF TwoClusters(size_t per_cluster, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  MatrixF table(2 * per_cluster, d);
+  for (size_t i = 0; i < 2 * per_cluster; ++i) {
+    auto row = table.MutableRow(i);
+    float center = i < per_cluster ? 4.0f : -4.0f;
+    row[0] = center + static_cast<float>(rng.Gaussian(0, 0.3));
+    for (size_t j = 1; j < d; ++j) {
+      row[j] = static_cast<float>(rng.Gaussian(0, 0.3));
+    }
+  }
+  return table;
+}
+
+// --------------------------------------------------------------- ExactKnn --
+
+TEST(ExactKnnTest, FindsTrueNeighborsOnALine) {
+  // Points at x = 0, 1, 2, ..., so neighbors are adjacent indices.
+  MatrixF table(6, 2);
+  for (size_t i = 0; i < 6; ++i) table.At(i, 0) = static_cast<float>(i);
+  KnnGraph g = ExactKnn(table, 2);
+  EXPECT_EQ(g.k, 2u);
+  // Node 0's nearest are 1 then 2.
+  ASSERT_EQ(g.neighbors[0].size(), 2u);
+  EXPECT_EQ(g.neighbors[0][0].id, 1u);
+  EXPECT_EQ(g.neighbors[0][1].id, 2u);
+  // Node 3's nearest are 2 and 4 (order by distance, both dist 1).
+  std::set<uint32_t> n3;
+  for (auto& nb : g.neighbors[3]) n3.insert(nb.id);
+  EXPECT_TRUE(n3.count(2));
+  EXPECT_TRUE(n3.count(4));
+}
+
+TEST(ExactKnnTest, NeverIncludesSelf) {
+  MatrixF table = RandomTable(50, 8, 1);
+  KnnGraph g = ExactKnn(table, 5);
+  for (size_t i = 0; i < 50; ++i) {
+    for (auto& nb : g.neighbors[i]) EXPECT_NE(nb.id, i);
+  }
+}
+
+TEST(ExactKnnTest, KClampedToNMinusOne) {
+  MatrixF table = RandomTable(4, 4, 2);
+  KnnGraph g = ExactKnn(table, 10);
+  EXPECT_EQ(g.k, 3u);
+  for (auto& nbrs : g.neighbors) EXPECT_EQ(nbrs.size(), 3u);
+}
+
+TEST(ExactKnnTest, ParallelMatchesSerial) {
+  MatrixF table = RandomTable(120, 8, 3);
+  KnnGraph serial = ExactKnn(table, 6);
+  ThreadPool pool(3);
+  KnnGraph parallel = ExactKnn(table, 6, &pool);
+  EXPECT_DOUBLE_EQ(KnnRecall(parallel, serial), 1.0);
+}
+
+TEST(KnnRecallTest, PartialOverlap) {
+  KnnGraph a, b;
+  a.k = b.k = 2;
+  a.neighbors = {{{1, 1.f}, {2, 2.f}}, {{0, 1.f}, {2, 1.f}}};
+  b.neighbors = {{{1, 1.f}, {3, 2.f}}, {{0, 1.f}, {2, 1.f}}};
+  EXPECT_DOUBLE_EQ(KnnRecall(b, a), 0.75);
+}
+
+// -------------------------------------------------------------- NnDescent --
+
+TEST(NnDescentTest, ValidatesInput) {
+  EXPECT_FALSE(NnDescent(MatrixF(1, 4), {}).ok());
+  NnDescentOptions zero_k;
+  zero_k.k = 0;
+  EXPECT_FALSE(NnDescent(RandomTable(10, 4, 4), zero_k).ok());
+}
+
+TEST(NnDescentTest, HighRecallVersusExact) {
+  MatrixF table = RandomTable(800, 16, 5);
+  NnDescentOptions options;
+  options.k = 10;
+  auto approx = NnDescent(table, options);
+  ASSERT_TRUE(approx.ok());
+  KnnGraph exact = ExactKnn(table, 10);
+  EXPECT_GE(KnnRecall(*approx, exact), 0.90);
+}
+
+TEST(NnDescentTest, DeterministicGivenSeed) {
+  MatrixF table = RandomTable(300, 8, 6);
+  NnDescentOptions options;
+  options.k = 5;
+  auto a = NnDescent(table, options);
+  auto b = NnDescent(table, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(KnnRecall(*a, *b), 1.0);
+}
+
+/// Recall sweep across k, the property §4.2 depends on.
+class NnDescentSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(NnDescentSweep, RecallAboveNinetyPercent) {
+  const size_t k = GetParam();
+  MatrixF table = RandomTable(600, 12, 100 + k);
+  NnDescentOptions options;
+  options.k = k;
+  auto approx = NnDescent(table, options);
+  ASSERT_TRUE(approx.ok());
+  KnnGraph exact = ExactKnn(table, k);
+  EXPECT_GE(KnnRecall(*approx, exact), 0.9) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, NnDescentSweep, ::testing::Values(5, 10, 20));
+
+// -------------------------------------------------- Gaussian adjacency etc --
+
+TEST(AdjacencyTest, GaussianWeightsDecayWithDistance) {
+  KnnGraph g;
+  g.k = 2;
+  g.neighbors = {{{1, 0.01f}, {2, 1.0f}}, {{0, 0.01f}}, {{0, 1.0f}}};
+  SparseMatrixF w = GaussianAdjacency(g, 0.5);
+  // Edge (0,1) has much smaller distance than (0,2) -> larger weight.
+  auto idx = w.RowIndices(0);
+  auto val = w.RowValues(0);
+  ASSERT_EQ(idx.size(), 2u);
+  float w01 = idx[0] == 1 ? val[0] : val[1];
+  float w02 = idx[0] == 2 ? val[0] : val[1];
+  EXPECT_GT(w01, w02);
+}
+
+TEST(AdjacencyTest, ResultIsSymmetric) {
+  MatrixF table = RandomTable(60, 8, 7);
+  KnnGraph g = ExactKnn(table, 4);
+  SparseMatrixF w = GaussianAdjacency(g, 0.8);
+  // Check w == w^T through bilinear probes.
+  Rng rng(8);
+  for (int t = 0; t < 5; ++t) {
+    VectorF x(60), y(60);
+    for (auto& v : x) v = static_cast<float>(rng.Gaussian());
+    for (auto& v : y) v = static_cast<float>(rng.Gaussian());
+    EXPECT_NEAR(w.Bilinear(x, y), w.Bilinear(y, x), 1e-3);
+  }
+}
+
+TEST(AdjacencyTest, MedianNeighborDistance) {
+  KnnGraph g;
+  g.k = 1;
+  g.neighbors = {{{1, 4.0f}}, {{0, 4.0f}}, {{0, 16.0f}}};
+  // dist2 values {4, 4, 16}: median 4 -> distance 2.
+  EXPECT_DOUBLE_EQ(MedianNeighborDistance(g), 2.0);
+}
+
+TEST(LaplacianTest, RowsSumToZero) {
+  MatrixF table = RandomTable(40, 6, 9);
+  KnnGraph g = ExactKnn(table, 4);
+  SparseMatrixF w = GaussianAdjacency(g, 1.0);
+  SparseMatrixF lap = Laplacian(w);
+  VectorF ones(40, 1.0f);
+  VectorF y = lap.Apply(ones);
+  for (float v : y) EXPECT_NEAR(v, 0.0f, 1e-4f);
+}
+
+TEST(LaplacianTest, QuadraticFormIsNonNegative) {
+  MatrixF table = RandomTable(40, 6, 10);
+  KnnGraph g = ExactKnn(table, 4);
+  SparseMatrixF w = GaussianAdjacency(g, 1.0);
+  SparseMatrixF lap = Laplacian(w);
+  Rng rng(11);
+  for (int t = 0; t < 10; ++t) {
+    VectorF x(40);
+    for (auto& v : x) v = static_cast<float>(rng.Gaussian());
+    EXPECT_GE(lap.Bilinear(x, x), -1e-4);
+  }
+}
+
+// ------------------------------------------------------------- ComputeMd --
+
+TEST(ComputeMdTest, ValidatesInput) {
+  EXPECT_FALSE(ComputeMd(MatrixF(1, 8), {}).ok());
+  MdOptions zero_k;
+  zero_k.k = 0;
+  EXPECT_FALSE(ComputeMd(RandomTable(20, 8, 12), zero_k).ok());
+}
+
+TEST(ComputeMdTest, OutputIsSymmetricPsd) {
+  MatrixF table = RandomTable(200, 16, 13);
+  MdOptions options;
+  options.k = 5;
+  auto md = ComputeMd(table, options);
+  ASSERT_TRUE(md.ok());
+  EXPECT_EQ(md->rows(), 16u);
+  EXPECT_EQ(md->cols(), 16u);
+  for (size_t r = 0; r < 16; ++r) {
+    for (size_t c = 0; c < 16; ++c) {
+      EXPECT_NEAR(md->At(r, c), md->At(c, r), 1e-4f);
+    }
+  }
+  // PSD: w^T M w >= 0 for probes (Laplacian quadratic form property).
+  Rng rng(14);
+  for (int t = 0; t < 10; ++t) {
+    VectorF w(16);
+    for (auto& v : w) v = static_cast<float>(rng.Gaussian());
+    EXPECT_GE(md->QuadraticForm(w), -1e-2);
+  }
+}
+
+TEST(ComputeMdTest, QuadraticFormPenalizesCrossClusterDirections) {
+  // M_D's purpose (§4.2): directions whose scores vary along graph edges are
+  // penalized. A direction separating two tight clusters keeps scores
+  // constant within each cluster (low penalty); a direction slicing through
+  // both clusters varies along intra-cluster edges (high penalty).
+  MatrixF table = TwoClusters(60, 8, 15);
+  MdOptions options;
+  options.k = 5;
+  auto md = ComputeMd(table, options);
+  ASSERT_TRUE(md.ok());
+  VectorF separating(8, 0.0f);
+  separating[0] = 1.0f;  // clusters differ in dim 0
+  VectorF slicing(8, 0.0f);
+  slicing[1] = 1.0f;  // dim 1 is intra-cluster noise
+  EXPECT_LT(md->QuadraticForm(separating) * 0.5,
+            md->QuadraticForm(slicing));
+}
+
+TEST(ComputeMdTest, SampledApproximatesFull) {
+  // The paper's preprocessing shortcut: M_D from a sample ~ M_D full.
+  MatrixF table = RandomTable(600, 12, 16);
+  MdOptions full_opts;
+  full_opts.k = 6;
+  MdOptions sampled_opts = full_opts;
+  sampled_opts.sample_size = 300;
+  auto full = ComputeMd(table, full_opts);
+  auto sampled = ComputeMd(table, sampled_opts);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(sampled.ok());
+  // Compare normalized quadratic forms along probe directions.
+  Rng rng(17);
+  double full_norm = full->FrobeniusNorm();
+  double sampled_norm = sampled->FrobeniusNorm();
+  ASSERT_GT(full_norm, 0);
+  ASSERT_GT(sampled_norm, 0);
+  for (int t = 0; t < 8; ++t) {
+    VectorF w = clip::RandomUnitVector(rng, 12);
+    double qf = full->QuadraticForm(w) / full_norm;
+    double qs = sampled->QuadraticForm(w) / sampled_norm;
+    EXPECT_NEAR(qf, qs, 0.35 * std::max(std::abs(qf), 0.05));
+  }
+}
+
+// ------------------------------------------------------ LabelPropagation --
+
+SparseMatrixF ChainAdjacency(size_t n) {
+  std::vector<linalg::Triplet> t;
+  for (uint32_t i = 0; i + 1 < n; ++i) {
+    t.push_back({i, i + 1, 1.0f});
+    t.push_back({i + 1, i, 1.0f});
+  }
+  return SparseMatrixF::FromTriplets(n, n, std::move(t));
+}
+
+TEST(LabelPropagationTest, ValidatesInput) {
+  SparseMatrixF rect = SparseMatrixF::FromTriplets(2, 3, {});
+  EXPECT_FALSE(PropagateLabels(rect, {}, {}).ok());
+  SparseMatrixF w = ChainAdjacency(3);
+  EXPECT_FALSE(PropagateLabels(w, {{5, 1.0f}}, {}).ok());
+}
+
+TEST(LabelPropagationTest, ClampsObservedLabels) {
+  SparseMatrixF w = ChainAdjacency(5);
+  auto f = PropagateLabels(w, {{0, 1.0f}, {4, 0.0f}}, {});
+  ASSERT_TRUE(f.ok());
+  EXPECT_FLOAT_EQ((*f)[0], 1.0f);
+  EXPECT_FLOAT_EQ((*f)[4], 0.0f);
+}
+
+TEST(LabelPropagationTest, InterpolatesAlongChain) {
+  SparseMatrixF w = ChainAdjacency(5);
+  LabelPropagationOptions options;
+  options.max_iters = 2000;
+  options.tolerance = 1e-7;
+  auto f = PropagateLabels(w, {{0, 1.0f}, {4, 0.0f}}, options);
+  ASSERT_TRUE(f.ok());
+  // Harmonic solution on a path: linear interpolation.
+  EXPECT_NEAR((*f)[1], 0.75f, 0.02f);
+  EXPECT_NEAR((*f)[2], 0.50f, 0.02f);
+  EXPECT_NEAR((*f)[3], 0.25f, 0.02f);
+}
+
+TEST(LabelPropagationTest, MonotoneAlongChain) {
+  SparseMatrixF w = ChainAdjacency(9);
+  LabelPropagationOptions options;
+  options.max_iters = 3000;
+  options.tolerance = 1e-7;
+  auto f = PropagateLabels(w, {{0, 1.0f}, {8, 0.0f}}, options);
+  ASSERT_TRUE(f.ok());
+  for (size_t i = 1; i < 9; ++i) EXPECT_LE((*f)[i], (*f)[i - 1] + 1e-4f);
+}
+
+TEST(LabelPropagationTest, ClusterStructurePropagates) {
+  // Label one node per cluster; whole clusters should adopt the labels.
+  MatrixF table = TwoClusters(40, 6, 18);
+  KnnGraph g = ExactKnn(table, 5);
+  SparseMatrixF w = GaussianAdjacency(g, MedianNeighborDistance(g));
+  LabelPropagationOptions options;
+  options.max_iters = 3000;
+  options.tolerance = 1e-6;
+  auto f = PropagateLabels(w, {{0, 1.0f}, {79, 0.0f}}, options);
+  ASSERT_TRUE(f.ok());
+  // Cluster 0 = indices [0, 40), cluster 1 = [40, 80).
+  double mean0 = 0, mean1 = 0;
+  for (size_t i = 0; i < 40; ++i) mean0 += (*f)[i];
+  for (size_t i = 40; i < 80; ++i) mean1 += (*f)[i];
+  mean0 /= 40;
+  mean1 /= 40;
+  EXPECT_GT(mean0, 0.8);
+  EXPECT_LT(mean1, 0.2);
+}
+
+TEST(LabelPropagationTest, IsolatedNodesKeepPrior) {
+  SparseMatrixF w = SparseMatrixF::FromTriplets(3, 3, {{0, 1, 1.0f},
+                                                       {1, 0, 1.0f}});
+  LabelPropagationOptions options;
+  options.prior = 0.25;
+  auto f = PropagateLabels(w, {{0, 1.0f}}, options);
+  ASSERT_TRUE(f.ok());
+  EXPECT_FLOAT_EQ((*f)[2], 0.25f);  // node 2 has no edges
+}
+
+}  // namespace
+}  // namespace seesaw::graph

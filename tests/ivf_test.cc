@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "clip/concept_space.h"
+#include "common/rng.h"
+#include "store/exact_store.h"
+#include "store/ivf_index.h"
+
+namespace seesaw::store {
+namespace {
+
+using linalg::MatrixF;
+using linalg::VectorF;
+
+MatrixF ClusteredTable(size_t n, size_t d, size_t centers, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<VectorF> mu;
+  for (size_t c = 0; c < centers; ++c) {
+    mu.push_back(clip::RandomUnitVector(rng, d));
+  }
+  MatrixF table(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = table.MutableRow(i);
+    const VectorF& center = mu[i % centers];
+    for (size_t j = 0; j < d; ++j) {
+      row[j] = center[j] + 0.25f * static_cast<float>(rng.Gaussian());
+    }
+    linalg::NormalizeInPlace(row);
+  }
+  return table;
+}
+
+TEST(IvfFlatTest, ValidatesInput) {
+  EXPECT_FALSE(IvfFlatIndex::Build({}, MatrixF()).ok());
+}
+
+TEST(IvfFlatTest, DefaultListCountIsSqrtN) {
+  auto index = IvfFlatIndex::Build({}, ClusteredTable(400, 8, 4, 1));
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_lists(), 20u);
+}
+
+TEST(IvfFlatTest, ProbingAllListsIsExact) {
+  MatrixF table = ClusteredTable(500, 16, 8, 2);
+  auto exact = ExactStore::Create(table);
+  IvfOptions options;
+  options.num_lists = 10;
+  options.nprobe = 10;  // scan everything
+  auto ivf = IvfFlatIndex::Build(options, std::move(table));
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(ivf.ok());
+  Rng rng(3);
+  for (int t = 0; t < 10; ++t) {
+    VectorF q = clip::RandomUnitVector(rng, 16);
+    auto et = exact->TopK(q, 10);
+    auto it = ivf->TopK(q, 10);
+    EXPECT_DOUBLE_EQ(RecallAgainst(it, et), 1.0);
+  }
+}
+
+TEST(IvfFlatTest, MoreProbesImproveRecall) {
+  MatrixF table = ClusteredTable(3000, 24, 30, 4);
+  auto exact = ExactStore::Create(table);
+  double prev_recall = -1;
+  for (size_t nprobe : {1u, 4u, 16u}) {
+    IvfOptions options;
+    options.num_lists = 32;
+    options.nprobe = nprobe;
+    auto ivf = IvfFlatIndex::Build(options, table);
+    ASSERT_TRUE(ivf.ok());
+    Rng rng(5);
+    double recall = 0;
+    const int queries = 30;
+    for (int t = 0; t < queries; ++t) {
+      size_t pick = static_cast<size_t>(rng.UniformInt(0, 2999));
+      VectorF q(exact->GetVector(static_cast<uint32_t>(pick)).begin(),
+                exact->GetVector(static_cast<uint32_t>(pick)).end());
+      recall += RecallAgainst(ivf->TopK(q, 10), exact->TopK(q, 10));
+    }
+    recall /= queries;
+    EXPECT_GE(recall, prev_recall);
+    prev_recall = recall;
+  }
+  EXPECT_GE(prev_recall, 0.95);  // nprobe=16 of 32 lists on clustered data
+}
+
+TEST(IvfFlatTest, ExclusionWorks) {
+  auto ivf = IvfFlatIndex::Build({}, ClusteredTable(300, 8, 3, 6));
+  ASSERT_TRUE(ivf.ok());
+  VectorF q(ivf->GetVector(5).begin(), ivf->GetVector(5).end());
+  auto hits = ivf->TopK(q, 10, [](uint32_t id) { return id < 100; });
+  for (const auto& h : hits) EXPECT_GE(h.id, 100u);
+}
+
+TEST(IvfFlatTest, DeterministicGivenSeed) {
+  MatrixF table = ClusteredTable(600, 12, 6, 7);
+  auto a = IvfFlatIndex::Build({}, table);
+  auto b = IvfFlatIndex::Build({}, std::move(table));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Rng rng(8);
+  VectorF q = clip::RandomUnitVector(rng, 12);
+  auto ha = a->TopK(q, 8);
+  auto hb = b->TopK(q, 8);
+  ASSERT_EQ(ha.size(), hb.size());
+  for (size_t i = 0; i < ha.size(); ++i) EXPECT_EQ(ha[i].id, hb[i].id);
+}
+
+}  // namespace
+}  // namespace seesaw::store

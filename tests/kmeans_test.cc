@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "linalg/kmeans.h"
+
+namespace seesaw::linalg {
+namespace {
+
+/// `clusters` well-separated Gaussian blobs of `per` points each.
+MatrixF Blobs(size_t clusters, size_t per, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  MatrixF points(clusters * per, d);
+  for (size_t c = 0; c < clusters; ++c) {
+    VectorF center(d);
+    for (auto& v : center) v = static_cast<float>(rng.Gaussian(0, 10));
+    for (size_t i = 0; i < per; ++i) {
+      auto row = points.MutableRow(c * per + i);
+      for (size_t j = 0; j < d; ++j) {
+        row[j] = center[j] + static_cast<float>(rng.Gaussian(0, 0.5));
+      }
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, ValidatesInput) {
+  EXPECT_FALSE(KMeans(MatrixF(), {}).ok());
+  KMeansOptions zero;
+  zero.num_clusters = 0;
+  EXPECT_FALSE(KMeans(MatrixF(4, 2), zero).ok());
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  MatrixF points = Blobs(4, 50, 8, 1);
+  KMeansOptions options;
+  options.num_clusters = 4;
+  auto result = KMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  // Every ground-truth blob maps to exactly one k-means cluster.
+  for (size_t blob = 0; blob < 4; ++blob) {
+    std::set<uint32_t> labels;
+    for (size_t i = 0; i < 50; ++i) {
+      labels.insert(result->assignment[blob * 50 + i]);
+    }
+    EXPECT_EQ(labels.size(), 1u) << "blob " << blob << " split";
+  }
+}
+
+TEST(KMeansTest, KClampedToPointCount) {
+  MatrixF points = Blobs(1, 3, 4, 2);
+  KMeansOptions options;
+  options.num_clusters = 10;
+  auto result = KMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->centroids.rows(), 3u);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  MatrixF points = Blobs(6, 40, 8, 3);
+  double prev = std::numeric_limits<double>::max();
+  for (size_t k : {1u, 2u, 4u, 8u}) {
+    KMeansOptions options;
+    options.num_clusters = k;
+    auto result = KMeans(points, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->inertia, prev + 1e-3);
+    prev = result->inertia;
+  }
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  MatrixF points = Blobs(3, 30, 6, 4);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  auto a = KMeans(points, options);
+  auto b = KMeans(points, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+TEST(KMeansTest, AssignmentsMatchNearestCentroid) {
+  MatrixF points = Blobs(3, 40, 5, 5);
+  KMeansOptions options;
+  options.num_clusters = 5;
+  auto result = KMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < points.rows(); ++i) {
+    float assigned =
+        SquaredDistance(points.Row(i), result->centroids.Row(result->assignment[i]));
+    for (size_t c = 0; c < result->centroids.rows(); ++c) {
+      EXPECT_LE(assigned,
+                SquaredDistance(points.Row(i), result->centroids.Row(c)) +
+                    1e-3f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace seesaw::linalg

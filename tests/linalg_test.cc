@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+#include "linalg/vector_ops.h"
+
+namespace seesaw::linalg {
+namespace {
+
+// ------------------------------------------------------------ vector ops --
+
+TEST(VectorOpsTest, DotBasic) {
+  VectorF a = {1, 2, 3};
+  VectorF b = {4, -5, 6};
+  EXPECT_FLOAT_EQ(Dot(a, b), 4 - 10 + 18);
+}
+
+TEST(VectorOpsTest, DotHandlesTailAfterUnrolledBlocks) {
+  // 7 elements exercises the 4-wide unroll plus a 3-long tail.
+  VectorF a = {1, 1, 1, 1, 1, 1, 1};
+  VectorF b = {1, 2, 3, 4, 5, 6, 7};
+  EXPECT_FLOAT_EQ(Dot(a, b), 28);
+}
+
+TEST(VectorOpsTest, NormAndSquaredNorm) {
+  VectorF a = {3, 4};
+  EXPECT_FLOAT_EQ(SquaredNorm(a), 25);
+  EXPECT_FLOAT_EQ(Norm(a), 5);
+}
+
+TEST(VectorOpsTest, SquaredDistance) {
+  VectorF a = {1, 2, 3};
+  VectorF b = {2, 0, 3};
+  EXPECT_FLOAT_EQ(SquaredDistance(a, b), 1 + 4 + 0);
+}
+
+TEST(VectorOpsTest, AxpyAccumulates) {
+  VectorF x = {1, 2};
+  VectorF y = {10, 20};
+  Axpy(2.0f, x, MutVecSpan(y));
+  EXPECT_FLOAT_EQ(y[0], 12);
+  EXPECT_FLOAT_EQ(y[1], 24);
+}
+
+TEST(VectorOpsTest, NormalizedProducesUnitVector) {
+  VectorF a = {3, 0, 4};
+  VectorF u = Normalized(a);
+  EXPECT_NEAR(Norm(u), 1.0f, 1e-6f);
+  EXPECT_NEAR(u[0], 0.6f, 1e-6f);
+  EXPECT_NEAR(u[2], 0.8f, 1e-6f);
+}
+
+TEST(VectorOpsTest, NormalizeZeroVectorIsNoop) {
+  VectorF a = {0, 0, 0};
+  float n = NormalizeInPlace(MutVecSpan(a));
+  EXPECT_FLOAT_EQ(n, 0.0f);
+  EXPECT_FLOAT_EQ(a[0], 0.0f);
+}
+
+TEST(VectorOpsTest, AddSubScaled) {
+  VectorF a = {1, 2};
+  VectorF b = {3, 5};
+  EXPECT_EQ(Add(a, b), (VectorF{4, 7}));
+  EXPECT_EQ(Sub(b, a), (VectorF{2, 3}));
+  EXPECT_EQ(Scaled(2.0f, a), (VectorF{2, 4}));
+}
+
+TEST(VectorOpsTest, CosineOfParallelAndOrthogonal) {
+  VectorF a = {1, 0};
+  VectorF b = {5, 0};
+  VectorF c = {0, 2};
+  EXPECT_NEAR(Cosine(a, b), 1.0f, 1e-6f);
+  EXPECT_NEAR(Cosine(a, c), 0.0f, 1e-6f);
+  VectorF zero = {0, 0};
+  EXPECT_FLOAT_EQ(Cosine(a, zero), 0.0f);
+}
+
+// ---------------------------------------------------------------- matrix --
+
+TEST(MatrixTest, FromRowsRoundTrip) {
+  MatrixF m = MatrixF::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FLOAT_EQ(m.At(1, 2), 6);
+  EXPECT_FLOAT_EQ(m.Row(0)[1], 2);
+}
+
+TEST(MatrixTest, IdentityMatVec) {
+  MatrixF id = MatrixF::Identity(3);
+  VectorF x = {7, -2, 3};
+  EXPECT_EQ(id.MatVec(x), x);
+}
+
+TEST(MatrixTest, MatVecAndTransposeMatVecAgreeWithManual) {
+  MatrixF m = MatrixF::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  VectorF x = {1, 1};
+  VectorF y = m.MatVec(x);
+  EXPECT_EQ(y, (VectorF{3, 7, 11}));
+  VectorF z = {1, 0, 1};
+  VectorF t = m.TransposeMatVec(z);
+  EXPECT_EQ(t, (VectorF{6, 8}));
+}
+
+TEST(MatrixTest, QuadraticFormMatchesExplicit) {
+  MatrixF m = MatrixF::FromRows({{2, 1}, {1, 3}});
+  VectorF x = {1, 2};
+  // x^T M x = 2 + 2 + 2 + 12 = 18
+  EXPECT_NEAR(m.QuadraticForm(x), 18.0, 1e-6);
+}
+
+TEST(MatrixTest, AddOuterProductRank1) {
+  MatrixF m(2, 2, 0.0f);
+  VectorF v = {1, 2};
+  m.AddOuterProduct(2.0f, v);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 2);
+  EXPECT_FLOAT_EQ(m.At(0, 1), 4);
+  EXPECT_FLOAT_EQ(m.At(1, 0), 4);
+  EXPECT_FLOAT_EQ(m.At(1, 1), 8);
+}
+
+TEST(MatrixTest, SymmetrizedAveragesOffDiagonal) {
+  MatrixF m = MatrixF::FromRows({{1, 4}, {2, 5}});
+  MatrixF s = m.Symmetrized();
+  EXPECT_FLOAT_EQ(s.At(0, 1), 3);
+  EXPECT_FLOAT_EQ(s.At(1, 0), 3);
+  EXPECT_FLOAT_EQ(s.At(0, 0), 1);
+}
+
+TEST(MatrixTest, FrobeniusAndMaxAbs) {
+  MatrixF m = MatrixF::FromRows({{3, 0}, {0, -4}});
+  EXPECT_NEAR(m.FrobeniusNorm(), 5.0, 1e-9);
+  EXPECT_FLOAT_EQ(m.MaxAbs(), 4.0f);
+}
+
+// ---------------------------------------------------------------- sparse --
+
+TEST(SparseTest, FromTripletsSumsDuplicates) {
+  SparseMatrixF m = SparseMatrixF::FromTriplets(
+      2, 2, {{0, 0, 1.0f}, {0, 0, 2.0f}, {1, 0, 5.0f}});
+  EXPECT_EQ(m.nnz(), 2u);
+  VectorF y = m.Apply(VectorF{1, 1});
+  EXPECT_FLOAT_EQ(y[0], 3);
+  EXPECT_FLOAT_EQ(y[1], 5);
+}
+
+TEST(SparseTest, ApplyMatchesDense) {
+  Rng rng(42);
+  const size_t n = 20, m = 15;
+  MatrixF dense(n, m, 0.0f);
+  std::vector<Triplet> triplets;
+  for (int e = 0; e < 60; ++e) {
+    uint32_t r = static_cast<uint32_t>(rng.UniformInt(0, n - 1));
+    uint32_t c = static_cast<uint32_t>(rng.UniformInt(0, m - 1));
+    float v = static_cast<float>(rng.Gaussian());
+    triplets.push_back({r, c, v});
+    dense.At(r, c) += v;
+  }
+  SparseMatrixF sparse = SparseMatrixF::FromTriplets(n, m, triplets);
+  VectorF x(m);
+  for (auto& v : x) v = static_cast<float>(rng.Gaussian());
+  VectorF ys = sparse.Apply(x);
+  VectorF yd = dense.MatVec(x);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(ys[i], yd[i], 1e-4f);
+}
+
+TEST(SparseTest, ApplyTransposeMatchesDense) {
+  SparseMatrixF m =
+      SparseMatrixF::FromTriplets(2, 3, {{0, 1, 2.0f}, {1, 2, 3.0f}});
+  VectorF x = {1, 1};
+  VectorF y = m.ApplyTranspose(x);
+  EXPECT_EQ(y, (VectorF{0, 2, 3}));
+}
+
+TEST(SparseTest, RowSums) {
+  SparseMatrixF m = SparseMatrixF::FromTriplets(
+      2, 2, {{0, 0, 1.0f}, {0, 1, 2.0f}, {1, 1, 4.0f}});
+  VectorF sums = m.RowSums();
+  EXPECT_FLOAT_EQ(sums[0], 3);
+  EXPECT_FLOAT_EQ(sums[1], 4);
+}
+
+TEST(SparseTest, SymmetrizedSumMirrorsEdges) {
+  SparseMatrixF m = SparseMatrixF::FromTriplets(3, 3, {{0, 1, 2.0f}});
+  SparseMatrixF s = m.SymmetrizedSum();
+  EXPECT_EQ(s.nnz(), 2u);
+  VectorF y = s.Apply(VectorF{1, 1, 0});
+  EXPECT_FLOAT_EQ(y[0], 2);
+  EXPECT_FLOAT_EQ(y[1], 2);
+}
+
+TEST(SparseTest, RowIterationSpans) {
+  SparseMatrixF m = SparseMatrixF::FromTriplets(
+      2, 3, {{0, 2, 5.0f}, {0, 0, 1.0f}, {1, 1, 7.0f}});
+  auto idx0 = m.RowIndices(0);
+  auto val0 = m.RowValues(0);
+  ASSERT_EQ(idx0.size(), 2u);
+  EXPECT_EQ(idx0[0], 0u);  // sorted by column
+  EXPECT_EQ(idx0[1], 2u);
+  EXPECT_FLOAT_EQ(val0[0], 1.0f);
+  EXPECT_FLOAT_EQ(val0[1], 5.0f);
+}
+
+TEST(SparseTest, BilinearMatchesQuadraticExpansion) {
+  // Laplacian-style check: x^T (D - W) x == sum_{edges} w_ij (x_i - x_j)^2
+  // for a symmetric W with degrees on the diagonal of D.
+  SparseMatrixF w = SparseMatrixF::FromTriplets(
+      3, 3, {{0, 1, 2.0f}, {1, 0, 2.0f}, {1, 2, 1.0f}, {2, 1, 1.0f}});
+  VectorF deg = w.RowSums();
+  std::vector<Triplet> lap_t;
+  for (uint32_t i = 0; i < 3; ++i) lap_t.push_back({i, i, deg[i]});
+  for (uint32_t r = 0; r < 3; ++r) {
+    auto idx = w.RowIndices(r);
+    auto val = w.RowValues(r);
+    for (size_t e = 0; e < idx.size(); ++e) {
+      lap_t.push_back({r, idx[e], -val[e]});
+    }
+  }
+  SparseMatrixF lap = SparseMatrixF::FromTriplets(3, 3, lap_t);
+  VectorF x = {1.0f, 3.0f, 0.0f};
+  double expected = 2.0 * (1 - 3) * (1 - 3) + 1.0 * (3 - 0) * (3 - 0);
+  EXPECT_NEAR(lap.Bilinear(x, x), expected, 1e-5);
+}
+
+TEST(SparseTest, ProjectQuadraticMatchesBilinear) {
+  // X^T A X compressed to d x d must reproduce w^T X^T A X w for any w.
+  Rng rng(7);
+  const size_t n = 30, d = 5;
+  MatrixF x(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      x.At(i, j) = static_cast<float>(rng.Gaussian());
+    }
+  }
+  std::vector<Triplet> triplets;
+  for (int e = 0; e < 100; ++e) {
+    uint32_t r = static_cast<uint32_t>(rng.UniformInt(0, n - 1));
+    uint32_t c = static_cast<uint32_t>(rng.UniformInt(0, n - 1));
+    triplets.push_back({r, c, static_cast<float>(rng.Gaussian())});
+  }
+  SparseMatrixF a = SparseMatrixF::FromTriplets(n, n, triplets);
+  MatrixF m = a.ProjectQuadratic(x);
+  EXPECT_EQ(m.rows(), d);
+  EXPECT_EQ(m.cols(), d);
+
+  VectorF w(d);
+  for (auto& v : w) v = static_cast<float>(rng.Gaussian());
+  // w^T M w
+  double direct = m.QuadraticForm(w);
+  // (Xw)^T A (Xw)
+  VectorF xw = x.MatVec(w);
+  double expected = a.Bilinear(xw, xw);
+  EXPECT_NEAR(direct, expected, 1e-2 * std::max(1.0, std::abs(expected)));
+}
+
+}  // namespace
+}  // namespace seesaw::linalg

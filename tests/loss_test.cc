@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clip/concept_space.h"
+#include "common/rng.h"
+#include "core/loss.h"
+#include "optim/lbfgs.h"
+#include "optim/objective.h"
+
+namespace seesaw::core {
+namespace {
+
+using linalg::MatrixF;
+using linalg::VectorF;
+
+VectorF RandomUnit(Rng& rng, size_t d) {
+  return clip::RandomUnitVector(rng, d);
+}
+
+/// A random symmetric PSD matrix A^T A.
+MatrixF RandomPsd(Rng& rng, size_t d) {
+  MatrixF a(d, d);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      a.At(i, j) = static_cast<float>(rng.Gaussian(0, 0.3));
+    }
+  }
+  MatrixF psd(d, d, 0.0f);
+  for (size_t i = 0; i < d; ++i) psd.AddOuterProduct(1.0f, a.Row(i));
+  return psd;
+}
+
+TEST(AlignerLossTest, NoExamplesPureRegularizers) {
+  Rng rng(1);
+  const size_t d = 8;
+  VectorF q0 = RandomUnit(rng, d);
+  LossOptions options;
+  options.lambda = 2.0;
+  options.lambda_text = 3.0;
+  options.use_db_term = false;
+  AlignerLoss loss(options, q0, nullptr);
+
+  // At w = q0: |w|^2 = 1, text term = 0.
+  optim::VectorD w(q0.begin(), q0.end());
+  optim::VectorD grad;
+  double f = loss.Evaluate(w, &grad);
+  EXPECT_NEAR(f, 2.0, 1e-5);
+}
+
+TEST(AlignerLossTest, TextTermZeroAtQ0AndPositiveElsewhere) {
+  Rng rng(2);
+  const size_t d = 16;
+  VectorF q0 = RandomUnit(rng, d);
+  LossOptions options;
+  options.lambda = 0.0;
+  options.lambda_text = 5.0;
+  options.use_db_term = false;
+  AlignerLoss loss(options, q0, nullptr);
+
+  optim::VectorD at_q0(q0.begin(), q0.end());
+  optim::VectorD grad;
+  EXPECT_NEAR(loss.Evaluate(at_q0, &grad), 0.0, 1e-5);
+
+  VectorF other = RandomUnit(rng, d);
+  optim::VectorD at_other(other.begin(), other.end());
+  EXPECT_GT(loss.Evaluate(at_other, &grad), 0.1);
+}
+
+TEST(AlignerLossTest, TextTermIsScaleInvariant) {
+  Rng rng(3);
+  const size_t d = 12;
+  VectorF q0 = RandomUnit(rng, d);
+  LossOptions options;
+  options.lambda = 0.0;
+  options.lambda_text = 1.0;
+  options.use_db_term = false;
+  AlignerLoss loss(options, q0, nullptr);
+  VectorF w = RandomUnit(rng, d);
+  optim::VectorD w1(w.begin(), w.end());
+  optim::VectorD w3 = w1;
+  for (auto& v : w3) v *= 3.0;
+  optim::VectorD grad;
+  EXPECT_NEAR(loss.Evaluate(w1, &grad), loss.Evaluate(w3, &grad), 1e-6);
+}
+
+TEST(AlignerLossTest, DbTermIsScaleInvariant) {
+  Rng rng(4);
+  const size_t d = 10;
+  VectorF q0 = RandomUnit(rng, d);
+  MatrixF md = RandomPsd(rng, d);
+  LossOptions options;
+  options.lambda = 0.0;
+  options.use_text_term = false;
+  options.lambda_db = 1.0;
+  AlignerLoss loss(options, q0, &md);
+  VectorF w = RandomUnit(rng, d);
+  optim::VectorD w1(w.begin(), w.end());
+  optim::VectorD w5 = w1;
+  for (auto& v : w5) v *= 5.0;
+  optim::VectorD grad;
+  EXPECT_NEAR(loss.Evaluate(w1, &grad), loss.Evaluate(w5, &grad), 1e-6);
+}
+
+TEST(AlignerLossTest, DataTermMatchesLogisticLoss) {
+  VectorF q0 = {1, 0, 0, 0};
+  LossOptions options;
+  options.lambda = 0.0;
+  options.use_text_term = false;
+  options.use_db_term = false;
+  options.balance_classes = false;  // check the raw logistic value
+  AlignerLoss loss(options, q0, nullptr);
+  VectorF x = {0.5f, 0.5f, 0, 0};
+  loss.AddExample(x, 1.0f);
+  optim::VectorD w = {1, 1, 0, 0};  // w.x = 1
+  optim::VectorD grad;
+  double f = loss.Evaluate(w, &grad);
+  EXPECT_NEAR(f, std::log(1.0 + std::exp(-1.0)), 1e-9);
+}
+
+TEST(AlignerLossTest, ExampleWeightScalesContribution) {
+  VectorF q0 = {1, 0, 0, 0};
+  LossOptions options;
+  options.lambda = 0.0;
+  options.use_text_term = false;
+  options.use_db_term = false;
+  AlignerLoss single(options, q0, nullptr);
+  AlignerLoss weighted(options, q0, nullptr);
+  VectorF x = {0, 1, 0, 0};
+  single.AddExample(x, 0.0f, 1.0f);
+  weighted.AddExample(x, 0.0f, 2.5f);
+  optim::VectorD w = {0, 0.7, 0, 0};
+  optim::VectorD g1, g2;
+  EXPECT_NEAR(weighted.Evaluate(w, &g2), 2.5 * single.Evaluate(w, &g1), 1e-9);
+}
+
+TEST(AlignerLossTest, SoftLabelsAccepted) {
+  VectorF q0 = {1, 0};
+  LossOptions options;
+  AlignerLoss loss(options, q0, nullptr);
+  loss.AddExample(VectorF{0.5f, 0.5f}, 0.3f);
+  EXPECT_EQ(loss.num_examples(), 1u);
+  optim::VectorD grad;
+  EXPECT_TRUE(std::isfinite(loss.Evaluate({1.0, 0.0}, &grad)));
+}
+
+TEST(AlignerLossTest, ClearExamplesResets) {
+  VectorF q0 = {1, 0};
+  AlignerLoss loss({}, q0, nullptr);
+  loss.AddExample(VectorF{0, 1}, 1.0f);
+  loss.ClearExamples();
+  EXPECT_EQ(loss.num_examples(), 0u);
+}
+
+// Gradient check sweep: the analytic gradient must match central
+// differences for random configurations of every term combination.
+struct GradCheckParam {
+  bool text;
+  bool db;
+  int num_examples;
+};
+
+class LossGradientSweep : public ::testing::TestWithParam<GradCheckParam> {};
+
+TEST_P(LossGradientSweep, AnalyticMatchesNumeric) {
+  const auto param = GetParam();
+  Rng rng(500 + param.num_examples + param.text * 2 + param.db);
+  const size_t d = 12;
+  VectorF q0 = RandomUnit(rng, d);
+  MatrixF md = RandomPsd(rng, d);
+
+  LossOptions options;
+  options.lambda = 1.7;
+  options.lambda_text = 2.3;
+  options.lambda_db = 4.1;
+  options.use_text_term = param.text;
+  options.use_db_term = param.db;
+  AlignerLoss loss(options, q0, &md);
+  for (int i = 0; i < param.num_examples; ++i) {
+    loss.AddExample(RandomUnit(rng, d), rng.Bernoulli(0.5) ? 1.0f : 0.0f,
+                    0.5f + static_cast<float>(rng.Uniform()));
+  }
+
+  // Probe at a few random points away from 0.
+  for (int probe = 0; probe < 3; ++probe) {
+    VectorF wf = RandomUnit(rng, d);
+    optim::VectorD w(wf.begin(), wf.end());
+    for (auto& v : w) v *= 0.5 + rng.Uniform();
+
+    optim::VectorD analytic;
+    loss.Evaluate(w, &analytic);
+    // The loss evaluates in float32 internally, so central differences carry
+    // ~1e-6-relative value noise; a larger step + tolerance keeps the check
+    // sensitive to formula errors (which are O(1)) without false alarms.
+    auto numeric = optim::NumericalGradient(
+        [&loss](const optim::VectorD& p) {
+          optim::VectorD g;
+          return loss.Evaluate(p, &g);
+        },
+        w, 3e-4);
+    for (size_t j = 0; j < d; ++j) {
+      EXPECT_NEAR(analytic[j], numeric[j],
+                  8e-3 * std::max(1.0, std::abs(numeric[j])))
+          << "dim " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TermCombos, LossGradientSweep,
+    ::testing::Values(GradCheckParam{false, false, 0},
+                      GradCheckParam{false, false, 5},
+                      GradCheckParam{true, false, 0},
+                      GradCheckParam{true, false, 7},
+                      GradCheckParam{false, true, 4},
+                      GradCheckParam{true, true, 0},
+                      GradCheckParam{true, true, 3},
+                      GradCheckParam{true, true, 12}));
+
+TEST(AlignerLossTest, MinimizerBalancesDataAndTextTerm) {
+  // With a huge lambda_text, the minimizer must stay near q0; with
+  // lambda_text = 0 it should drift toward separating the data.
+  Rng rng(6);
+  const size_t d = 16;
+  VectorF q0 = RandomUnit(rng, d);
+  VectorF target = RandomUnit(rng, d);  // "true" concept direction != q0
+
+  auto make_loss = [&](double lambda_text) {
+    LossOptions options;
+    options.lambda = 1.0;
+    options.lambda_text = lambda_text;
+    options.use_db_term = false;
+    auto loss = std::make_unique<AlignerLoss>(options, q0, nullptr);
+    Rng data_rng(7);
+    for (int i = 0; i < 30; ++i) {
+      bool pos = data_rng.Bernoulli(0.5);
+      VectorF x = RandomUnit(data_rng, d);
+      // Positives lie near `target`.
+      if (pos) {
+        linalg::Axpy(2.0f, target, linalg::MutVecSpan(x));
+        linalg::NormalizeInPlace(linalg::MutVecSpan(x));
+      }
+      loss->AddExample(x, pos ? 1.0f : 0.0f);
+    }
+    return loss;
+  };
+
+  optim::Lbfgs opt;
+  optim::VectorD w0(q0.begin(), q0.end());
+
+  auto strong = make_loss(1000.0);
+  auto strong_result = opt.Minimize(strong->AsObjective(), w0);
+  ASSERT_TRUE(strong_result.ok());
+  VectorF w_strong(d);
+  for (size_t j = 0; j < d; ++j) {
+    w_strong[j] = static_cast<float>(strong_result->x[j]);
+  }
+  EXPECT_GT(linalg::Cosine(w_strong, q0), 0.95f);
+
+  auto weak = make_loss(0.0);
+  auto weak_result = opt.Minimize(weak->AsObjective(), w0);
+  ASSERT_TRUE(weak_result.ok());
+  VectorF w_weak(d);
+  for (size_t j = 0; j < d; ++j) {
+    w_weak[j] = static_cast<float>(weak_result->x[j]);
+  }
+  EXPECT_GT(linalg::Cosine(w_weak, target), linalg::Cosine(w_strong, target));
+}
+
+}  // namespace
+}  // namespace seesaw::core

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "core/embedded_dataset.h"
+#include "core/multiscale.h"
+#include "data/profiles.h"
+
+namespace seesaw::core {
+namespace {
+
+// ------------------------------------------------------------- TileImage --
+
+TEST(TileImageTest, PaperExample448Gives10Tiles) {
+  // §4.3: "an image of size 448x448 maps to one coarse tile ... plus 9
+  // finer-grained tiles of size 224x224".
+  auto tiles = TileImage(448, 448, {});
+  ASSERT_EQ(tiles.size(), 10u);
+  EXPECT_FLOAT_EQ(tiles[0].Width(), 448);
+  EXPECT_FLOAT_EQ(tiles[0].Height(), 448);
+  for (size_t t = 1; t < tiles.size(); ++t) {
+    EXPECT_FLOAT_EQ(tiles[t].Width(), 224);
+    EXPECT_FLOAT_EQ(tiles[t].Height(), 224);
+  }
+}
+
+TEST(TileImageTest, SmallImageMapsToSingleVector) {
+  // "A smaller image would only map to one vector."
+  auto tiles = TileImage(224, 224, {});
+  EXPECT_EQ(tiles.size(), 1u);
+  auto tiles_300 = TileImage(300, 300, {});
+  EXPECT_EQ(tiles_300.size(), 1u);  // 150 < 224 -> no fine tiles
+}
+
+TEST(TileImageTest, WiderImageAddsTilesAlongThatDimension) {
+  // "a wider image may add more along that dimension".
+  auto square = TileImage(448, 448, {});
+  auto wide = TileImage(672, 448, {});
+  EXPECT_GT(wide.size(), square.size());
+  // Height tiling unchanged: count per row grows, rows stay 3.
+}
+
+TEST(TileImageTest, DisabledMultiscaleGivesCoarseOnly) {
+  MultiscaleOptions options;
+  options.enabled = false;
+  auto tiles = TileImage(1280, 720, options);
+  EXPECT_EQ(tiles.size(), 1u);
+}
+
+TEST(TileImageTest, TilesStayInsideImage) {
+  for (auto [w, h] : std::vector<std::pair<int, int>>{
+           {448, 448}, {1280, 720}, {900, 640}, {500, 460}}) {
+    auto tiles = TileImage(w, h, {});
+    for (const auto& t : tiles) {
+      EXPECT_GE(t.x0, 0);
+      EXPECT_GE(t.y0, 0);
+      EXPECT_LE(t.x1, static_cast<float>(w));
+      EXPECT_LE(t.y1, static_cast<float>(h));
+    }
+  }
+}
+
+TEST(TileImageTest, FineTilesCoverThePatchGrid) {
+  // 1280x720 with side 360, stride 180: x positions 0..900 step 180 (6),
+  // y positions 0..360 step 180 (3) -> 18 fine + 1 coarse.
+  auto tiles = TileImage(1280, 720, {});
+  EXPECT_EQ(tiles.size(), 19u);
+}
+
+/// Parameterized invariants over many image sizes.
+class TileSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(TileSweep, CoarseFirstFineSquareAndAligned) {
+  auto [w, h] = GetParam();
+  auto tiles = TileImage(w, h, {});
+  ASSERT_GE(tiles.size(), 1u);
+  EXPECT_FLOAT_EQ(tiles[0].Width(), static_cast<float>(w));
+  EXPECT_FLOAT_EQ(tiles[0].Height(), static_cast<float>(h));
+  int side = std::min(w, h) / 2;
+  for (size_t t = 1; t < tiles.size(); ++t) {
+    EXPECT_FLOAT_EQ(tiles[t].Width(), static_cast<float>(side));
+    EXPECT_FLOAT_EQ(tiles[t].Height(), static_cast<float>(side));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TileSweep,
+    ::testing::Values(std::pair{448, 448}, std::pair{1280, 720},
+                      std::pair{640, 480}, std::pair{224, 224},
+                      std::pair{2000, 500}, std::pair{449, 897}));
+
+// ------------------------------------------------------- EmbeddedDataset --
+
+data::DatasetProfile SmallProfile() {
+  auto p = data::CocoLikeProfile(0.04);
+  p.embedding_dim = 32;
+  return p;
+}
+
+TEST(EmbeddedDatasetTest, CoarseModeHasOneVectorPerImage) {
+  auto ds = data::Dataset::Generate(SmallProfile());
+  ASSERT_TRUE(ds.ok());
+  PreprocessOptions options;
+  options.multiscale.enabled = false;
+  options.build_md = false;
+  auto ed = EmbeddedDataset::Build(*ds, options);
+  ASSERT_TRUE(ed.ok());
+  EXPECT_EQ(ed->num_vectors(), ds->num_images());
+  for (uint32_t i = 0; i < ds->num_images(); ++i) {
+    auto [begin, end] = ed->ImagePatchRange(i);
+    EXPECT_EQ(end - begin, 1u);
+    EXPECT_EQ(ed->patch(begin).image_idx, i);
+    EXPECT_TRUE(ed->patch(begin).is_coarse);
+  }
+}
+
+TEST(EmbeddedDatasetTest, MultiscaleMultipliesVectors) {
+  auto ds = data::Dataset::Generate(SmallProfile());
+  ASSERT_TRUE(ds.ok());
+  PreprocessOptions coarse;
+  coarse.multiscale.enabled = false;
+  coarse.build_md = false;
+  PreprocessOptions multi;
+  multi.build_md = false;
+  auto ed_coarse = EmbeddedDataset::Build(*ds, coarse);
+  auto ed_multi = EmbeddedDataset::Build(*ds, multi);
+  ASSERT_TRUE(ed_coarse.ok());
+  ASSERT_TRUE(ed_multi.ok());
+  // COCO-like images are 640-900 px wide: multiscale adds an order of
+  // magnitude more vectors (§4.3: "a 10x increase in vectors per image").
+  EXPECT_GT(ed_multi->num_vectors(), 5 * ed_coarse->num_vectors());
+}
+
+TEST(EmbeddedDatasetTest, VectorsAreUnitNorm) {
+  auto ds = data::Dataset::Generate(SmallProfile());
+  ASSERT_TRUE(ds.ok());
+  PreprocessOptions options;
+  options.build_md = false;
+  auto ed = EmbeddedDataset::Build(*ds, options);
+  ASSERT_TRUE(ed.ok());
+  for (size_t v = 0; v < std::min<size_t>(100, ed->num_vectors()); ++v) {
+    EXPECT_NEAR(linalg::Norm(ed->vectors().Row(v)), 1.0f, 1e-4f);
+  }
+}
+
+TEST(EmbeddedDatasetTest, MdBuiltOnDemand) {
+  auto ds = data::Dataset::Generate(SmallProfile());
+  ASSERT_TRUE(ds.ok());
+  PreprocessOptions no_md;
+  no_md.multiscale.enabled = false;
+  no_md.build_md = false;
+  auto without = EmbeddedDataset::Build(*ds, no_md);
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(without->md(), nullptr);
+
+  PreprocessOptions with_md = no_md;
+  with_md.build_md = true;
+  with_md.md.k = 5;
+  auto with = EmbeddedDataset::Build(*ds, with_md);
+  ASSERT_TRUE(with.ok());
+  ASSERT_NE(with->md(), nullptr);
+  EXPECT_EQ(with->md()->rows(), ds->space().dim());
+}
+
+TEST(EmbeddedDatasetTest, AnnoyAndExactStoreAgreeOnTop1) {
+  auto ds = data::Dataset::Generate(SmallProfile());
+  ASSERT_TRUE(ds.ok());
+  PreprocessOptions exact_opts;
+  exact_opts.multiscale.enabled = false;
+  exact_opts.build_md = false;
+  PreprocessOptions annoy_opts = exact_opts;
+  annoy_opts.backend = core::StoreBackend::kAnnoy;
+  annoy_opts.annoy.num_trees = 24;
+  auto exact = EmbeddedDataset::Build(*ds, exact_opts);
+  auto annoy = EmbeddedDataset::Build(*ds, annoy_opts);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(annoy.ok());
+  // §2.2: only a minor accuracy drop with Annoy. Top-10 overlap must be
+  // high averaged over text queries.
+  double recall = 0;
+  size_t n_queries = std::min<size_t>(10, ds->space().num_concepts());
+  for (size_t c = 0; c < n_queries; ++c) {
+    auto q = ds->model().EmbedText(c);
+    auto et = exact->store().TopK(q, 10);
+    auto at = annoy->store().TopK(q, 10);
+    recall += store::RecallAgainst(at, et);
+  }
+  EXPECT_GE(recall / static_cast<double>(n_queries), 0.8);
+}
+
+TEST(EmbeddedDatasetTest, StatsPopulated) {
+  auto ds = data::Dataset::Generate(SmallProfile());
+  ASSERT_TRUE(ds.ok());
+  PreprocessOptions options;
+  options.multiscale.enabled = false;
+  options.md.k = 5;
+  auto ed = EmbeddedDataset::Build(*ds, options);
+  ASSERT_TRUE(ed.ok());
+  EXPECT_GT(ed->stats().num_vectors, 0u);
+  EXPECT_GE(ed->stats().embed_seconds, 0.0);
+  EXPECT_GE(ed->stats().md_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace seesaw::core

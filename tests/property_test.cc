@@ -1,0 +1,321 @@
+// Property-style tests: randomized invariants that must hold for any input,
+// complementing the per-module example-based suites.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "clip/concept_space.h"
+#include "common/rng.h"
+#include "core/baselines/rocchio.h"
+#include "core/embedded_dataset.h"
+#include "core/loss.h"
+#include "core/seesaw_searcher.h"
+#include "data/profiles.h"
+#include "eval/metrics.h"
+#include "optim/lbfgs.h"
+#include "store/exact_store.h"
+
+namespace seesaw {
+namespace {
+
+// ------------------------------------------------------- metric invariants --
+
+class TaskApSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TaskApSweep, BoundsAndMonotonicity) {
+  Rng rng(GetParam());
+  // Random relevance sequence.
+  size_t len = 1 + static_cast<size_t>(rng.UniformInt(0, 59));
+  std::vector<char> rel(len);
+  for (auto& r : rel) r = rng.Bernoulli(0.3);
+  size_t total_relevant = 1 + static_cast<size_t>(rng.UniformInt(0, 200));
+
+  double ap = eval::TaskAp(rel, total_relevant, 10);
+  EXPECT_GE(ap, 0.0);
+  EXPECT_LE(ap, 1.0);
+
+  // Swapping a negative before a positive (moving the positive earlier)
+  // never decreases AP.
+  for (size_t i = 1; i < rel.size(); ++i) {
+    if (rel[i] && !rel[i - 1]) {
+      auto improved = rel;
+      std::swap(improved[i], improved[i - 1]);
+      EXPECT_GE(eval::TaskAp(improved, total_relevant, 10) + 1e-12, ap);
+      break;
+    }
+  }
+
+  // Appending trailing negatives never changes AP.
+  auto padded = rel;
+  padded.insert(padded.end(), 5, 0);
+  EXPECT_DOUBLE_EQ(eval::TaskAp(padded, total_relevant, 10), ap);
+}
+
+TEST_P(TaskApSweep, FullRankingApBoundsAndPerfectCase) {
+  Rng rng(GetParam() * 31 + 7);
+  size_t n = 20 + static_cast<size_t>(rng.UniformInt(0, 100));
+  std::vector<float> scores(n);
+  std::vector<char> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    scores[i] = static_cast<float>(rng.Gaussian());
+    labels[i] = rng.Bernoulli(0.2);
+  }
+  double ap = eval::FullRankingAp(scores, labels);
+  EXPECT_GE(ap, 0.0);
+  EXPECT_LE(ap, 1.0);
+
+  // Scoring every positive above every negative gives AP exactly 1.
+  for (size_t i = 0; i < n; ++i) {
+    scores[i] = labels[i] ? 10.0f + static_cast<float>(i % 7)
+                          : -10.0f - static_cast<float>(i % 5);
+  }
+  size_t positives = 0;
+  for (char l : labels) positives += l;
+  if (positives > 0) {
+    EXPECT_DOUBLE_EQ(eval::FullRankingAp(scores, labels), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TaskApSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --------------------------------------------------------- loss invariants --
+
+class LossPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LossPropertySweep, DataTermIsConvexAlongRandomSegments) {
+  // With the scale-invariant terms off, the loss (logistic + lambda|w|^2) is
+  // convex: f((a+b)/2) <= (f(a)+f(b))/2 for any a, b.
+  Rng rng(GetParam() * 13 + 1);
+  const size_t d = 10;
+  core::LossOptions options;
+  options.use_text_term = false;
+  options.use_db_term = false;
+  options.lambda = rng.Uniform(0.0, 5.0);
+  core::AlignerLoss loss(options, clip::RandomUnitVector(rng, d), nullptr);
+  for (int i = 0; i < 12; ++i) {
+    loss.AddExample(clip::RandomUnitVector(rng, d),
+                    rng.Bernoulli(0.5) ? 1.0f : 0.0f);
+  }
+  for (int trial = 0; trial < 5; ++trial) {
+    optim::VectorD a(d), b(d), mid(d);
+    for (size_t j = 0; j < d; ++j) {
+      a[j] = rng.Gaussian(0, 2);
+      b[j] = rng.Gaussian(0, 2);
+      mid[j] = 0.5 * (a[j] + b[j]);
+    }
+    optim::VectorD g;
+    double fa = loss.Evaluate(a, &g);
+    double fb = loss.Evaluate(b, &g);
+    double fm = loss.Evaluate(mid, &g);
+    EXPECT_LE(fm, 0.5 * (fa + fb) + 1e-6);
+  }
+}
+
+TEST_P(LossPropertySweep, EvaluationIsOrderInvariant) {
+  // The loss is a sum over examples: insertion order must not matter.
+  Rng rng(GetParam() * 17 + 3);
+  const size_t d = 8;
+  auto q0 = clip::RandomUnitVector(rng, d);
+  std::vector<std::pair<linalg::VectorF, float>> examples;
+  for (int i = 0; i < 10; ++i) {
+    examples.push_back(
+        {clip::RandomUnitVector(rng, d), rng.Bernoulli(0.5) ? 1.0f : 0.0f});
+  }
+  core::AlignerLoss forward({}, q0, nullptr);
+  for (const auto& [x, y] : examples) forward.AddExample(x, y);
+  core::AlignerLoss backward({}, q0, nullptr);
+  for (auto it = examples.rbegin(); it != examples.rend(); ++it) {
+    backward.AddExample(it->first, it->second);
+  }
+  optim::VectorD w(q0.begin(), q0.end());
+  optim::VectorD g1, g2;
+  EXPECT_NEAR(forward.Evaluate(w, &g1), backward.Evaluate(w, &g2), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossPropertySweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ------------------------------------------------------ optimizer property --
+
+class LbfgsNeverWorsens : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LbfgsNeverWorsens, FinalValueAtMostInitial) {
+  // On the real aligner loss (non-convex because of the cosine terms),
+  // L-BFGS must still never end above its starting value.
+  Rng rng(GetParam() * 7 + 11);
+  const size_t d = 16;
+  auto q0 = clip::RandomUnitVector(rng, d);
+  core::AlignerLoss loss({}, q0, nullptr);
+  for (int i = 0; i < 20; ++i) {
+    loss.AddExample(clip::RandomUnitVector(rng, d),
+                    rng.Bernoulli(0.4) ? 1.0f : 0.0f);
+  }
+  optim::VectorD x0(d);
+  for (auto& v : x0) v = rng.Gaussian(0, 1);
+  optim::VectorD g;
+  double f0 = loss.Evaluate(x0, &g);
+  optim::Lbfgs opt;
+  auto result = opt.Minimize(loss.AsObjective(), x0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->f, f0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LbfgsNeverWorsens,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ----------------------------------------------------------- store property --
+
+TEST(StoreProperty, TopKMatchesBruteForceMaximum) {
+  Rng rng(99);
+  const size_t n = 500, d = 12;
+  linalg::MatrixF table(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = table.MutableRow(i);
+    for (auto& v : row) v = static_cast<float>(rng.Gaussian());
+    linalg::NormalizeInPlace(row);
+  }
+  auto store = store::ExactStore::Create(std::move(table));
+  ASSERT_TRUE(store.ok());
+  for (int t = 0; t < 10; ++t) {
+    auto q = clip::RandomUnitVector(rng, d);
+    auto hits = store->TopK(q, 1);
+    ASSERT_EQ(hits.size(), 1u);
+    // Brute force maximum.
+    float best = -2.0f;
+    for (uint32_t i = 0; i < n; ++i) {
+      best = std::max(best, linalg::Dot(store->GetVector(i), q));
+    }
+    EXPECT_FLOAT_EQ(hits[0].score, best);
+  }
+}
+
+// --------------------------------------------------------- session fuzzing --
+
+struct FuzzFixture {
+  std::unique_ptr<data::Dataset> dataset;
+  std::unique_ptr<core::EmbeddedDataset> embedded;
+};
+
+FuzzFixture MakeFuzzFixture(uint64_t seed) {
+  auto profile = data::CocoLikeProfile(0.04);
+  profile.embedding_dim = 32;
+  profile.seed = seed;
+  auto ds = data::Dataset::Generate(profile);
+  EXPECT_TRUE(ds.ok());
+  FuzzFixture f;
+  f.dataset = std::make_unique<data::Dataset>(std::move(*ds));
+  core::PreprocessOptions options;
+  options.build_md = true;
+  options.md.k = 5;
+  options.md.sample_size = 500;
+  auto ed = core::EmbeddedDataset::Build(*f.dataset, options);
+  EXPECT_TRUE(ed.ok());
+  f.embedded = std::make_unique<core::EmbeddedDataset>(std::move(*ed));
+  return f;
+}
+
+class SessionFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SessionFuzz, RandomFeedbackNeverBreaksInvariants) {
+  // Feed arbitrary (even adversarial) feedback: random relevance unrelated
+  // to ground truth, random boxes, random batch sizes. The session must keep
+  // its invariants: no repeated images, sorted scores, unit query, OK refit.
+  FuzzFixture f = MakeFuzzFixture(1000 + GetParam());
+  Rng rng(GetParam());
+  size_t concept_id = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(
+                            f.dataset->space().num_concepts()) - 1));
+  core::SeeSawSearcher searcher(*f.embedded,
+                                f.embedded->TextQuery(concept_id), {});
+  std::set<uint32_t> seen;
+  for (int round = 0; round < 8; ++round) {
+    size_t want = 1 + static_cast<size_t>(rng.UniformInt(0, 12));
+    auto batch = searcher.NextBatch(want);
+    for (size_t i = 1; i < batch.size(); ++i) {
+      EXPECT_GE(batch[i - 1].score, batch[i].score);
+    }
+    for (const auto& hit : batch) {
+      EXPECT_TRUE(seen.insert(hit.image_idx).second)
+          << "image " << hit.image_idx << " repeated";
+      core::ImageFeedback fb;
+      fb.image_idx = hit.image_idx;
+      fb.relevant = rng.Bernoulli(0.4);
+      if (fb.relevant && rng.Bernoulli(0.7)) {
+        const auto& img = f.dataset->image(hit.image_idx);
+        float x0 = static_cast<float>(rng.Uniform(0, img.width * 0.8));
+        float y0 = static_cast<float>(rng.Uniform(0, img.height * 0.8));
+        fb.boxes.push_back(data::Box{
+            x0, y0, x0 + static_cast<float>(rng.Uniform(5, img.width * 0.3)),
+            y0 + static_cast<float>(rng.Uniform(5, img.height * 0.3))});
+      }
+      searcher.AddFeedback(fb);
+    }
+    ASSERT_TRUE(searcher.Refit().ok());
+    EXPECT_NEAR(linalg::Norm(searcher.current_query()), 1.0f, 1e-4f);
+  }
+}
+
+TEST_P(SessionFuzz, RocchioSurvivesRandomFeedback) {
+  FuzzFixture f = MakeFuzzFixture(2000 + GetParam());
+  Rng rng(GetParam() * 3);
+  core::RocchioSearcher searcher(*f.embedded, f.embedded->TextQuery(0));
+  std::set<uint32_t> seen;
+  for (int round = 0; round < 6; ++round) {
+    auto batch = searcher.NextBatch(7);
+    for (const auto& hit : batch) {
+      EXPECT_TRUE(seen.insert(hit.image_idx).second);
+      core::ImageFeedback fb;
+      fb.image_idx = hit.image_idx;
+      fb.relevant = rng.Bernoulli(0.5);
+      searcher.AddFeedback(fb);
+    }
+    ASSERT_TRUE(searcher.Refit().ok());
+    EXPECT_NEAR(linalg::Norm(searcher.current_query()), 1.0f, 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionFuzz, ::testing::Values(1, 2, 3, 4));
+
+// ------------------------------------------------------ dataset invariants --
+
+class DatasetPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DatasetPropertySweep, GeneratorInvariantsHoldForRandomProfiles) {
+  Rng rng(GetParam() * 41);
+  data::DatasetProfile p;
+  p.name = "fuzz";
+  p.num_images = 50 + static_cast<size_t>(rng.UniformInt(0, 150));
+  p.num_concepts = 4 + static_cast<size_t>(rng.UniformInt(0, 20));
+  p.embedding_dim = 16 + static_cast<size_t>(rng.UniformInt(0, 48));
+  p.mean_objects_per_image = rng.Uniform(0.5, 6.0);
+  p.zipf_exponent = rng.Uniform(0.0, 2.0);
+  p.object_scale_min = rng.Uniform(0.02, 0.2);
+  p.object_scale_max = p.object_scale_min + rng.Uniform(0.1, 0.5);
+  p.deficit_tail_prob = rng.Uniform(0.0, 0.6);
+  p.multimode_prob = rng.Uniform(0.0, 1.0);
+  p.seed = GetParam();
+
+  auto ds = data::Dataset::Generate(p);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_images(), p.num_images);
+  for (size_t c = 0; c < p.num_concepts; ++c) {
+    EXPECT_GE(ds->positives(c).size(), p.min_positives_per_concept);
+    // positives() lists must be sorted & unique.
+    const auto& pos = ds->positives(c);
+    for (size_t i = 1; i < pos.size(); ++i) EXPECT_LT(pos[i - 1], pos[i]);
+  }
+  for (const auto& img : ds->images()) {
+    for (const auto& obj : img.objects) {
+      EXPECT_GE(obj.concept_id, 0);
+      EXPECT_LT(static_cast<size_t>(obj.concept_id), p.num_concepts);
+      EXPECT_FALSE(obj.box.Empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatasetPropertySweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace seesaw

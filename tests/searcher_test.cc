@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/baselines/rocchio.h"
+#include "core/embedded_dataset.h"
+#include "core/seesaw_searcher.h"
+#include "data/profiles.h"
+#include "eval/task_runner.h"
+
+namespace seesaw::core {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<data::Dataset> dataset;
+  std::unique_ptr<EmbeddedDataset> embedded;
+};
+
+Fixture MakeFixture(bool multiscale, bool build_md) {
+  auto profile = data::CocoLikeProfile(0.05);
+  profile.embedding_dim = 32;
+  auto ds = data::Dataset::Generate(profile);
+  EXPECT_TRUE(ds.ok());
+  Fixture f;
+  f.dataset = std::make_unique<data::Dataset>(std::move(*ds));
+  PreprocessOptions options;
+  options.multiscale.enabled = multiscale;
+  options.build_md = build_md;
+  options.md.k = 5;
+  options.md.sample_size = 500;
+  auto ed = EmbeddedDataset::Build(*f.dataset, options);
+  EXPECT_TRUE(ed.ok());
+  f.embedded = std::make_unique<EmbeddedDataset>(std::move(*ed));
+  return f;
+}
+
+TEST(SeeSawSearcherTest, NamesReflectConfiguration) {
+  auto f = MakeFixture(false, false);
+  auto q0 = f.embedded->TextQuery(0);
+
+  SeeSawOptions zero;
+  zero.update_query = false;
+  EXPECT_EQ(SeeSawSearcher(*f.embedded, q0, zero).name(), "zero-shot");
+
+  SeeSawOptions few;
+  few.aligner.loss.use_text_term = false;
+  few.aligner.loss.use_db_term = false;
+  EXPECT_EQ(SeeSawSearcher(*f.embedded, q0, few).name(), "few-shot");
+
+  SeeSawOptions qa;
+  qa.aligner.loss.use_db_term = false;
+  EXPECT_EQ(SeeSawSearcher(*f.embedded, q0, qa).name(), "query-align");
+
+  EXPECT_EQ(SeeSawSearcher(*f.embedded, q0, {}).name(), "seesaw");
+
+  SeeSawOptions labeled;
+  labeled.label = "custom";
+  EXPECT_EQ(SeeSawSearcher(*f.embedded, q0, labeled).name(), "custom");
+}
+
+TEST(SeeSawSearcherTest, NextBatchReturnsDistinctUnseenImages) {
+  auto f = MakeFixture(true, false);
+  SeeSawSearcher searcher(*f.embedded, f.embedded->TextQuery(0), {});
+
+  std::set<uint32_t> all_seen;
+  for (int round = 0; round < 4; ++round) {
+    auto batch = searcher.NextBatch(10);
+    ASSERT_EQ(batch.size(), 10u);
+    for (const auto& hit : batch) {
+      EXPECT_TRUE(all_seen.insert(hit.image_idx).second)
+          << "image repeated across rounds";
+      ImageFeedback fb;
+      fb.image_idx = hit.image_idx;
+      fb.relevant = false;
+      searcher.AddFeedback(fb);
+    }
+    ASSERT_TRUE(searcher.Refit().ok());
+  }
+}
+
+TEST(SeeSawSearcherTest, BatchScoresDescending) {
+  auto f = MakeFixture(true, false);
+  SeeSawSearcher searcher(*f.embedded, f.embedded->TextQuery(1), {});
+  auto batch = searcher.NextBatch(20);
+  for (size_t i = 1; i < batch.size(); ++i) {
+    EXPECT_GE(batch[i - 1].score, batch[i].score);
+  }
+}
+
+TEST(SeeSawSearcherTest, ZeroShotQueryNeverChanges) {
+  auto f = MakeFixture(false, false);
+  SeeSawOptions options;
+  options.update_query = false;
+  auto q0 = f.embedded->TextQuery(0);
+  SeeSawSearcher searcher(*f.embedded, q0, options);
+  auto batch = searcher.NextBatch(5);
+  for (const auto& hit : batch) {
+    ImageFeedback fb;
+    fb.image_idx = hit.image_idx;
+    fb.relevant = true;
+    fb.boxes = {data::Box{0, 0, 50, 50}};
+    searcher.AddFeedback(fb);
+  }
+  ASSERT_TRUE(searcher.Refit().ok());
+  EXPECT_EQ(searcher.current_query(), q0);
+}
+
+TEST(SeeSawSearcherTest, FeedbackChangesQuery) {
+  auto f = MakeFixture(false, false);
+  auto q0 = f.embedded->TextQuery(0);
+  SeeSawSearcher searcher(*f.embedded, q0, {});
+  auto batch = searcher.NextBatch(5);
+  for (const auto& hit : batch) {
+    ImageFeedback fb;
+    fb.image_idx = hit.image_idx;
+    fb.relevant = f.dataset->IsPositive(hit.image_idx, 0);
+    if (fb.relevant) fb.boxes = f.dataset->ConceptBoxes(hit.image_idx, 0);
+    searcher.AddFeedback(fb);
+  }
+  ASSERT_TRUE(searcher.Refit().ok());
+  EXPECT_NE(searcher.current_query(), q0);
+  // Still a unit vector.
+  EXPECT_NEAR(linalg::Norm(searcher.current_query()), 1.0f, 1e-4f);
+}
+
+TEST(SeeSawSearcherTest, RefitWithoutNewFeedbackIsNoop) {
+  auto f = MakeFixture(false, false);
+  SeeSawSearcher searcher(*f.embedded, f.embedded->TextQuery(0), {});
+  auto batch = searcher.NextBatch(3);
+  for (const auto& hit : batch) {
+    ImageFeedback fb;
+    fb.image_idx = hit.image_idx;
+    searcher.AddFeedback(fb);
+  }
+  ASSERT_TRUE(searcher.Refit().ok());
+  auto q_after_first = searcher.current_query();
+  ASSERT_TRUE(searcher.Refit().ok());  // no new feedback
+  EXPECT_EQ(searcher.current_query(), q_after_first);
+}
+
+TEST(SeeSawSearcherTest, LabelPatchesMapsBoxOverlap) {
+  auto f = MakeFixture(true, false);
+  // Find a multiscale image (several patches).
+  uint32_t img = 0;
+  for (uint32_t i = 0; i < f.embedded->num_images(); ++i) {
+    auto [b, e] = f.embedded->ImagePatchRange(i);
+    if (e - b > 4) {
+      img = i;
+      break;
+    }
+  }
+  auto [begin, end] = f.embedded->ImagePatchRange(img);
+  ASSERT_GT(end - begin, 4u);
+
+  // Feedback box = the upper-left fine tile exactly.
+  const data::Box& first_fine = f.embedded->patch(begin + 1).box;
+
+  class Probe : public SeeSawSearcher {
+   public:
+    using SeeSawSearcher::LabelPatches;
+    Probe(const EmbeddedDataset& ed, linalg::VectorF q)
+        : SeeSawSearcher(ed, std::move(q), {}) {}
+  };
+  Probe probe(*f.embedded, f.embedded->TextQuery(0));
+
+  ImageFeedback fb;
+  fb.image_idx = img;
+  fb.relevant = true;
+  fb.boxes = {first_fine};
+  auto labels = probe.LabelPatches(fb);
+  ASSERT_EQ(labels.size(), end - begin);
+  // Coarse patch (index 0) always overlaps -> positive.
+  EXPECT_TRUE(labels[0].positive);
+  // The tile itself is positive.
+  EXPECT_TRUE(labels[1].positive);
+  // At least one far-away tile must be negative.
+  bool some_negative = false;
+  for (const auto& l : labels) some_negative |= !l.positive;
+  EXPECT_TRUE(some_negative);
+
+  // An irrelevant image gets all-negative labels.
+  ImageFeedback neg;
+  neg.image_idx = img;
+  neg.relevant = false;
+  for (const auto& l : probe.LabelPatches(neg)) EXPECT_FALSE(l.positive);
+}
+
+TEST(RocchioSearcherTest, MovesTowardPositives) {
+  auto f = MakeFixture(false, false);
+  auto q0 = f.embedded->TextQuery(0);
+  RocchioSearcher searcher(*f.embedded, q0);
+  // Mark one clearly positive image.
+  uint32_t pos_img = f.dataset->positives(0)[0];
+  ImageFeedback fb;
+  fb.image_idx = pos_img;
+  fb.relevant = true;
+  fb.boxes = f.dataset->ConceptBoxes(pos_img, 0);
+  searcher.AddFeedback(fb);
+  ASSERT_TRUE(searcher.Refit().ok());
+  auto [begin, end] = f.embedded->ImagePatchRange(pos_img);
+  float cos_before =
+      linalg::Cosine(q0, f.embedded->vectors().Row(begin));
+  float cos_after = linalg::Cosine(searcher.current_query(),
+                                   f.embedded->vectors().Row(begin));
+  EXPECT_GT(cos_after, cos_before);
+}
+
+TEST(RocchioSearcherTest, NoFeedbackKeepsQ0Direction) {
+  auto f = MakeFixture(false, false);
+  auto q0 = f.embedded->TextQuery(2);
+  RocchioSearcher searcher(*f.embedded, q0);
+  ASSERT_TRUE(searcher.Refit().ok());
+  EXPECT_GT(linalg::Cosine(searcher.current_query(), q0), 0.999f);
+}
+
+TEST(SearcherBaseTest, ExhaustsStoreGracefully) {
+  auto profile = data::CocoLikeProfile(0.05);
+  profile.embedding_dim = 32;
+  profile.num_images = 30;
+  auto ds = data::Dataset::Generate(profile);
+  ASSERT_TRUE(ds.ok());
+  PreprocessOptions options;
+  options.multiscale.enabled = false;
+  options.build_md = false;
+  auto ed = EmbeddedDataset::Build(*ds, options);
+  ASSERT_TRUE(ed.ok());
+  SeeSawSearcher searcher(*ed, ed->TextQuery(0), {});
+  // Ask for more images than exist.
+  auto batch = searcher.NextBatch(100);
+  EXPECT_EQ(batch.size(), 30u);
+  for (const auto& hit : batch) {
+    ImageFeedback fb;
+    fb.image_idx = hit.image_idx;
+    searcher.AddFeedback(fb);
+  }
+  EXPECT_TRUE(searcher.NextBatch(10).empty());
+}
+
+}  // namespace
+}  // namespace seesaw::core

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "core/seesaw_searcher.h"
+#include "data/profiles.h"
+#include "sim/user_model.h"
+
+namespace seesaw::sim {
+namespace {
+
+TEST(AnnotationTimesTest, PaperTable5Means) {
+  auto baseline = BaselineUiTimes();
+  EXPECT_NEAR(baseline.skip_mean, 1.98, 1e-9);
+  EXPECT_NEAR(baseline.mark_mean, 3.00, 1e-9);
+  auto seesaw_ui = SeeSawUiTimes();
+  EXPECT_NEAR(seesaw_ui.skip_mean, 2.40, 1e-9);
+  EXPECT_NEAR(seesaw_ui.mark_mean, 4.40, 1e-9);
+  // SeeSaw's box feedback costs extra time on both paths (§5.5).
+  EXPECT_GT(seesaw_ui.skip_mean, baseline.skip_mean);
+  EXPECT_GT(seesaw_ui.mark_mean, baseline.mark_mean);
+}
+
+TEST(SimulatedUserTest, TimesArePositiveAndMarkCostsMore) {
+  SimulatedUser user(SeeSawUiTimes(), 0.0, 42);
+  double skip_total = 0, mark_total = 0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    double skip = user.AnnotationSeconds(false);
+    double mark = user.AnnotationSeconds(true);
+    EXPECT_GT(skip, 0);
+    EXPECT_GT(mark, 0);
+    skip_total += skip;
+    mark_total += mark;
+  }
+  EXPECT_GT(mark_total / n, skip_total / n);
+  // Sample means approach Table 5 means.
+  EXPECT_NEAR(skip_total / n, 2.40, 0.15);
+  EXPECT_NEAR(mark_total / n, 4.40, 0.25);
+}
+
+TEST(SimulatedUserTest, SpeedMultiplierVaries) {
+  SimulatedUser a(BaselineUiTimes(), 0.5, 1);
+  SimulatedUser b(BaselineUiTimes(), 0.5, 2);
+  EXPECT_NE(a.speed_multiplier(), b.speed_multiplier());
+  SimulatedUser fixed(BaselineUiTimes(), 0.0, 3);
+  EXPECT_DOUBLE_EQ(fixed.speed_multiplier(), 1.0);
+}
+
+TEST(SimulatedUserTest, DeterministicGivenSeed) {
+  SimulatedUser a(BaselineUiTimes(), 0.3, 7);
+  SimulatedUser b(BaselineUiTimes(), 0.3, 7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.AnnotationSeconds(i % 2), b.AnnotationSeconds(i % 2));
+  }
+}
+
+// ------------------------------------------------------- SimulateSession --
+
+struct Fixture {
+  std::unique_ptr<data::Dataset> dataset;
+  std::unique_ptr<core::EmbeddedDataset> embedded;
+};
+
+Fixture MakeFixture() {
+  auto profile = data::CocoLikeProfile(0.05);
+  profile.embedding_dim = 32;
+  auto ds = data::Dataset::Generate(profile);
+  EXPECT_TRUE(ds.ok());
+  Fixture f;
+  f.dataset = std::make_unique<data::Dataset>(std::move(*ds));
+  core::PreprocessOptions options;
+  options.multiscale.enabled = false;
+  options.build_md = false;
+  auto ed = core::EmbeddedDataset::Build(*f.dataset, options);
+  EXPECT_TRUE(ed.ok());
+  f.embedded = std::make_unique<core::EmbeddedDataset>(std::move(*ed));
+  return f;
+}
+
+TEST(SimulateSessionTest, RespectsTimeCap) {
+  auto f = MakeFixture();
+  core::SeeSawOptions zs;
+  zs.update_query = false;
+  core::SeeSawSearcher searcher(*f.embedded, f.embedded->TextQuery(0), zs);
+  SimulatedUser user(BaselineUiTimes(), 0.0, 5);
+  EndToEndOptions options;
+  options.time_limit_seconds = 10.0;  // far too little to find 10
+  options.target_positives = 10;
+  auto result = SimulateSession(searcher, *f.dataset, 0, user, options);
+  EXPECT_LE(result.elapsed_seconds, 10.0 + 1e-9);
+  if (!result.completed) {
+    EXPECT_DOUBLE_EQ(result.elapsed_seconds, 10.0);
+  }
+}
+
+TEST(SimulateSessionTest, CompletesEasyTaskWithinGenerousBudget) {
+  auto f = MakeFixture();
+  // Easiest concept: most positives.
+  auto concepts = f.dataset->EvaluableConcepts(20);
+  ASSERT_FALSE(concepts.empty());
+  size_t best = concepts[0];
+  for (size_t c : concepts) {
+    if (f.dataset->positives(c).size() > f.dataset->positives(best).size()) {
+      best = c;
+    }
+  }
+  core::SeeSawSearcher searcher(*f.embedded, f.embedded->TextQuery(best), {});
+  SimulatedUser user(SeeSawUiTimes(), 0.0, 6);
+  EndToEndOptions options;
+  options.time_limit_seconds = 100000.0;
+  auto result = SimulateSession(searcher, *f.dataset, best, user, options);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.found, 10u);
+  EXPECT_GT(result.elapsed_seconds, 0.0);
+  // Time must be at least 10 marks + skips.
+  EXPECT_GE(result.elapsed_seconds, 10 * 2.0);
+}
+
+TEST(SimulateSessionTest, SlowerUserTakesLonger) {
+  auto f = MakeFixture();
+  auto concepts = f.dataset->EvaluableConcepts(20);
+  ASSERT_FALSE(concepts.empty());
+  size_t concept_id = concepts[0];
+
+  auto run_with_speed = [&](uint64_t seed, double target_speed) {
+    core::SeeSawOptions zs;
+    zs.update_query = false;
+    core::SeeSawSearcher searcher(*f.embedded,
+                                  f.embedded->TextQuery(concept_id), zs);
+    // Construct users until one has roughly the target speed.
+    SimulatedUser user(BaselineUiTimes(), 0.0, seed);
+    EndToEndOptions options;
+    options.time_limit_seconds = 1e9;
+    auto r = SimulateSession(searcher, *f.dataset, concept_id, user, options);
+    return r.elapsed_seconds * target_speed;  // scale as-if user speed
+  };
+  // Identical sessions up to real measured system latency (microseconds of
+  // jitter): doubling effective speed halves the annotation time.
+  double fast = run_with_speed(11, 1.0);
+  double slow = run_with_speed(11, 2.0);
+  EXPECT_NEAR(slow, 2.0 * fast, 0.05);
+}
+
+TEST(SimulateSessionTest, FixedRoundLatencyAddsUp) {
+  auto f = MakeFixture();
+  core::SeeSawOptions zs;
+  zs.update_query = false;
+  auto concepts = f.dataset->EvaluableConcepts(20);
+  ASSERT_FALSE(concepts.empty());
+  size_t c = concepts[0];
+  core::SeeSawSearcher s1(*f.embedded, f.embedded->TextQuery(c), zs);
+  core::SeeSawSearcher s2(*f.embedded, f.embedded->TextQuery(c), zs);
+  SimulatedUser u1(BaselineUiTimes(), 0.0, 13);
+  SimulatedUser u2(BaselineUiTimes(), 0.0, 13);
+  EndToEndOptions fast_opts;
+  fast_opts.time_limit_seconds = 1e9;
+  EndToEndOptions slow_opts = fast_opts;
+  slow_opts.fixed_round_latency = 5.0;
+  auto fast = SimulateSession(s1, *f.dataset, c, u1, fast_opts);
+  auto slow = SimulateSession(s2, *f.dataset, c, u2, slow_opts);
+  EXPECT_GT(slow.elapsed_seconds, fast.elapsed_seconds);
+}
+
+}  // namespace
+}  // namespace seesaw::sim

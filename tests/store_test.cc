@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "clip/concept_space.h"
+#include "common/rng.h"
+#include "store/annoy_index.h"
+#include "store/exact_store.h"
+
+namespace seesaw::store {
+namespace {
+
+using linalg::MatrixF;
+using linalg::VectorF;
+
+/// Random unit-vector table, like an embedding table.
+MatrixF RandomTable(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  MatrixF table(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = table.MutableRow(i);
+    for (size_t j = 0; j < d; ++j) row[j] = static_cast<float>(rng.Gaussian());
+    linalg::NormalizeInPlace(row);
+  }
+  return table;
+}
+
+// ------------------------------------------------------------ ExactStore --
+
+TEST(ExactStoreTest, RejectsEmptyTable) {
+  EXPECT_FALSE(ExactStore::Create(MatrixF()).ok());
+}
+
+TEST(ExactStoreTest, FindsTheExactTopItem) {
+  MatrixF table = MatrixF::FromRows({
+      {1, 0}, {0, 1}, {0.7071f, 0.7071f}});
+  auto store = ExactStore::Create(std::move(table));
+  ASSERT_TRUE(store.ok());
+  auto hits = store->TopK(VectorF{1, 0}, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 0u);
+  EXPECT_FLOAT_EQ(hits[0].score, 1.0f);
+}
+
+TEST(ExactStoreTest, ResultsSortedDescending) {
+  auto store = ExactStore::Create(RandomTable(200, 16, 1));
+  ASSERT_TRUE(store.ok());
+  VectorF q = VectorF(store->GetVector(0).begin(), store->GetVector(0).end());
+  auto hits = store->TopK(q, 20);
+  ASSERT_EQ(hits.size(), 20u);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].score, hits[i].score);
+  }
+  EXPECT_EQ(hits[0].id, 0u);  // the query vector itself
+}
+
+TEST(ExactStoreTest, KLargerThanStoreReturnsAll) {
+  auto store = ExactStore::Create(RandomTable(5, 8, 2));
+  ASSERT_TRUE(store.ok());
+  VectorF q(8, 0.5f);
+  EXPECT_EQ(store->TopK(q, 50).size(), 5u);
+}
+
+TEST(ExactStoreTest, ExclusionPredicateSkipsIds) {
+  auto store = ExactStore::Create(RandomTable(50, 8, 3));
+  ASSERT_TRUE(store.ok());
+  VectorF q(store->GetVector(7).begin(), store->GetVector(7).end());
+  auto all = store->TopK(q, 1);
+  ASSERT_EQ(all[0].id, 7u);
+  auto filtered = store->TopK(q, 5, [](uint32_t id) { return id == 7; });
+  for (const auto& h : filtered) EXPECT_NE(h.id, 7u);
+}
+
+TEST(ExactStoreTest, ExcludingEverythingYieldsEmpty) {
+  auto store = ExactStore::Create(RandomTable(10, 4, 4));
+  ASSERT_TRUE(store.ok());
+  auto hits = store->TopK(VectorF(4, 1.0f), 3, [](uint32_t) { return true; });
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(RecallAgainstTest, ComputesOverlapFraction) {
+  std::vector<SearchResult> truth = {{1, .9f}, {2, .8f}, {3, .7f}, {4, .6f}};
+  std::vector<SearchResult> got = {{2, .8f}, {9, .7f}, {4, .6f}, {8, .1f}};
+  EXPECT_DOUBLE_EQ(RecallAgainst(got, truth), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAgainst(got, {}), 1.0);
+}
+
+// ------------------------------------------------------------ AnnoyIndex --
+
+TEST(AnnoyIndexTest, ValidatesOptionsAndInput) {
+  EXPECT_FALSE(AnnoyIndex::Build({}, MatrixF()).ok());
+  AnnoyOptions bad_trees;
+  bad_trees.num_trees = 0;
+  EXPECT_FALSE(AnnoyIndex::Build(bad_trees, RandomTable(10, 4, 5)).ok());
+  AnnoyOptions bad_leaf;
+  bad_leaf.leaf_size = 1;
+  EXPECT_FALSE(AnnoyIndex::Build(bad_leaf, RandomTable(10, 4, 5)).ok());
+}
+
+TEST(AnnoyIndexTest, ExactOnTinyData) {
+  // With the whole dataset inside leaves, Annoy must equal the exact scan.
+  MatrixF table = RandomTable(30, 8, 6);
+  auto exact = ExactStore::Create(table);
+  AnnoyOptions options;
+  options.leaf_size = 32;
+  auto annoy = AnnoyIndex::Build(options, std::move(table));
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(annoy.ok());
+  Rng rng(7);
+  for (int t = 0; t < 10; ++t) {
+    VectorF q = clip::RandomUnitVector(rng, 8);
+    auto et = exact->TopK(q, 5);
+    auto at = annoy->TopK(q, 5);
+    EXPECT_GE(RecallAgainst(at, et), 0.99);
+  }
+}
+
+TEST(AnnoyIndexTest, HandlesDuplicateVectors) {
+  // All-identical vectors would break naive splitting; must still build.
+  MatrixF table(100, 8, 0.0f);
+  for (size_t i = 0; i < 100; ++i) table.At(i, 0) = 1.0f;
+  auto annoy = AnnoyIndex::Build({}, std::move(table));
+  ASSERT_TRUE(annoy.ok());
+  auto hits = annoy->TopK(VectorF{1, 0, 0, 0, 0, 0, 0, 0}, 10);
+  EXPECT_EQ(hits.size(), 10u);
+}
+
+TEST(AnnoyIndexTest, ExclusionWorks) {
+  auto annoy = AnnoyIndex::Build({}, RandomTable(200, 16, 8));
+  ASSERT_TRUE(annoy.ok());
+  VectorF q(annoy->GetVector(3).begin(), annoy->GetVector(3).end());
+  auto hits = annoy->TopK(q, 10, [](uint32_t id) { return id % 2 == 1; });
+  for (const auto& h : hits) EXPECT_EQ(h.id % 2, 0u);
+}
+
+/// Clustered unit vectors — the shape of real embedding tables (uniform
+/// random high-dim data is the known worst case for RP trees and not what
+/// the store sees in practice).
+MatrixF ClusteredTable(size_t n, size_t d, size_t centers, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<VectorF> mu;
+  for (size_t c = 0; c < centers; ++c) {
+    mu.push_back(clip::RandomUnitVector(rng, d));
+  }
+  MatrixF table(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = table.MutableRow(i);
+    const VectorF& center = mu[i % centers];
+    for (size_t j = 0; j < d; ++j) {
+      row[j] = center[j] + 0.25f * static_cast<float>(rng.Gaussian());
+    }
+    linalg::NormalizeInPlace(row);
+  }
+  return table;
+}
+
+/// Recall sweep across build parameters: more trees must give high recall.
+/// This is the §2.2 claim: approximate lookup with minor accuracy drop.
+struct AnnoyParam {
+  int num_trees;
+  double min_recall;
+};
+
+class AnnoyRecallSweep : public ::testing::TestWithParam<AnnoyParam> {};
+
+TEST_P(AnnoyRecallSweep, RecallAtTenExceedsThreshold) {
+  const auto param = GetParam();
+  const size_t n = 2000, d = 32;
+  MatrixF table = ClusteredTable(n, d, 20, 9);
+  auto exact = ExactStore::Create(table);
+  AnnoyOptions options;
+  options.num_trees = param.num_trees;
+  options.leaf_size = 16;
+  auto annoy = AnnoyIndex::Build(options, std::move(table));
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(annoy.ok());
+
+  Rng rng(10);
+  double total_recall = 0.0;
+  const int queries = 40;
+  for (int t = 0; t < queries; ++t) {
+    // Queries near the data manifold, like embedded text queries.
+    size_t pick = static_cast<size_t>(rng.UniformInt(0, n - 1));
+    VectorF q(exact->GetVector(static_cast<uint32_t>(pick)).begin(),
+              exact->GetVector(static_cast<uint32_t>(pick)).end());
+    VectorF jitter = clip::RandomUnitVector(rng, d);
+    linalg::Axpy(0.3f, jitter, linalg::MutVecSpan(q));
+    linalg::NormalizeInPlace(linalg::MutVecSpan(q));
+    auto et = exact->TopK(q, 10);
+    auto at = annoy->TopK(q, 10);
+    total_recall += RecallAgainst(at, et);
+  }
+  EXPECT_GE(total_recall / queries, param.min_recall)
+      << "num_trees=" << param.num_trees;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TreeCounts, AnnoyRecallSweep,
+    ::testing::Values(AnnoyParam{4, 0.35}, AnnoyParam{8, 0.55},
+                      AnnoyParam{16, 0.75}, AnnoyParam{32, 0.85}));
+
+TEST(AnnoyIndexTest, MoreSearchKImprovesRecall) {
+  const size_t n = 3000, d = 24;
+  MatrixF table = RandomTable(n, d, 11);
+  auto exact = ExactStore::Create(table);
+  AnnoyOptions small_k;
+  small_k.num_trees = 8;
+  small_k.search_k = 40;
+  AnnoyOptions big_k = small_k;
+  big_k.search_k = 1200;
+  auto annoy_small = AnnoyIndex::Build(small_k, table);
+  auto annoy_big = AnnoyIndex::Build(big_k, std::move(table));
+  ASSERT_TRUE(annoy_small.ok());
+  ASSERT_TRUE(annoy_big.ok());
+
+  Rng rng(12);
+  double recall_small = 0, recall_big = 0;
+  for (int t = 0; t < 30; ++t) {
+    VectorF q = clip::RandomUnitVector(rng, d);
+    auto et = exact->TopK(q, 10);
+    recall_small += RecallAgainst(annoy_small->TopK(q, 10), et);
+    recall_big += RecallAgainst(annoy_big->TopK(q, 10), et);
+  }
+  EXPECT_GT(recall_big, recall_small);
+}
+
+TEST(AnnoyIndexTest, DeterministicGivenSeed) {
+  MatrixF table = RandomTable(500, 16, 13);
+  auto a = AnnoyIndex::Build({}, table);
+  auto b = AnnoyIndex::Build({}, std::move(table));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Rng rng(14);
+  VectorF q = clip::RandomUnitVector(rng, 16);
+  auto ha = a->TopK(q, 10);
+  auto hb = b->TopK(q, 10);
+  ASSERT_EQ(ha.size(), hb.size());
+  for (size_t i = 0; i < ha.size(); ++i) EXPECT_EQ(ha[i].id, hb[i].id);
+}
+
+}  // namespace
+}  // namespace seesaw::store
