@@ -1,0 +1,223 @@
+// Scalar vs. batched TopK latency across every store backend.
+//
+// The interactive loop (§2.2) is bounded by per-iteration lookup latency;
+// this bench measures what the batched engine buys: TopKBatch streams each
+// row block through the cache once for all queries (ExactStore), scores all
+// centroids in one blocked pass (IvfFlatIndex), and fans independent
+// traversals across a pool (AnnoyIndex). Scalar mode is the same k and seen
+// set issued one TopK per query.
+//
+//   ./bench_topk_latency [--n=20000] [--dim=128] [--k=100] [--warmup=1]
+//                        [--iters=5] [--threads=0] [--seen=0.1]
+//                        [--batches=1,4,8,16] [--csv]
+//
+// Every (backend, batch) cell also verifies batched == scalar results, so
+// the bench doubles as a parity check at scale. With --csv, one
+//   backend,batch_size,scalar_ms,batched_ms,speedup,batched_qps
+// row per cell goes to stdout (after a header) and the table is skipped.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "store/annoy_index.h"
+#include "store/exact_store.h"
+#include "store/ivf_index.h"
+
+namespace seesaw::bench {
+namespace {
+
+struct LatencyArgs {
+  size_t n = 20000;
+  size_t dim = 128;
+  size_t k = 100;
+  int warmup = 1;
+  int iters = 5;
+  size_t threads = 0;  // 0 = hardware default
+  double seen_fraction = 0.1;
+  std::vector<size_t> batches = {1, 4, 8, 16};
+  bool csv = false;
+
+  static LatencyArgs Parse(int argc, char** argv) {
+    LatencyArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--n=", 4) == 0) args.n = std::atoi(a + 4);
+      if (std::strncmp(a, "--dim=", 6) == 0) args.dim = std::atoi(a + 6);
+      if (std::strncmp(a, "--k=", 4) == 0) args.k = std::atoi(a + 4);
+      if (std::strncmp(a, "--warmup=", 9) == 0) args.warmup = std::atoi(a + 9);
+      if (std::strncmp(a, "--iters=", 8) == 0) args.iters = std::atoi(a + 8);
+      if (std::strncmp(a, "--threads=", 10) == 0) {
+        args.threads = std::atoi(a + 10);
+      }
+      if (std::strncmp(a, "--seen=", 7) == 0) {
+        args.seen_fraction = std::atof(a + 7);
+      }
+      if (std::strncmp(a, "--batches=", 10) == 0) {
+        args.batches.clear();
+        for (const char* p = a + 10; *p != '\0';) {
+          size_t batch = std::strtoul(p, nullptr, 10);
+          if (batch > 0) args.batches.push_back(batch);
+          p = std::strchr(p, ',');
+          if (p == nullptr) break;
+          ++p;
+        }
+        if (args.batches.empty()) {
+          std::fprintf(stderr, "bench_topk_latency: --batches needs positive "
+                               "integers, e.g. --batches=1,4,8\n");
+          std::exit(2);
+        }
+      }
+      if (std::strcmp(a, "--csv") == 0) args.csv = true;
+    }
+    return args;
+  }
+};
+
+linalg::MatrixF RandomUnitTable(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  linalg::MatrixF table(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = table.MutableRow(i);
+    for (size_t j = 0; j < d; ++j) row[j] = static_cast<float>(rng.Gaussian());
+    linalg::NormalizeInPlace(row);
+  }
+  return table;
+}
+
+bool SameResults(const std::vector<store::SearchResult>& a,
+                 const std::vector<store::SearchResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].score != b[i].score) return false;
+  }
+  return true;
+}
+
+struct Cell {
+  double scalar_ms = 0;
+  double batched_ms = 0;
+  double Speedup() const {
+    return batched_ms > 0 ? scalar_ms / batched_ms : 0.0;
+  }
+};
+
+Cell MeasureBackend(const store::VectorStore& store,
+                    const std::vector<linalg::VectorF>& queries,
+                    const store::SeenSet& seen, const LatencyArgs& args,
+                    ThreadPool* pool) {
+  std::vector<linalg::VecSpan> spans(queries.begin(), queries.end());
+  auto queries_span = std::span<const linalg::VecSpan>(spans);
+
+  // Parity first: the measured paths must agree exactly.
+  auto batched = store.TopKBatch(queries_span, args.k, seen, pool);
+  for (size_t q = 0; q < spans.size(); ++q) {
+    SEESAW_CHECK(SameResults(batched[q], store.TopK(spans[q], args.k, seen)))
+        << "TopKBatch diverged from TopK at query " << q;
+  }
+
+  // Keep the optimizer honest without asserting non-empty results: a fully
+  // seen store (--seen=1.0) legitimately returns nothing.
+  volatile size_t sink = 0;
+  Cell cell;
+  for (int it = -args.warmup; it < args.iters; ++it) {
+    Stopwatch sw;
+    for (linalg::VecSpan q : spans) {
+      auto hits = store.TopK(q, args.k, seen);
+      sink = sink + hits.size();
+    }
+    if (it >= 0) cell.scalar_ms += sw.ElapsedSeconds() * 1e3;
+  }
+  for (int it = -args.warmup; it < args.iters; ++it) {
+    Stopwatch sw;
+    auto hits = store.TopKBatch(queries_span, args.k, seen, pool);
+    SEESAW_CHECK_EQ(hits.size(), spans.size());
+    sink = sink + hits.front().size();
+    if (it >= 0) cell.batched_ms += sw.ElapsedSeconds() * 1e3;
+  }
+  cell.scalar_ms /= args.iters;
+  cell.batched_ms /= args.iters;
+  return cell;
+}
+
+int Run(int argc, char** argv) {
+  LatencyArgs args = LatencyArgs::Parse(argc, argv);
+
+  linalg::MatrixF table = RandomUnitTable(args.n, args.dim, /*seed=*/11);
+  auto exact = store::ExactStore::Create(table);
+  SEESAW_CHECK(exact.ok());
+  auto ivf = store::IvfFlatIndex::Build(store::IvfOptions{}, table);
+  SEESAW_CHECK(ivf.ok());
+  auto annoy = store::AnnoyIndex::Build(store::AnnoyOptions{}, table);
+  SEESAW_CHECK(annoy.ok());
+
+  // The interactive setting: a fraction of the store has been seen already.
+  store::SeenSet seen(args.n);
+  Rng seen_rng(23);
+  for (size_t i = 0; i < args.n; ++i) {
+    if (seen_rng.Uniform() < args.seen_fraction) {
+      seen.Set(static_cast<uint32_t>(i));
+    }
+  }
+
+  ThreadPool pool(args.threads == 0 ? ThreadPool::DefaultThreads()
+                                    : args.threads);
+  Rng query_rng(31);
+  auto make_queries = [&](size_t count) {
+    std::vector<linalg::VectorF> queries;
+    for (size_t i = 0; i < count; ++i) {
+      linalg::VectorF q(args.dim);
+      for (float& v : q) v = static_cast<float>(query_rng.Gaussian());
+      linalg::NormalizeInPlace(linalg::MutVecSpan(q.data(), q.size()));
+      queries.push_back(std::move(q));
+    }
+    return queries;
+  };
+
+  struct Backend {
+    const char* name;
+    const store::VectorStore* store;
+  };
+  const Backend backends[] = {
+      {"exact", &*exact}, {"ivf", &*ivf}, {"annoy", &*annoy}};
+
+  if (args.csv) {
+    std::printf("backend,batch_size,scalar_ms,batched_ms,speedup,"
+                "batched_qps\n");
+  } else {
+    std::printf("TopK latency: n=%zu dim=%zu k=%zu seen=%.2f threads=%zu "
+                "(ms per batch, mean of %d iters)\n",
+                args.n, args.dim, args.k, args.seen_fraction,
+                pool.num_threads(), args.iters);
+    std::printf("%-8s %6s %12s %12s %9s %12s\n", "backend", "batch",
+                "scalar_ms", "batched_ms", "speedup", "batched_qps");
+  }
+
+  for (const Backend& backend : backends) {
+    for (size_t batch : args.batches) {
+      auto queries = make_queries(batch);
+      Cell cell = MeasureBackend(*backend.store, queries, seen, args, &pool);
+      double qps = cell.batched_ms > 0
+                       ? static_cast<double>(batch) / (cell.batched_ms / 1e3)
+                       : 0.0;
+      if (args.csv) {
+        std::printf("%s,%zu,%.4f,%.4f,%.3f,%.1f\n", backend.name, batch,
+                    cell.scalar_ms, cell.batched_ms, cell.Speedup(), qps);
+      } else {
+        std::printf("%-8s %6zu %12.4f %12.4f %8.2fx %12.1f\n", backend.name,
+                    batch, cell.scalar_ms, cell.batched_ms, cell.Speedup(),
+                    qps);
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace seesaw::bench
+
+int main(int argc, char** argv) { return seesaw::bench::Run(argc, argv); }

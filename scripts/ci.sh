@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# ci.sh — configure, build, and test exactly as the tier-1 verify does.
+#
+# Usage: ./scripts/ci.sh
+set -euo pipefail
+
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+REPO_ROOT="$(dirname "$SCRIPT_DIR")"
+cd "$REPO_ROOT"
+
+cmake -B build -S .
+cmake --build build -j
+cd build
+ctest --output-on-failure -j

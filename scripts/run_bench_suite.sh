@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# run_bench_suite.sh — run the TopK latency suite across store sizes and
+# batch sizes, collecting one CSV.
+#
+# Default sizes: 10k, 20k, 40k, 80k vectors.
+#
+# Usage:
+#   ./scripts/run_bench_suite.sh [--sizes 10k,20k,...] [--warmup N] [--iters N]
+#                                [--dim D] [--k K] [--threads T]
+#                                [--batches 1,4,8,16] [--out results.csv]
+set -euo pipefail
+
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+REPO_ROOT="$(dirname "$SCRIPT_DIR")"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+BENCH="$BUILD_DIR/bench_topk_latency"
+
+WARMUP=1
+ITERS=5
+DIM=128
+K=100
+THREADS=0
+BATCHES="1,4,8,16"
+OUT=""
+SIZES=(10000 20000 40000 80000)
+
+parse_size_token() {
+    local tok="$1"
+    if [[ "$tok" =~ ^[0-9]+$ ]]; then
+        printf "%s" "$tok"
+        return 0
+    fi
+    if [[ "$tok" =~ ^([0-9]+)[mM]$ ]]; then
+        printf "%s000000" "${BASH_REMATCH[1]}"
+        return 0
+    fi
+    if [[ "$tok" =~ ^([0-9]+)[kK]$ ]]; then
+        printf "%s000" "${BASH_REMATCH[1]}"
+        return 0
+    fi
+    return 1
+}
+
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --sizes)
+            IFS=',' read -r -a raw_sizes <<< "$2"
+            SIZES=()
+            for token in "${raw_sizes[@]}"; do
+                token="${token//[[:space:]]/}"
+                [[ -z "$token" ]] && continue
+                parsed="$(parse_size_token "$token")" || {
+                    echo "error: invalid size token '$token' in --sizes" >&2
+                    exit 1
+                }
+                SIZES+=("$parsed")
+            done
+            shift 2
+            ;;
+        --warmup)  WARMUP="$2"; shift 2 ;;
+        --iters)   ITERS="$2"; shift 2 ;;
+        --dim)     DIM="$2"; shift 2 ;;
+        --k)       K="$2"; shift 2 ;;
+        --threads) THREADS="$2"; shift 2 ;;
+        --batches) BATCHES="$2"; shift 2 ;;
+        --out)     OUT="$2"; shift 2 ;;
+        *)
+            echo "unknown option: $1" >&2
+            exit 1
+            ;;
+    esac
+done
+
+if [[ ! -x "$BENCH" ]]; then
+    echo "building $BENCH ..." >&2
+    cmake -B "$BUILD_DIR" -S "$REPO_ROOT" > /dev/null
+    cmake --build "$BUILD_DIR" --target bench_topk_latency -j > /dev/null
+fi
+
+emit() {
+    header_done=0
+    for n in "${SIZES[@]}"; do
+        echo "== n=$n dim=$DIM k=$K batches=$BATCHES ==" >&2
+        "$BENCH" --csv --n="$n" --dim="$DIM" --k="$K" --warmup="$WARMUP" \
+                 --iters="$ITERS" --threads="$THREADS" --batches="$BATCHES" |
+        while IFS= read -r line; do
+            if [[ "$line" == backend,* ]]; then
+                if [[ $header_done -eq 0 ]]; then
+                    echo "n,$line"
+                    header_done=1
+                fi
+                continue
+            fi
+            echo "$n,$line"
+        done
+        header_done=1
+    done
+}
+
+if [[ -n "$OUT" ]]; then
+    emit | tee "$OUT" > /dev/null
+    echo "CSV written to $OUT" >&2
+else
+    emit
+fi

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/check.h"
 
@@ -66,11 +67,26 @@ void ThreadPool::ParallelFor(size_t n,
   if (n == 0) return;
   size_t chunks = std::min(n, num_threads() * 4);
   size_t chunk_size = (n + chunks - 1) / chunks;
+  // Per-call completion latch rather than the pool-wide Wait(): many
+  // sessions share one pool, and a caller must only block on its own chunks,
+  // not on whatever other sessions have queued.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t remaining = 0;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = (n + chunk_size - 1) / chunk_size;
   for (size_t begin = 0; begin < n; begin += chunk_size) {
     size_t end = std::min(begin + chunk_size, n);
-    Submit([&fn, begin, end] { fn(begin, end); });
+    Submit([&fn, latch, begin, end] {
+      fn(begin, end);
+      std::unique_lock<std::mutex> lock(latch->mu);
+      if (--latch->remaining == 0) latch->done.notify_all();
+    });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->done.wait(lock, [&latch] { return latch->remaining == 0; });
 }
 
 size_t ThreadPool::DefaultThreads() {

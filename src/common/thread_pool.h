@@ -40,7 +40,10 @@ class ThreadPool {
 
   /// Splits [0, n) into roughly equal chunks and runs `fn(begin, end)` on the
   /// pool, blocking until all chunks complete. `fn` must be safe to invoke
-  /// concurrently on disjoint ranges.
+  /// concurrently on disjoint ranges. Blocks only on this call's own chunks,
+  /// so many threads may ParallelFor on a shared pool concurrently (the
+  /// batched-query path of concurrent search sessions). Must not be called
+  /// from inside a pool task: a worker blocking on its own pool can deadlock.
   void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
 
   /// A sensible default worker count for this machine.

@@ -4,18 +4,21 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace seesaw::core {
 
 SearcherBase::SearcherBase(const EmbeddedDataset& embedded)
-    : embedded_(&embedded), seen_(embedded.num_images(), 0) {}
+    : embedded_(&embedded),
+      seen_images_(embedded.num_images()),
+      seen_patches_(embedded.num_vectors()) {}
 
 void SearcherBase::MarkSeen(uint32_t image_idx) {
-  SEESAW_CHECK_LT(image_idx, seen_.size());
-  if (!seen_[image_idx]) {
-    seen_[image_idx] = 1;
-    ++num_seen_;
-  }
+  SEESAW_CHECK_LT(image_idx, seen_images_.capacity());
+  if (seen_images_.Test(image_idx)) return;
+  seen_images_.Set(image_idx);
+  auto [begin, end] = embedded_->ImagePatchRange(image_idx);
+  for (uint32_t v = begin; v < end; ++v) seen_patches_.Set(v);
 }
 
 std::vector<ScoredImage> SearcherBase::TopImages(linalg::VecSpan query,
@@ -23,10 +26,6 @@ std::vector<ScoredImage> SearcherBase::TopImages(linalg::VecSpan query,
   const auto& store = embedded_->store();
   const auto& patches = embedded_->patches();
   const size_t total = store.size();
-  // Patches of seen images are excluded inside the store scan.
-  store::ExcludeFn exclude = [this, &patches](uint32_t vec_id) {
-    return seen_[patches[vec_id].image_idx] != 0;
-  };
 
   double avg_patches =
       static_cast<double>(total) /
@@ -38,7 +37,19 @@ std::vector<ScoredImage> SearcherBase::TopImages(linalg::VecSpan query,
   std::unordered_set<uint32_t> picked;
   for (;;) {
     k = std::min(k, total);
-    auto hits = store.TopK(query, k, exclude);
+    // Patches of seen images are excluded inside the store scan via the
+    // patch-level bitset; a shared pool (managed sessions) shards the scan.
+    std::vector<store::SearchResult> hits;
+    if (pool_ != nullptr) {
+      linalg::VecSpan queries[] = {query};
+      hits = std::move(store
+                           .TopKBatch(std::span<const linalg::VecSpan>(
+                                          queries, 1),
+                                      k, seen_patches_, pool_)
+                           .front());
+    } else {
+      hits = store.TopK(query, k, seen_patches_);
+    }
     out.clear();
     picked.clear();
     // Hits come best-first, so the first patch of an image carries the

@@ -9,6 +9,11 @@
 
 #include "core/embedded_dataset.h"
 #include "core/searcher.h"
+#include "store/seen_set.h"
+
+namespace seesaw {
+class ThreadPool;
+}  // namespace seesaw
 
 namespace seesaw::core {
 
@@ -18,17 +23,27 @@ struct PatchLabel {
   bool positive = false;
 };
 
-/// Base class holding the embedded dataset and the seen set.
+/// Base class holding the embedded dataset and the seen sets.
+///
+/// Seen state is kept at both granularities the system needs: per image for
+/// the interaction loop, and per patch vector so the store scan tests a
+/// reusable bitset instead of rebuilding an exclusion closure every batch.
 class SearcherBase : public Searcher {
  public:
   explicit SearcherBase(const EmbeddedDataset& embedded);
 
   const EmbeddedDataset& embedded() const { return *embedded_; }
-  size_t num_seen() const { return num_seen_; }
-  bool IsSeen(uint32_t image_idx) const { return seen_[image_idx] != 0; }
+  size_t num_seen() const { return seen_images_.count(); }
+  bool IsSeen(uint32_t image_idx) const { return seen_images_.Test(image_idx); }
+
+  /// Worker pool for sharded store lookups; null (the default) keeps
+  /// lookups on the calling thread. Managed sessions share their
+  /// SessionManager's pool. The pool must outlive the searcher.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
 
  protected:
-  /// Marks an image as shown/labeled.
+  /// Marks an image (and all of its patch vectors) as shown/labeled.
   void MarkSeen(uint32_t image_idx);
 
   /// Top-n unseen images by max patch score under `query` (best first).
@@ -45,8 +60,9 @@ class SearcherBase : public Searcher {
 
  private:
   const EmbeddedDataset* embedded_;
-  std::vector<char> seen_;
-  size_t num_seen_ = 0;
+  store::SeenSet seen_images_;   // over image indices
+  store::SeenSet seen_patches_;  // over patch vector ids, fed to the store
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace seesaw::core

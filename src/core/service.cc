@@ -3,8 +3,38 @@
 #include <cstdio>
 
 #include "common/logging.h"
+#include "core/session_manager.h"
 
 namespace seesaw::core {
+
+SeeSawService::SeeSawService(const data::Dataset* dataset,
+                             ServiceOptions options)
+    : dataset_(dataset),
+      options_(std::move(options)),
+      sessions_mu_(std::make_unique<std::mutex>()) {}
+
+SeeSawService::SeeSawService(SeeSawService&& other) noexcept
+    : dataset_(other.dataset_),
+      options_(std::move(other.options_)),
+      embedded_(std::move(other.embedded_)),
+      sessions_mu_(std::move(other.sessions_mu_)),
+      sessions_(std::move(other.sessions_)) {
+  if (sessions_) sessions_->RebindService(this);
+}
+
+SeeSawService& SeeSawService::operator=(SeeSawService&& other) noexcept {
+  if (this != &other) {
+    dataset_ = other.dataset_;
+    options_ = std::move(other.options_);
+    embedded_ = std::move(other.embedded_);
+    sessions_mu_ = std::move(other.sessions_mu_);
+    sessions_ = std::move(other.sessions_);
+    if (sessions_) sessions_->RebindService(this);
+  }
+  return *this;
+}
+
+SeeSawService::~SeeSawService() = default;
 
 StatusOr<SeeSawService> SeeSawService::Create(const data::Dataset& dataset,
                                               const ServiceOptions& options) {
@@ -54,6 +84,15 @@ StatusOr<std::unique_ptr<SeeSawSearcher>> SeeSawService::StartSession(
   }
   return std::make_unique<SeeSawSearcher>(*embedded_, std::move(query_vector),
                                           options_.search);
+}
+
+SessionManager& SeeSawService::sessions() {
+  std::lock_guard<std::mutex> lock(*sessions_mu_);
+  if (!sessions_) {
+    sessions_ =
+        std::make_unique<SessionManager>(*this, options_.session_threads);
+  }
+  return *sessions_;
 }
 
 }  // namespace seesaw::core

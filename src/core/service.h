@@ -12,12 +12,15 @@
 #define SEESAW_CORE_SERVICE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/embedded_dataset.h"
 #include "core/seesaw_searcher.h"
 
 namespace seesaw::core {
+
+class SessionManager;
 
 /// Service configuration: preprocessing plus per-session search options.
 struct ServiceOptions {
@@ -27,13 +30,22 @@ struct ServiceOptions {
   /// loaded instead of re-embedding; when it does not, preprocessing runs
   /// and the cache is written.
   std::string cache_path;
+  /// Worker threads of the shared session pool (0 = hardware default).
+  size_t session_threads = 0;
 };
 
 /// Owns the embedded dataset and creates per-query search sessions.
-/// Thread-compatible: sessions are independent, but each session is
-/// single-threaded.
+/// Concurrent serving goes through sessions(): managed sessions live behind
+/// integer ids and share one lookup ThreadPool. StartSession remains for
+/// single-user embedding into other drivers (benchmarks, examples); each
+/// individual session is single-threaded either way.
 class SeeSawService {
  public:
+  // Out of line: SessionManager is only forward-declared here.
+  SeeSawService(SeeSawService&&) noexcept;
+  SeeSawService& operator=(SeeSawService&&) noexcept;
+  ~SeeSawService();
+
   /// Runs (or loads) preprocessing. `dataset` must outlive the service.
   static StatusOr<SeeSawService> Create(const data::Dataset& dataset,
                                         const ServiceOptions& options);
@@ -48,15 +60,24 @@ class SeeSawService {
   StatusOr<std::unique_ptr<SeeSawSearcher>> StartSession(
       linalg::VectorF query_vector) const;
 
+  /// The session registry for concurrent serving (created on first use and
+  /// sized by ServiceOptions::session_threads). Safe to call from multiple
+  /// threads; the manager follows the service if it is moved.
+  SessionManager& sessions();
+
   const EmbeddedDataset& embedded() const { return *embedded_; }
 
  private:
-  SeeSawService(const data::Dataset* dataset, ServiceOptions options)
-      : dataset_(dataset), options_(std::move(options)) {}
+  SeeSawService(const data::Dataset* dataset, ServiceOptions options);
 
   const data::Dataset* dataset_;
   ServiceOptions options_;
   std::unique_ptr<EmbeddedDataset> embedded_;
+  // Behind unique_ptrs so the service stays movable: the mutex guards the
+  // lazy creation below, and the manager is re-pointed at the service's new
+  // address by the move operations.
+  std::unique_ptr<std::mutex> sessions_mu_;
+  std::unique_ptr<SessionManager> sessions_;
 };
 
 }  // namespace seesaw::core

@@ -1,0 +1,67 @@
+#include "core/session_manager.h"
+
+namespace seesaw::core {
+
+SessionManager::SessionManager(const SeeSawService& service,
+                               size_t num_threads)
+    : service_(&service),
+      pool_(num_threads == 0 ? ThreadPool::DefaultThreads() : num_threads) {}
+
+StatusOr<SessionId> SessionManager::CreateSession(
+    const std::string& text_query) {
+  SEESAW_ASSIGN_OR_RETURN(std::unique_ptr<SeeSawSearcher> session,
+                          service_->StartSession(text_query));
+  return Register(std::move(session));
+}
+
+StatusOr<SessionId> SessionManager::CreateSession(
+    linalg::VectorF query_vector) {
+  SEESAW_ASSIGN_OR_RETURN(std::unique_ptr<SeeSawSearcher> session,
+                          service_->StartSession(std::move(query_vector)));
+  return Register(std::move(session));
+}
+
+StatusOr<SessionId> SessionManager::Register(
+    std::unique_ptr<SeeSawSearcher> session) {
+  session->set_thread_pool(&pool_);
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionId id = next_id_++;
+  sessions_.emplace(id, std::shared_ptr<SeeSawSearcher>(session.release()));
+  return id;
+}
+
+std::shared_ptr<SeeSawSearcher> SessionManager::Find(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+Status SessionManager::Close(SessionId id) {
+  std::shared_ptr<SeeSawSearcher> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no such session");
+    }
+    // Destroy outside the lock in case this is the last reference.
+    doomed = std::move(it->second);
+    sessions_.erase(it);
+  }
+  return Status::OK();
+}
+
+std::vector<SessionId> SessionManager::LiveSessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SessionId> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, _] : sessions_) ids.push_back(id);
+  return ids;
+}
+
+size_t SessionManager::num_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace seesaw::core

@@ -1,0 +1,91 @@
+// SessionManager: the concurrent serving layer above SeeSawService.
+//
+// The paper's system serves one interactive user per session; a production
+// deployment serves many at once. The manager owns every live session behind
+// an opaque integer id in a mutex-guarded registry, and all sessions share
+// one ThreadPool for sharded store lookups — so p sessions on a c-core box
+// share c workers instead of spawning p*c threads.
+//
+//   SessionManager manager(service);
+//   auto id = manager.CreateSession("wheelchair");
+//   auto session = manager.Find(*id);   // shared_ptr, safe across Close
+//   auto page = session->NextBatch(10);
+//   ...
+//   manager.Close(*id);
+//
+// Thread-safety: CreateSession / Find / Close / num_sessions may be called
+// from any thread. Each individual session is still single-threaded — one
+// user drives one session — but different sessions run fully in parallel.
+#ifndef SEESAW_CORE_SESSION_MANAGER_H_
+#define SEESAW_CORE_SESSION_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/seesaw_searcher.h"
+#include "core/service.h"
+
+namespace seesaw::core {
+
+/// Opaque handle for a live search session.
+using SessionId = uint64_t;
+
+/// Mutex-guarded registry of live sessions sharing one worker pool.
+class SessionManager {
+ public:
+  /// `service` must outlive the manager. `num_threads` sizes the shared
+  /// lookup pool (0 = hardware default).
+  explicit SessionManager(const SeeSawService& service,
+                          size_t num_threads = 0);
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Opens a session from a category-name text query.
+  StatusOr<SessionId> CreateSession(const std::string& text_query);
+
+  /// Opens a session from a unit-norm query vector.
+  StatusOr<SessionId> CreateSession(linalg::VectorF query_vector);
+
+  /// The session for `id`, or nullptr when the id is unknown or closed. The
+  /// returned shared_ptr keeps the session alive even if another thread
+  /// closes it mid-use.
+  std::shared_ptr<SeeSawSearcher> Find(SessionId id) const;
+
+  /// Closes (unregisters) a session. NotFound for unknown or already-closed
+  /// ids. In-flight shared_ptrs stay valid; the state is freed when the last
+  /// one drops.
+  Status Close(SessionId id);
+
+  /// Ids of all live sessions (snapshot, unordered).
+  std::vector<SessionId> LiveSessions() const;
+
+  size_t num_sessions() const;
+
+  /// The lookup pool shared by every session of this manager.
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  friend class SeeSawService;
+
+  StatusOr<SessionId> Register(std::unique_ptr<SeeSawSearcher> session);
+
+  /// Called by the owning service's move operations so the back-pointer
+  /// tracks the service's address.
+  void RebindService(const SeeSawService* service) { service_ = service; }
+
+  const SeeSawService* service_;
+  ThreadPool pool_;
+  mutable std::mutex mu_;
+  SessionId next_id_ = 1;
+  std::unordered_map<SessionId, std::shared_ptr<SeeSawSearcher>> sessions_;
+};
+
+}  // namespace seesaw::core
+
+#endif  // SEESAW_CORE_SESSION_MANAGER_H_

@@ -2,6 +2,8 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/session_manager.h"
 #include "eval/metrics.h"
 
 namespace seesaw::eval {
@@ -75,6 +77,52 @@ BenchmarkRun RunBenchmark(const SearcherFactory& factory,
     run.results.push_back(
         RunSearchTask(*searcher, dataset, concept_id, options));
   }
+  return run;
+}
+
+BenchmarkRun RunBenchmarkParallel(const SearcherFactory& factory,
+                                  const data::Dataset& dataset,
+                                  const std::vector<size_t>& concepts,
+                                  const TaskOptions& options,
+                                  size_t num_threads) {
+  BenchmarkRun run;
+  run.concepts = concepts;
+  run.results.resize(concepts.size());
+  ThreadPool pool(num_threads == 0 ? ThreadPool::DefaultThreads()
+                                   : num_threads);
+  pool.ParallelFor(concepts.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      auto searcher = factory(concepts[i]);
+      SEESAW_CHECK(searcher != nullptr);
+      run.results[i] =
+          RunSearchTask(*searcher, dataset, concepts[i], options);
+    }
+  });
+  return run;
+}
+
+BenchmarkRun RunManagedBenchmark(core::SeeSawService& service,
+                                 const data::Dataset& dataset,
+                                 const std::vector<size_t>& concepts,
+                                 const TaskOptions& options,
+                                 size_t num_threads) {
+  BenchmarkRun run;
+  run.concepts = concepts;
+  run.results.resize(concepts.size());
+  core::SessionManager& manager = service.sessions();
+  const core::EmbeddedDataset& embedded = service.embedded();
+  ThreadPool drivers(num_threads == 0 ? ThreadPool::DefaultThreads()
+                                      : num_threads);
+  drivers.ParallelFor(concepts.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      auto id = manager.CreateSession(embedded.TextQuery(concepts[i]));
+      SEESAW_CHECK(id.ok()) << id.status().ToString();
+      auto session = manager.Find(*id);
+      SEESAW_CHECK(session != nullptr);
+      run.results[i] = RunSearchTask(*session, dataset, concepts[i], options);
+      SEESAW_CHECK(manager.Close(*id).ok());
+    }
+  });
   return run;
 }
 

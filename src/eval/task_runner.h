@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/searcher.h"
+#include "core/service.h"
 #include "data/dataset.h"
 
 namespace seesaw::eval {
@@ -60,6 +61,26 @@ BenchmarkRun RunBenchmark(const SearcherFactory& factory,
                           const data::Dataset& dataset,
                           const std::vector<size_t>& concepts,
                           const TaskOptions& options);
+
+/// Like RunBenchmark, but tasks run concurrently on `num_threads` workers
+/// (0 = hardware default) — one independent session per concept, results in
+/// concept order. `factory` must be callable from multiple threads at once.
+BenchmarkRun RunBenchmarkParallel(const SearcherFactory& factory,
+                                  const data::Dataset& dataset,
+                                  const std::vector<size_t>& concepts,
+                                  const TaskOptions& options,
+                                  size_t num_threads = 0);
+
+/// Runs the task for every concept through `service.sessions()`: each task
+/// opens a managed session (by the concept's text query), drives it with
+/// ground-truth feedback, and closes it — tasks run concurrently from
+/// `num_threads` driver threads while all sessions share the manager's
+/// lookup pool. This is the many-concurrent-users serving path end to end.
+BenchmarkRun RunManagedBenchmark(core::SeeSawService& service,
+                                 const data::Dataset& dataset,
+                                 const std::vector<size_t>& concepts,
+                                 const TaskOptions& options,
+                                 size_t num_threads = 0);
 
 }  // namespace seesaw::eval
 

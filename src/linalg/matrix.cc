@@ -43,6 +43,18 @@ VectorF MatrixF::MatVec(VecSpan x) const {
   return y;
 }
 
+void MatrixF::ScoreBlock(size_t row_begin, size_t row_end,
+                         std::span<const VecSpan> queries,
+                         MutVecSpan out) const {
+  SEESAW_CHECK_LE(row_begin, row_end);
+  SEESAW_CHECK_LE(row_end, rows_);
+  const size_t q = queries.size();
+  SEESAW_CHECK_EQ(out.size(), (row_end - row_begin) * q);
+  for (size_t r = row_begin; r < row_end; ++r) {
+    DotBatch(Row(r), queries, out.subspan((r - row_begin) * q, q));
+  }
+}
+
 VectorF MatrixF::TransposeMatVec(VecSpan x) const {
   SEESAW_CHECK_EQ(x.size(), rows_);
   VectorF y(cols_, 0.0f);

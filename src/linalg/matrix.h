@@ -45,6 +45,14 @@ class MatrixF {
   /// y = M * x  (x has cols() entries; result has rows() entries).
   VectorF MatVec(VecSpan x) const;
 
+  /// Blocked matrix x multi-vector scoring: fills `out` (row-major,
+  /// (row_end - row_begin) x queries.size()) with the inner products of rows
+  /// [row_begin, row_end) against every query. Each stored row is streamed
+  /// through the cache once while all queries score against it — the batched
+  /// exact-scan kernel. Scores are bitwise identical to per-row Dot().
+  void ScoreBlock(size_t row_begin, size_t row_end,
+                  std::span<const VecSpan> queries, MutVecSpan out) const;
+
   /// y = M^T * x (x has rows() entries; result has cols() entries).
   VectorF TransposeMatVec(VecSpan x) const;
 

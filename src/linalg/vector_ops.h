@@ -24,6 +24,13 @@ using MutVecSpan = std::span<float>;
 /// Inner product <a, b>. Sizes must match.
 float Dot(VecSpan a, VecSpan b);
 
+/// out[q] = <a, queries[q]> for every query. `a` is loaded once and stays
+/// cache-resident across all queries — the inner kernel of the batched
+/// multi-query scan. Each dot uses the same accumulation order as Dot(), so
+/// batched and scalar scoring are bitwise identical. Sizes must match;
+/// out.size() must equal queries.size().
+void DotBatch(VecSpan a, std::span<const VecSpan> queries, MutVecSpan out);
+
 /// Inner product accumulated in double precision. Use where downstream code
 /// is sensitive to accumulation noise (e.g. optimizer line searches over a
 /// sum of thousands of per-example losses).

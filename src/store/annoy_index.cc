@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace seesaw::store {
 
@@ -131,7 +132,7 @@ int32_t AnnoyIndex::BuildSubtree(std::vector<uint32_t>& items, size_t begin,
 }
 
 std::vector<SearchResult> AnnoyIndex::TopK(VecSpan query, size_t k,
-                                           const ExcludeFn& exclude) const {
+                                           const SeenSet& seen) const {
   SEESAW_CHECK_EQ(query.size(), vectors_.cols());
   const size_t d = vectors_.cols();
   size_t search_k = options_.search_k != 0
@@ -152,9 +153,9 @@ std::vector<SearchResult> AnnoyIndex::TopK(VecSpan query, size_t k,
 
   // Candidate set deduplicated across trees so the search_k budget buys
   // distinct vectors.
-  std::unordered_set<uint32_t> seen;
+  std::unordered_set<uint32_t> visited;
   std::vector<uint32_t> candidates;
-  seen.reserve(search_k * 2);
+  visited.reserve(search_k * 2);
   candidates.reserve(search_k * 2);
   while (!frontier.empty() && candidates.size() < search_k) {
     QueueEntry e = frontier.top();
@@ -162,7 +163,7 @@ std::vector<SearchResult> AnnoyIndex::TopK(VecSpan query, size_t k,
     const Node& node = nodes_[e.node];
     if (node.left < 0) {
       for (uint32_t i = node.items_begin; i < node.items_end; ++i) {
-        if (seen.insert(leaf_items_[i]).second) {
+        if (visited.insert(leaf_items_[i]).second) {
           candidates.push_back(leaf_items_[i]);
         }
       }
@@ -179,16 +180,29 @@ std::vector<SearchResult> AnnoyIndex::TopK(VecSpan query, size_t k,
   std::vector<SearchResult> scored;
   scored.reserve(candidates.size());
   for (uint32_t id : candidates) {
-    if (exclude && exclude(id)) continue;
+    if (seen.Test(id)) continue;
     scored.push_back({id, linalg::Dot(vectors_.Row(id), query)});
   }
   size_t keep = std::min(k, scored.size());
   std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
-                    [](const SearchResult& a, const SearchResult& b) {
-                      return a.score > b.score;
-                    });
+                    BetterResult);
   scored.resize(keep);
   return scored;
+}
+
+std::vector<std::vector<SearchResult>> AnnoyIndex::TopKBatch(
+    std::span<const VecSpan> queries, size_t k, const SeenSet& seen,
+    ThreadPool* pool) const {
+  std::vector<std::vector<SearchResult>> out(queries.size());
+  auto run_query = [&](size_t q) { out[q] = TopK(queries[q], k, seen); };
+  if (pool != nullptr && pool->num_threads() > 1 && queries.size() > 1) {
+    pool->ParallelFor(queries.size(), [&](size_t begin, size_t end) {
+      for (size_t q = begin; q < end; ++q) run_query(q);
+    });
+  } else {
+    for (size_t q = 0; q < queries.size(); ++q) run_query(q);
+  }
+  return out;
 }
 
 }  // namespace seesaw::store

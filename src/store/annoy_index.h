@@ -42,8 +42,15 @@ class AnnoyIndex : public VectorStore {
   size_t dim() const override { return vectors_.cols(); }
 
   std::vector<SearchResult> TopK(linalg::VecSpan query, size_t k,
-                                 const ExcludeFn& exclude) const override;
+                                 const SeenSet& seen) const override;
   using VectorStore::TopK;
+
+  /// Tree traversals are independent per query, so the batch simply fans
+  /// queries out across the pool (exact per-query parity by construction).
+  std::vector<std::vector<SearchResult>> TopKBatch(
+      std::span<const linalg::VecSpan> queries, size_t k, const SeenSet& seen,
+      ThreadPool* pool) const override;
+  using VectorStore::TopKBatch;
 
   linalg::VecSpan GetVector(uint32_t id) const override {
     return vectors_.Row(id);

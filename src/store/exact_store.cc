@@ -1,35 +1,20 @@
 #include "store/exact_store.h"
 
 #include <algorithm>
-#include <queue>
+#include <limits>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace seesaw::store {
 
 namespace {
 
-/// Min-heap comparator on score so the heap root is the weakest kept hit.
-struct ScoreGreater {
-  bool operator()(const SearchResult& a, const SearchResult& b) const {
-    return a.score > b.score;
-  }
-};
+/// Rows scored per ScoreBlock call in the batched scan. Small enough that a
+/// block (kRowBlock x dim floats) plus the queries stay cache-resident.
+constexpr size_t kRowBlock = 32;
 
 }  // namespace
-
-double RecallAgainst(const std::vector<SearchResult>& got,
-                     const std::vector<SearchResult>& truth) {
-  if (truth.empty()) return 1.0;
-  size_t hits = 0;
-  for (const SearchResult& t : truth) {
-    for (const SearchResult& g : got) {
-      if (g.id == t.id) {
-        ++hits;
-        break;
-      }
-    }
-  }
-  return static_cast<double>(hits) / static_cast<double>(truth.size());
-}
 
 StatusOr<ExactStore> ExactStore::Create(linalg::MatrixF vectors) {
   if (vectors.rows() == 0 || vectors.cols() == 0) {
@@ -39,25 +24,119 @@ StatusOr<ExactStore> ExactStore::Create(linalg::MatrixF vectors) {
 }
 
 std::vector<SearchResult> ExactStore::TopK(linalg::VecSpan query, size_t k,
-                                           const ExcludeFn& exclude) const {
-  std::priority_queue<SearchResult, std::vector<SearchResult>, ScoreGreater>
-      heap;
+                                           const SeenSet& seen) const {
+  SEESAW_CHECK_EQ(query.size(), vectors_.cols());
+  TopKHeap heap(k);
   const size_t n = vectors_.rows();
   for (size_t i = 0; i < n; ++i) {
     uint32_t id = static_cast<uint32_t>(i);
-    if (exclude && exclude(id)) continue;
-    float s = linalg::Dot(vectors_.Row(i), query);
-    if (heap.size() < k) {
-      heap.push({id, s});
-    } else if (s > heap.top().score) {
-      heap.pop();
-      heap.push({id, s});
-    }
+    if (seen.Test(id)) continue;
+    heap.Push(id, linalg::Dot(vectors_.Row(i), query));
   }
-  std::vector<SearchResult> out(heap.size());
-  for (size_t i = heap.size(); i-- > 0;) {
-    out[i] = heap.top();
-    heap.pop();
+  return heap.TakeSorted();
+}
+
+std::vector<std::vector<SearchResult>> ExactStore::TopKBatch(
+    std::span<const linalg::VecSpan> queries, size_t k, const SeenSet& seen,
+    ThreadPool* pool) const {
+  const size_t num_queries = queries.size();
+  if (num_queries == 0) return {};
+  for (linalg::VecSpan q : queries) SEESAW_CHECK_EQ(q.size(), vectors_.cols());
+  // k == 0 would make the empty heaps "full" below and their Worst()
+  // undefined; the answer is trivially empty anyway.
+  if (k == 0) return std::vector<std::vector<SearchResult>>(num_queries);
+
+  const size_t n = vectors_.rows();
+  size_t num_shards = 1;
+  if (pool != nullptr && pool->num_threads() > 1) {
+    // A couple of shards per worker evens out stragglers; never fewer rows
+    // per shard than one score block.
+    num_shards = std::min(pool->num_threads() * 2,
+                          std::max<size_t>(1, n / kRowBlock));
+  }
+  const size_t rows_per_shard = (n + num_shards - 1) / num_shards;
+
+  // heaps[shard][query]: each shard scans a disjoint row range, so shards
+  // never touch each other's heaps.
+  std::vector<std::vector<TopKHeap>> heaps(
+      num_shards, std::vector<TopKHeap>(num_queries, TopKHeap(k)));
+  auto scan_shard = [&](size_t shard) {
+    const size_t begin = shard * rows_per_shard;
+    const size_t end = std::min(begin + rows_per_shard, n);
+    std::vector<TopKHeap>& shard_heaps = heaps[shard];
+    std::vector<float> scores(kRowBlock * num_queries);
+    // Per-query admission thresholds mirrored out of the heaps into flat
+    // arrays, so the overwhelmingly common reject is one compare instead of
+    // a heap-front pointer chase inside the innermost loop.
+    std::vector<float> worst_score(num_queries,
+                                   -std::numeric_limits<float>::infinity());
+    std::vector<uint32_t> worst_id(num_queries, 0);
+    auto admit = [&](size_t q, uint32_t id, float score) {
+      TopKHeap& heap = shard_heaps[q];
+      if (heap.Full()) {
+        if (score < worst_score[q] ||
+            (score == worst_score[q] && id > worst_id[q])) {
+          return;
+        }
+      }
+      heap.Push(id, score);
+      if (heap.Full()) {
+        worst_score[q] = heap.Worst().score;
+        worst_id[q] = heap.Worst().id;
+      }
+    };
+    // Seen rows are skipped before scoring (exactly like the scalar scan):
+    // ScoreBlock runs over maximal unseen runs, capped at kRowBlock rows.
+    size_t r = begin;
+    while (r < end) {
+      if (seen.Test(static_cast<uint32_t>(r))) {
+        ++r;
+        continue;
+      }
+      size_t run_end = r + 1;
+      while (run_end < end && run_end - r < kRowBlock &&
+             !seen.Test(static_cast<uint32_t>(run_end))) {
+        ++run_end;
+      }
+      vectors_.ScoreBlock(
+          r, run_end, queries,
+          linalg::MutVecSpan(scores.data(), (run_end - r) * num_queries));
+      for (size_t row = r; row < run_end; ++row) {
+        const float* row_scores = scores.data() + (row - r) * num_queries;
+        for (size_t q = 0; q < num_queries; ++q) {
+          admit(q, static_cast<uint32_t>(row), row_scores[q]);
+        }
+      }
+      r = run_end;
+    }
+  };
+
+  if (num_shards == 1) {
+    scan_shard(0);
+  } else {
+    pool->ParallelFor(num_shards, [&](size_t begin, size_t end) {
+      for (size_t shard = begin; shard < end; ++shard) scan_shard(shard);
+    });
+  }
+
+  // Merge per-shard heaps: the global top-k under BetterResult is unique, so
+  // the result matches the single-shard (and single-query) scan exactly.
+  std::vector<std::vector<SearchResult>> out(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    if (num_shards == 1) {
+      out[q] = heaps[0][q].TakeSorted();
+      continue;
+    }
+    std::vector<SearchResult> merged;
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      const auto& items = heaps[shard][q].items();
+      merged.insert(merged.end(), items.begin(), items.end());
+    }
+    size_t keep = std::min(k, merged.size());
+    std::partial_sort(merged.begin(), merged.begin() + keep, merged.end(),
+                      BetterResult);
+    merged.resize(keep);
+    out[q] = std::move(merged);
   }
   return out;
 }

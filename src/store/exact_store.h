@@ -21,8 +21,16 @@ class ExactStore : public VectorStore {
   size_t dim() const override { return vectors_.cols(); }
 
   std::vector<SearchResult> TopK(linalg::VecSpan query, size_t k,
-                                 const ExcludeFn& exclude) const override;
+                                 const SeenSet& seen) const override;
   using VectorStore::TopK;
+
+  /// Batched exact scan: each cache-resident row block is scored against
+  /// every query at once (linalg::MatrixF::ScoreBlock), and with a pool the
+  /// table is sharded across workers with per-shard heaps merged at the end.
+  std::vector<std::vector<SearchResult>> TopKBatch(
+      std::span<const linalg::VecSpan> queries, size_t k, const SeenSet& seen,
+      ThreadPool* pool) const override;
+  using VectorStore::TopKBatch;
 
   linalg::VecSpan GetVector(uint32_t id) const override {
     return vectors_.Row(id);

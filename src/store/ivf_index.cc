@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
+#include <numeric>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace seesaw::store {
 
@@ -38,42 +39,80 @@ StatusOr<IvfFlatIndex> IvfFlatIndex::Build(const IvfOptions& options,
   return index;
 }
 
+size_t IvfFlatIndex::ProbeCount() const {
+  return std::min(std::max<size_t>(options_.nprobe, 1), lists_.size());
+}
+
+std::vector<uint32_t> IvfFlatIndex::RankCells(
+    linalg::VecSpan centroid_scores) const {
+  SEESAW_CHECK_EQ(centroid_scores.size(), lists_.size());
+  std::vector<uint32_t> cells(lists_.size());
+  std::iota(cells.begin(), cells.end(), 0u);
+  size_t probe = ProbeCount();
+  std::partial_sort(cells.begin(), cells.begin() + probe, cells.end(),
+                    [centroid_scores](uint32_t a, uint32_t b) {
+                      if (centroid_scores[a] != centroid_scores[b]) {
+                        return centroid_scores[a] > centroid_scores[b];
+                      }
+                      return a < b;
+                    });
+  cells.resize(probe);
+  return cells;
+}
+
+std::vector<SearchResult> IvfFlatIndex::ScanLists(
+    linalg::VecSpan query, const std::vector<uint32_t>& cells, size_t k,
+    const SeenSet& seen) const {
+  TopKHeap heap(k);
+  for (uint32_t cell : cells) {
+    for (uint32_t id : lists_[cell]) {
+      if (seen.Test(id)) continue;
+      heap.Push(id, linalg::Dot(vectors_.Row(id), query));
+    }
+  }
+  return heap.TakeSorted();
+}
+
 std::vector<SearchResult> IvfFlatIndex::TopK(linalg::VecSpan query, size_t k,
-                                             const ExcludeFn& exclude) const {
+                                             const SeenSet& seen) const {
   SEESAW_CHECK_EQ(query.size(), vectors_.cols());
   // Rank cells by centroid inner product (vectors are unit norm, so inner
   // product ordering ~ distance ordering).
-  std::vector<std::pair<float, uint32_t>> cells(lists_.size());
-  for (size_t c = 0; c < lists_.size(); ++c) {
-    cells[c] = {linalg::Dot(centroids_.Row(c), query),
-                static_cast<uint32_t>(c)};
-  }
-  size_t probe = std::min(std::max<size_t>(options_.nprobe, 1), cells.size());
-  std::partial_sort(cells.begin(), cells.begin() + probe, cells.end(),
-                    std::greater<>());
+  linalg::VectorF centroid_scores = centroids_.MatVec(query);
+  return ScanLists(query, RankCells(centroid_scores), k, seen);
+}
 
-  // Exhaustive scan within the probed lists, min-heap of the best k.
-  auto cmp = [](const SearchResult& a, const SearchResult& b) {
-    return a.score > b.score;
-  };
-  std::priority_queue<SearchResult, std::vector<SearchResult>, decltype(cmp)>
-      heap(cmp);
-  for (size_t p = 0; p < probe; ++p) {
-    for (uint32_t id : lists_[cells[p].second]) {
-      if (exclude && exclude(id)) continue;
-      float s = linalg::Dot(vectors_.Row(id), query);
-      if (heap.size() < k) {
-        heap.push({id, s});
-      } else if (s > heap.top().score) {
-        heap.pop();
-        heap.push({id, s});
-      }
+std::vector<std::vector<SearchResult>> IvfFlatIndex::TopKBatch(
+    std::span<const linalg::VecSpan> queries, size_t k, const SeenSet& seen,
+    ThreadPool* pool) const {
+  const size_t num_queries = queries.size();
+  if (num_queries == 0) return {};
+  for (linalg::VecSpan q : queries) SEESAW_CHECK_EQ(q.size(), vectors_.cols());
+
+  // One blocked pass scores every centroid against every query
+  // (centroid_scores is num_lists x num_queries, row-major).
+  const size_t num_cells = centroids_.rows();
+  std::vector<float> centroid_scores(num_cells * num_queries);
+  centroids_.ScoreBlock(
+      0, num_cells, queries,
+      linalg::MutVecSpan(centroid_scores.data(), centroid_scores.size()));
+
+  std::vector<std::vector<SearchResult>> out(num_queries);
+  auto run_query = [&](size_t q) {
+    // Gather this query's column of the score block for cell ranking.
+    linalg::VectorF scores(num_cells);
+    for (size_t c = 0; c < num_cells; ++c) {
+      scores[c] = centroid_scores[c * num_queries + q];
     }
-  }
-  std::vector<SearchResult> out(heap.size());
-  for (size_t i = heap.size(); i-- > 0;) {
-    out[i] = heap.top();
-    heap.pop();
+    out[q] = ScanLists(queries[q], RankCells(scores), k, seen);
+  };
+
+  if (pool != nullptr && pool->num_threads() > 1 && num_queries > 1) {
+    pool->ParallelFor(num_queries, [&](size_t begin, size_t end) {
+      for (size_t q = begin; q < end; ++q) run_query(q);
+    });
+  } else {
+    for (size_t q = 0; q < num_queries; ++q) run_query(q);
   }
   return out;
 }

@@ -37,8 +37,16 @@ class IvfFlatIndex : public VectorStore {
   size_t dim() const override { return vectors_.cols(); }
 
   std::vector<SearchResult> TopK(linalg::VecSpan query, size_t k,
-                                 const ExcludeFn& exclude) const override;
+                                 const SeenSet& seen) const override;
   using VectorStore::TopK;
+
+  /// Batched lookup: centroids are scored against all queries in one blocked
+  /// pass, then each query's probe lists are scanned — in parallel across
+  /// queries when a pool is given.
+  std::vector<std::vector<SearchResult>> TopKBatch(
+      std::span<const linalg::VecSpan> queries, size_t k, const SeenSet& seen,
+      ThreadPool* pool) const override;
+  using VectorStore::TopKBatch;
 
   linalg::VecSpan GetVector(uint32_t id) const override {
     return vectors_.Row(id);
@@ -50,6 +58,19 @@ class IvfFlatIndex : public VectorStore {
  private:
   IvfFlatIndex(IvfOptions options, linalg::MatrixF vectors)
       : options_(options), vectors_(std::move(vectors)) {}
+
+  /// Number of lists scanned per query (nprobe clamped to [1, num_lists]).
+  size_t ProbeCount() const;
+
+  /// The ProbeCount() best cells for a query given every cell's centroid
+  /// score, ranked by (score desc, cell id asc) — shared by the scalar and
+  /// batched paths so both probe identical lists.
+  std::vector<uint32_t> RankCells(linalg::VecSpan centroid_scores) const;
+
+  /// Exhaustive scan of `cells`' member lists under `seen`.
+  std::vector<SearchResult> ScanLists(linalg::VecSpan query,
+                                      const std::vector<uint32_t>& cells,
+                                      size_t k, const SeenSet& seen) const;
 
   IvfOptions options_;
   linalg::MatrixF vectors_;

@@ -1,0 +1,52 @@
+#include "store/seen_set.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+
+namespace seesaw::store {
+
+void SeenSet::Resize(size_t capacity) {
+  words_.resize((capacity + 63) / 64, 0);
+  capacity_ = capacity;
+  // Drop bits past the new capacity so count_ stays consistent.
+  if (capacity % 64 != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << (capacity % 64)) - 1;
+  }
+  size_t c = 0;
+  for (uint64_t w : words_) c += static_cast<size_t>(std::popcount(w));
+  count_ = c;
+}
+
+void SeenSet::Set(uint32_t id) {
+  SEESAW_CHECK_LT(id, capacity_);
+  uint64_t& w = words_[id >> 6];
+  uint64_t bit = uint64_t{1} << (id & 63);
+  if ((w & bit) == 0) {
+    w |= bit;
+    ++count_;
+  }
+}
+
+void SeenSet::Reset(uint32_t id) {
+  SEESAW_CHECK_LT(id, capacity_);
+  uint64_t& w = words_[id >> 6];
+  uint64_t bit = uint64_t{1} << (id & 63);
+  if ((w & bit) != 0) {
+    w &= ~bit;
+    --count_;
+  }
+}
+
+void SeenSet::Clear() {
+  std::fill(words_.begin(), words_.end(), 0);
+  count_ = 0;
+}
+
+const SeenSet& EmptySeenSet() {
+  static const SeenSet empty;
+  return empty;
+}
+
+}  // namespace seesaw::store

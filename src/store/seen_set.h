@@ -1,0 +1,62 @@
+// SeenSet: fixed-capacity bitset over vector ids, the concrete exclusion
+// type threaded through every store lookup.
+//
+// The paper's interactive loop (§2.2) never re-shows a patch the user has
+// already inspected, so every TopK scan must skip the seen set. A bitset
+// keeps that test to one AND inside the innermost loop — branch-predictable
+// and allocation-free — where the previous std::function callback cost an
+// indirect call per stored vector.
+#ifndef SEESAW_STORE_SEEN_SET_H_
+#define SEESAW_STORE_SEEN_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace seesaw::store {
+
+/// Bitset over ids [0, capacity). Default-constructed sets are empty with
+/// capacity 0; Test() on an id at or past capacity reports "not seen", so an
+/// empty SeenSet is the natural "no exclusions" value.
+class SeenSet {
+ public:
+  SeenSet() = default;
+  explicit SeenSet(size_t capacity) { Resize(capacity); }
+
+  /// Grows (or shrinks) to `capacity` ids; newly covered ids start unseen.
+  void Resize(size_t capacity);
+
+  /// Marks `id` as seen. `id` must be < capacity().
+  void Set(uint32_t id);
+
+  /// Unmarks `id`. `id` must be < capacity().
+  void Reset(uint32_t id);
+
+  /// Whether `id` is seen; ids at or past capacity are never seen.
+  bool Test(uint32_t id) const {
+    return id < capacity_ &&
+           (words_[id >> 6] >> (id & 63) & uint64_t{1}) != 0;
+  }
+
+  /// Unmarks every id (capacity is unchanged).
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+
+  /// Number of seen ids (maintained incrementally; O(1)).
+  size_t count() const { return count_; }
+
+  bool empty() const { return count_ == 0; }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t capacity_ = 0;
+  size_t count_ = 0;
+};
+
+/// Shared "no exclusions" instance for convenience overloads.
+const SeenSet& EmptySeenSet();
+
+}  // namespace seesaw::store
+
+#endif  // SEESAW_STORE_SEEN_SET_H_

@@ -1,0 +1,29 @@
+#include "store/vector_store.h"
+
+#include <unordered_set>
+
+namespace seesaw::store {
+
+std::vector<std::vector<SearchResult>> VectorStore::TopKBatch(
+    std::span<const linalg::VecSpan> queries, size_t k, const SeenSet& seen,
+    ThreadPool* /*pool*/) const {
+  // Serial fallback: correctness reference for the parallel overrides.
+  std::vector<std::vector<SearchResult>> out(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    out[i] = TopK(queries[i], k, seen);
+  }
+  return out;
+}
+
+double RecallAgainst(const std::vector<SearchResult>& got,
+                     const std::vector<SearchResult>& truth) {
+  if (truth.empty()) return 1.0;
+  std::unordered_set<uint32_t> got_ids;
+  got_ids.reserve(got.size() * 2);
+  for (const SearchResult& g : got) got_ids.insert(g.id);
+  size_t hits = 0;
+  for (const SearchResult& t : truth) hits += got_ids.count(t.id);
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+}  // namespace seesaw::store

@@ -4,15 +4,29 @@
 // implementation). Lookups may be approximate: SeeSaw tolerates results that
 // are among the top scores rather than exactly the top (the embedding itself
 // carries more error than the index).
+//
+// Exclusions are expressed as a SeenSet bitset (O(1) branch-predictable test
+// in the innermost scan loop), and every backend serves both single queries
+// (TopK) and query batches (TopKBatch). Batched lookups may shard the work
+// across a ThreadPool and are guaranteed to return exactly what per-query
+// TopK would: all backends select with the same total order (score
+// descending, id ascending on ties), so results are unique and independent
+// of sharding.
 #ifndef SEESAW_STORE_VECTOR_STORE_H_
 #define SEESAW_STORE_VECTOR_STORE_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
+#include <span>
 #include <vector>
 
 #include "linalg/matrix.h"
 #include "linalg/vector_ops.h"
+#include "store/seen_set.h"
+
+namespace seesaw {
+class ThreadPool;
+}  // namespace seesaw
 
 namespace seesaw::store {
 
@@ -22,9 +36,57 @@ struct SearchResult {
   float score = 0.0f;
 };
 
-/// Predicate deciding whether a vector id should be skipped (e.g. patches of
-/// images the user has already seen). May be null meaning "keep everything".
-using ExcludeFn = std::function<bool(uint32_t)>;
+/// The canonical result order: higher score first, lower id breaking ties.
+/// Every backend selects and sorts with this order, which makes the exact
+/// top-k of any candidate set unique — the property the TopKBatch == TopK
+/// parity guarantee rests on.
+inline bool BetterResult(const SearchResult& a, const SearchResult& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+/// Bounded accumulator of the k best results under BetterResult. A binary
+/// heap whose root is the weakest kept hit; Push is O(log k) only when the
+/// candidate actually displaces something.
+class TopKHeap {
+ public:
+  explicit TopKHeap(size_t k) : k_(k) { heap_.reserve(k); }
+
+  void Push(uint32_t id, float score) {
+    if (k_ == 0) return;
+    SearchResult candidate{id, score};
+    if (heap_.size() < k_) {
+      heap_.push_back(candidate);
+      std::push_heap(heap_.begin(), heap_.end(), BetterResult);
+      return;
+    }
+    if (BetterResult(candidate, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), BetterResult);
+      heap_.back() = candidate;
+      std::push_heap(heap_.begin(), heap_.end(), BetterResult);
+    }
+  }
+
+  /// Kept hits in unspecified order (e.g. for cross-shard merging).
+  const std::vector<SearchResult>& items() const { return heap_; }
+
+  /// Whether k hits are held (a candidate must now beat Worst() to enter).
+  bool Full() const { return heap_.size() >= k_; }
+
+  /// The weakest kept hit; only valid when not empty. Callers on the hot
+  /// path cache this to reject candidates with one flat compare.
+  const SearchResult& Worst() const { return heap_.front(); }
+
+  /// Extracts the kept hits best-first; the heap is left empty.
+  std::vector<SearchResult> TakeSorted() {
+    std::sort(heap_.begin(), heap_.end(), BetterResult);
+    return std::move(heap_);
+  }
+
+ private:
+  size_t k_;
+  std::vector<SearchResult> heap_;
+};
 
 /// Interface for max-inner-product stores.
 class VectorStore {
@@ -38,15 +100,35 @@ class VectorStore {
   virtual size_t dim() const = 0;
 
   /// Returns up to k results with the largest inner product against `query`,
-  /// sorted by descending score, skipping ids for which `exclude` returns
-  /// true. Fewer than k results are returned only when the store (after
-  /// exclusions) is smaller than k or the index exhausts its candidates.
+  /// best first (see BetterResult), skipping ids marked in `seen`. Fewer
+  /// than k results are returned only when the store (after exclusions) is
+  /// smaller than k or the index exhausts its candidates.
   virtual std::vector<SearchResult> TopK(linalg::VecSpan query, size_t k,
-                                         const ExcludeFn& exclude) const = 0;
+                                         const SeenSet& seen) const = 0;
 
   /// Convenience overload without exclusions.
   std::vector<SearchResult> TopK(linalg::VecSpan query, size_t k) const {
-    return TopK(query, k, ExcludeFn());
+    return TopK(query, k, EmptySeenSet());
+  }
+
+  /// Multi-query lookup: out[i] is exactly TopK(queries[i], k, seen). The
+  /// base implementation is the serial per-query fallback; backends override
+  /// it with batched kernels and, when `pool` is non-null, shard the work
+  /// across it. All sessions of a service share one pool, so implementations
+  /// must only use pool->ParallelFor (safe under concurrent callers).
+  virtual std::vector<std::vector<SearchResult>> TopKBatch(
+      std::span<const linalg::VecSpan> queries, size_t k, const SeenSet& seen,
+      ThreadPool* pool) const;
+
+  /// Convenience overloads: no pool / no exclusions.
+  std::vector<std::vector<SearchResult>> TopKBatch(
+      std::span<const linalg::VecSpan> queries, size_t k,
+      const SeenSet& seen) const {
+    return TopKBatch(queries, k, seen, nullptr);
+  }
+  std::vector<std::vector<SearchResult>> TopKBatch(
+      std::span<const linalg::VecSpan> queries, size_t k) const {
+    return TopKBatch(queries, k, EmptySeenSet(), nullptr);
   }
 
   /// Read access to vector `id`.

@@ -87,7 +87,9 @@ TEST(IvfFlatTest, ExclusionWorks) {
   auto ivf = IvfFlatIndex::Build({}, ClusteredTable(300, 8, 3, 6));
   ASSERT_TRUE(ivf.ok());
   VectorF q(ivf->GetVector(5).begin(), ivf->GetVector(5).end());
-  auto hits = ivf->TopK(q, 10, [](uint32_t id) { return id < 100; });
+  SeenSet seen(300);
+  for (uint32_t id = 0; id < 100; ++id) seen.Set(id);
+  auto hits = ivf->TopK(q, 10, seen);
   for (const auto& h : hits) EXPECT_GE(h.id, 100u);
 }
 

@@ -1,0 +1,113 @@
+#include "store/seen_set.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "store/exact_store.h"
+
+namespace seesaw::store {
+namespace {
+
+using linalg::MatrixF;
+using linalg::VectorF;
+
+TEST(SeenSetTest, DefaultIsEmptyWithZeroCapacity) {
+  SeenSet seen;
+  EXPECT_EQ(seen.capacity(), 0u);
+  EXPECT_EQ(seen.count(), 0u);
+  EXPECT_TRUE(seen.empty());
+  // Any id past capacity is "not seen" — never UB.
+  EXPECT_FALSE(seen.Test(0));
+  EXPECT_FALSE(seen.Test(12345));
+}
+
+TEST(SeenSetTest, SetTestClearRoundTrip) {
+  SeenSet seen(130);  // straddles the 64-bit word boundary twice
+  EXPECT_EQ(seen.capacity(), 130u);
+  for (uint32_t id : {0u, 63u, 64u, 127u, 128u, 129u}) {
+    EXPECT_FALSE(seen.Test(id));
+    seen.Set(id);
+    EXPECT_TRUE(seen.Test(id));
+  }
+  EXPECT_EQ(seen.count(), 6u);
+
+  // Setting an already-set bit is idempotent.
+  seen.Set(64);
+  EXPECT_EQ(seen.count(), 6u);
+
+  seen.Reset(64);
+  EXPECT_FALSE(seen.Test(64));
+  EXPECT_EQ(seen.count(), 5u);
+  seen.Reset(64);  // idempotent too
+  EXPECT_EQ(seen.count(), 5u);
+
+  seen.Clear();
+  EXPECT_EQ(seen.count(), 0u);
+  EXPECT_EQ(seen.capacity(), 130u);
+  for (uint32_t id = 0; id < 130; ++id) EXPECT_FALSE(seen.Test(id));
+}
+
+TEST(SeenSetTest, ResizePreservesBitsAndCount) {
+  SeenSet seen(10);
+  seen.Set(3);
+  seen.Set(9);
+  seen.Resize(100);
+  EXPECT_TRUE(seen.Test(3));
+  EXPECT_TRUE(seen.Test(9));
+  EXPECT_FALSE(seen.Test(50));
+  EXPECT_EQ(seen.count(), 2u);
+
+  // Shrinking drops out-of-range bits from the count.
+  seen.Resize(4);
+  EXPECT_TRUE(seen.Test(3));
+  EXPECT_FALSE(seen.Test(9));
+  EXPECT_EQ(seen.count(), 1u);
+}
+
+TEST(SeenSetTest, UnseenIdsPastCapacityAreExcludedFromNothing) {
+  SeenSet seen(8);
+  seen.Set(7);
+  EXPECT_TRUE(seen.Test(7));
+  EXPECT_FALSE(seen.Test(8));
+  EXPECT_FALSE(seen.Test(1u << 30));
+}
+
+/// Random unit-vector table, like an embedding table.
+MatrixF RandomTable(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  MatrixF table(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = table.MutableRow(i);
+    for (size_t j = 0; j < d; ++j) row[j] = static_cast<float>(rng.Gaussian());
+    linalg::NormalizeInPlace(row);
+  }
+  return table;
+}
+
+TEST(SeenSetTest, ExclusionHonoredByStoreScan) {
+  auto store = ExactStore::Create(RandomTable(64, 8, 5));
+  ASSERT_TRUE(store.ok());
+  VectorF q(store->GetVector(11).begin(), store->GetVector(11).end());
+  ASSERT_EQ(store->TopK(q, 1)[0].id, 11u);
+
+  SeenSet seen(64);
+  seen.Set(11);
+  for (const auto& h : store->TopK(q, 64, seen)) EXPECT_NE(h.id, 11u);
+
+  // Clearing restores the excluded id.
+  seen.Clear();
+  EXPECT_EQ(store->TopK(q, 1, seen)[0].id, 11u);
+}
+
+TEST(SeenSetTest, FewerThanKWhenExclusionsShrinkTheStore) {
+  auto store = ExactStore::Create(RandomTable(10, 4, 6));
+  ASSERT_TRUE(store.ok());
+  SeenSet seen(10);
+  for (uint32_t id = 0; id < 7; ++id) seen.Set(id);
+  auto hits = store->TopK(VectorF(4, 0.5f), 5, seen);
+  EXPECT_EQ(hits.size(), 3u);  // only ids 7, 8, 9 remain
+  for (const auto& h : hits) EXPECT_GE(h.id, 7u);
+}
+
+}  // namespace
+}  // namespace seesaw::store

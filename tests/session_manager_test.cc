@@ -1,0 +1,204 @@
+// SessionManager: id registry semantics plus a concurrency smoke test
+// running independent sessions from multiple threads against one service.
+#include "core/session_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "data/profiles.h"
+#include "eval/task_runner.h"
+
+namespace seesaw {
+namespace {
+
+data::DatasetProfile SmallBdd() {
+  auto p = data::BddLikeProfile(0.05);
+  p.embedding_dim = 32;
+  return p;
+}
+
+struct ServiceFixture {
+  ServiceFixture() {
+    auto ds = data::Dataset::Generate(SmallBdd());
+    SEESAW_CHECK(ds.ok());
+    dataset = std::make_unique<data::Dataset>(std::move(*ds));
+    core::ServiceOptions options;
+    options.preprocess.md.k = 5;
+    options.session_threads = 2;
+    auto svc = core::SeeSawService::Create(*dataset, options);
+    SEESAW_CHECK(svc.ok());
+    service = std::make_unique<core::SeeSawService>(std::move(*svc));
+  }
+
+  std::unique_ptr<data::Dataset> dataset;
+  std::unique_ptr<core::SeeSawService> service;
+};
+
+ServiceFixture& Fixture() {
+  static ServiceFixture* fixture = new ServiceFixture();
+  return *fixture;
+}
+
+TEST(SessionManagerTest, CreateFindCloseLifecycle) {
+  auto& f = Fixture();
+  core::SessionManager& manager = f.service->sessions();
+
+  auto id = manager.CreateSession("car");
+  ASSERT_TRUE(id.ok());
+  EXPECT_GE(manager.num_sessions(), 1u);
+
+  auto session = manager.Find(*id);
+  ASSERT_NE(session, nullptr);
+  EXPECT_FALSE(session->NextBatch(3).empty());
+
+  ASSERT_TRUE(manager.Close(*id).ok());
+  EXPECT_EQ(manager.Find(*id), nullptr);
+  EXPECT_TRUE(manager.Close(*id).IsNotFound());
+}
+
+TEST(SessionManagerTest, UnknownQueryAndIdAreErrors) {
+  auto& f = Fixture();
+  core::SessionManager& manager = f.service->sessions();
+  EXPECT_FALSE(manager.CreateSession("no-such-concept-name").ok());
+  EXPECT_EQ(manager.Find(9999999), nullptr);
+  EXPECT_TRUE(manager.Close(9999999).IsNotFound());
+}
+
+TEST(SessionManagerTest, InFlightSessionSurvivesClose) {
+  auto& f = Fixture();
+  core::SessionManager& manager = f.service->sessions();
+  auto id = manager.CreateSession("car");
+  ASSERT_TRUE(id.ok());
+  auto session = manager.Find(*id);
+  ASSERT_NE(session, nullptr);
+  ASSERT_TRUE(manager.Close(*id).ok());
+  // The shared_ptr keeps the state alive even though the registry dropped it.
+  EXPECT_FALSE(session->NextBatch(2).empty());
+}
+
+TEST(SessionManagerTest, ConcurrentSessionsFromManyThreads) {
+  auto& f = Fixture();
+  core::SessionManager& manager = f.service->sessions();
+  const size_t before = manager.num_sessions();
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> users;
+  for (int t = 0; t < 6; ++t) {
+    users.emplace_back([&f, &manager, &failures] {
+      for (int round = 0; round < 3; ++round) {
+        auto id = manager.CreateSession(
+            f.service->embedded().TextQuery(/*concept_id=*/0));
+        if (!id.ok()) {
+          ++failures;
+          return;
+        }
+        auto session = manager.Find(*id);
+        if (session == nullptr) {
+          ++failures;
+          return;
+        }
+        // Drive a short feedback loop: lookups shard on the shared pool.
+        for (int batch = 0; batch < 2; ++batch) {
+          auto page = session->NextBatch(4);
+          if (page.empty()) {
+            ++failures;
+            break;
+          }
+          for (const auto& hit : page) {
+            core::ImageFeedback fb;
+            fb.image_idx = hit.image_idx;
+            fb.relevant = false;
+            session->AddFeedback(fb);
+          }
+          if (!session->Refit().ok()) ++failures;
+        }
+        if (!manager.Close(*id).ok()) ++failures;
+      }
+    });
+  }
+  for (auto& u : users) u.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(manager.num_sessions(), before);
+}
+
+TEST(SessionManagerTest, FirstSessionsCallIsThreadSafe) {
+  // Regression: lazy manager creation raced when first hit concurrently.
+  auto ds = data::Dataset::Generate(SmallBdd());
+  ASSERT_TRUE(ds.ok());
+  core::ServiceOptions options;
+  options.preprocess.build_md = false;
+  options.session_threads = 2;
+  auto service = core::SeeSawService::Create(*ds, options);
+  ASSERT_TRUE(service.ok());
+
+  std::atomic<core::SessionManager*> first{nullptr};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      core::SessionManager* manager = &service->sessions();
+      core::SessionManager* expected = nullptr;
+      if (!first.compare_exchange_strong(expected, manager) &&
+          expected != manager) {
+        ++mismatches;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(SessionManagerTest, ManagerFollowsMovedService) {
+  // Regression: moving the service used to leave the manager's back-pointer
+  // at the moved-from shell.
+  auto ds = data::Dataset::Generate(SmallBdd());
+  ASSERT_TRUE(ds.ok());
+  core::ServiceOptions options;
+  options.preprocess.build_md = false;
+  auto service = core::SeeSawService::Create(*ds, options);
+  ASSERT_TRUE(service.ok());
+
+  core::SessionManager& manager = service->sessions();
+  core::SeeSawService moved = std::move(*service);
+  EXPECT_EQ(&moved.sessions(), &manager);
+
+  auto id = manager.CreateSession("car");
+  ASSERT_TRUE(id.ok());
+  auto session = manager.Find(*id);
+  ASSERT_NE(session, nullptr);
+  EXPECT_FALSE(session->NextBatch(2).empty());
+  ASSERT_TRUE(manager.Close(*id).ok());
+}
+
+TEST(SessionManagerTest, ManagedBenchmarkMatchesDirectSessions) {
+  auto& f = Fixture();
+  auto concepts = f.dataset->EvaluableConcepts(3);
+  ASSERT_FALSE(concepts.empty());
+  if (concepts.size() > 3) concepts.resize(3);
+  eval::TaskOptions task;
+  task.target_positives = 3;
+  task.max_images = 30;
+
+  auto managed = eval::RunManagedBenchmark(*f.service, *f.dataset, concepts,
+                                           task, /*num_threads=*/3);
+  ASSERT_EQ(managed.results.size(), concepts.size());
+  // Sessions are deterministic given the query, so the concurrent managed
+  // run must reproduce the serial per-searcher run.
+  eval::SearcherFactory factory = [&f](size_t concept_id) {
+    return std::make_unique<core::SeeSawSearcher>(
+        f.service->embedded(), f.service->embedded().TextQuery(concept_id),
+        core::SeeSawOptions{});
+  };
+  auto direct = eval::RunBenchmark(factory, *f.dataset, concepts, task);
+  for (size_t i = 0; i < concepts.size(); ++i) {
+    EXPECT_EQ(managed.results[i].found, direct.results[i].found);
+    EXPECT_EQ(managed.results[i].inspected, direct.results[i].inspected);
+    EXPECT_DOUBLE_EQ(managed.results[i].ap, direct.results[i].ap);
+  }
+}
+
+}  // namespace
+}  // namespace seesaw

@@ -67,14 +67,18 @@ TEST(ExactStoreTest, ExclusionPredicateSkipsIds) {
   VectorF q(store->GetVector(7).begin(), store->GetVector(7).end());
   auto all = store->TopK(q, 1);
   ASSERT_EQ(all[0].id, 7u);
-  auto filtered = store->TopK(q, 5, [](uint32_t id) { return id == 7; });
+  SeenSet seen(50);
+  seen.Set(7);
+  auto filtered = store->TopK(q, 5, seen);
   for (const auto& h : filtered) EXPECT_NE(h.id, 7u);
 }
 
 TEST(ExactStoreTest, ExcludingEverythingYieldsEmpty) {
   auto store = ExactStore::Create(RandomTable(10, 4, 4));
   ASSERT_TRUE(store.ok());
-  auto hits = store->TopK(VectorF(4, 1.0f), 3, [](uint32_t) { return true; });
+  SeenSet seen(10);
+  for (uint32_t id = 0; id < 10; ++id) seen.Set(id);
+  auto hits = store->TopK(VectorF(4, 1.0f), 3, seen);
   EXPECT_TRUE(hits.empty());
 }
 
@@ -129,7 +133,9 @@ TEST(AnnoyIndexTest, ExclusionWorks) {
   auto annoy = AnnoyIndex::Build({}, RandomTable(200, 16, 8));
   ASSERT_TRUE(annoy.ok());
   VectorF q(annoy->GetVector(3).begin(), annoy->GetVector(3).end());
-  auto hits = annoy->TopK(q, 10, [](uint32_t id) { return id % 2 == 1; });
+  SeenSet seen(200);
+  for (uint32_t id = 1; id < 200; id += 2) seen.Set(id);
+  auto hits = annoy->TopK(q, 10, seen);
   for (const auto& h : hits) EXPECT_EQ(h.id % 2, 0u);
 }
 

@@ -1,0 +1,218 @@
+// Cross-backend parity for the batched query engine: TopKBatch must return
+// exactly what per-query TopK returns — same ids, same scores, same order —
+// on every backend, with and without exclusions, serial and pooled.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "store/annoy_index.h"
+#include "store/exact_store.h"
+#include "store/ivf_index.h"
+
+namespace seesaw::store {
+namespace {
+
+using linalg::MatrixF;
+using linalg::VecSpan;
+using linalg::VectorF;
+
+MatrixF RandomTable(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  MatrixF table(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = table.MutableRow(i);
+    for (size_t j = 0; j < d; ++j) row[j] = static_cast<float>(rng.Gaussian());
+    linalg::NormalizeInPlace(row);
+  }
+  return table;
+}
+
+std::vector<VectorF> RandomQueries(size_t count, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<VectorF> queries;
+  for (size_t i = 0; i < count; ++i) {
+    VectorF q(d);
+    for (float& v : q) v = static_cast<float>(rng.Gaussian());
+    linalg::NormalizeInPlace(linalg::MutVecSpan(q.data(), q.size()));
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+void ExpectIdentical(const std::vector<SearchResult>& got,
+                     const std::vector<SearchResult>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << "rank " << i;
+    EXPECT_EQ(got[i].score, want[i].score) << "rank " << i;
+  }
+}
+
+/// Asserts TopKBatch == per-query TopK for every query, with `pool` possibly
+/// null and `seen` possibly empty.
+void CheckParity(const VectorStore& store, const std::vector<VectorF>& queries,
+                 size_t k, const SeenSet& seen, ThreadPool* pool) {
+  std::vector<VecSpan> spans(queries.begin(), queries.end());
+  auto batched =
+      store.TopKBatch(std::span<const VecSpan>(spans), k, seen, pool);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (size_t q = 0; q < spans.size(); ++q) {
+    ExpectIdentical(batched[q], store.TopK(spans[q], k, seen));
+  }
+}
+
+class TopKBatchParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = RandomTable(600, 16, 17);
+    queries_ = RandomQueries(7, 16, 18);
+    seen_.Resize(600);
+    Rng rng(19);
+    for (uint32_t id = 0; id < 600; ++id) {
+      if (rng.Uniform() < 0.25) seen_.Set(id);
+    }
+  }
+
+  MatrixF table_;
+  std::vector<VectorF> queries_;
+  SeenSet seen_;
+};
+
+TEST_F(TopKBatchParityTest, ExactStoreMatchesScalarPath) {
+  auto store = ExactStore::Create(table_);
+  ASSERT_TRUE(store.ok());
+  ThreadPool pool(4);
+  for (size_t k : {1u, 10u, 50u, 1000u}) {
+    CheckParity(*store, queries_, k, EmptySeenSet(), nullptr);
+    CheckParity(*store, queries_, k, seen_, nullptr);
+    CheckParity(*store, queries_, k, seen_, &pool);
+  }
+}
+
+TEST_F(TopKBatchParityTest, IvfIndexMatchesScalarPath) {
+  auto store = IvfFlatIndex::Build({}, table_);
+  ASSERT_TRUE(store.ok());
+  ThreadPool pool(4);
+  for (size_t k : {1u, 10u, 50u}) {
+    CheckParity(*store, queries_, k, EmptySeenSet(), nullptr);
+    CheckParity(*store, queries_, k, seen_, nullptr);
+    CheckParity(*store, queries_, k, seen_, &pool);
+  }
+}
+
+TEST_F(TopKBatchParityTest, AnnoyIndexMatchesScalarPath) {
+  auto store = AnnoyIndex::Build({}, table_);
+  ASSERT_TRUE(store.ok());
+  ThreadPool pool(4);
+  for (size_t k : {1u, 10u, 50u}) {
+    CheckParity(*store, queries_, k, EmptySeenSet(), nullptr);
+    CheckParity(*store, queries_, k, seen_, nullptr);
+    CheckParity(*store, queries_, k, seen_, &pool);
+  }
+}
+
+TEST_F(TopKBatchParityTest, BaseClassSerialFallbackMatches) {
+  // Exercise the VectorStore default implementation via a thin subclass that
+  // only implements the scalar virtuals.
+  class Minimal : public VectorStore {
+   public:
+    explicit Minimal(ExactStore inner) : inner_(std::move(inner)) {}
+    size_t size() const override { return inner_.size(); }
+    size_t dim() const override { return inner_.dim(); }
+    std::vector<SearchResult> TopK(VecSpan query, size_t k,
+                                   const SeenSet& seen) const override {
+      return inner_.TopK(query, k, seen);
+    }
+    using VectorStore::TopK;
+    VecSpan GetVector(uint32_t id) const override {
+      return inner_.GetVector(id);
+    }
+
+   private:
+    ExactStore inner_;
+  };
+  auto store = ExactStore::Create(table_);
+  ASSERT_TRUE(store.ok());
+  Minimal minimal(std::move(*store));
+  CheckParity(minimal, queries_, 25, seen_, nullptr);
+}
+
+TEST(TopKBatchTest, EmptyQueryBatchReturnsEmpty) {
+  auto store = ExactStore::Create(RandomTable(20, 4, 3));
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE(store->TopKBatch({}, 5).empty());
+}
+
+TEST(TopKBatchTest, KZeroReturnsEmptyPerQuery) {
+  // Regression: k == 0 once made the batched exact scan treat its empty
+  // heaps as full and dereference an empty Worst().
+  auto store = ExactStore::Create(RandomTable(20, 4, 3));
+  ASSERT_TRUE(store.ok());
+  auto queries = RandomQueries(3, 4, 9);
+  std::vector<VecSpan> spans(queries.begin(), queries.end());
+  ThreadPool pool(2);
+  auto batched = store->TopKBatch(std::span<const VecSpan>(spans), 0,
+                                  EmptySeenSet(), &pool);
+  ASSERT_EQ(batched.size(), 3u);
+  for (const auto& hits : batched) EXPECT_TRUE(hits.empty());
+}
+
+TEST(TopKBatchTest, TieBreakIsDeterministicAcrossSharding) {
+  // Duplicate rows force score ties; the canonical order (score desc, id
+  // asc) must hold no matter how the scan is sharded.
+  MatrixF table(64, 4, 0.0f);
+  for (size_t i = 0; i < 64; ++i) table.At(i, 0) = 1.0f;
+  auto store = ExactStore::Create(std::move(table));
+  ASSERT_TRUE(store.ok());
+  std::vector<VectorF> queries = {VectorF{1, 0, 0, 0}, VectorF{1, 0, 0, 0}};
+  std::vector<VecSpan> spans(queries.begin(), queries.end());
+  ThreadPool pool(4);
+  auto batched = store->TopKBatch(std::span<const VecSpan>(spans), 10,
+                                  EmptySeenSet(), &pool);
+  for (const auto& hits : batched) {
+    ASSERT_EQ(hits.size(), 10u);
+    for (uint32_t i = 0; i < 10; ++i) EXPECT_EQ(hits[i].id, i);
+  }
+}
+
+TEST(TopKBatchTest, ConcurrentBatchesShareOnePool) {
+  // Several "sessions" issue batched lookups against one shared pool at
+  // once — the ParallelFor latch must only block each caller on its own
+  // work. Smoke for the concurrent-serving configuration.
+  auto store = ExactStore::Create(RandomTable(400, 8, 23));
+  ASSERT_TRUE(store.ok());
+  auto queries = RandomQueries(4, 8, 29);
+  std::vector<VecSpan> spans(queries.begin(), queries.end());
+  ThreadPool shared_pool(4);
+  auto want = store->TopKBatch(std::span<const VecSpan>(spans), 12);
+
+  std::vector<std::thread> sessions;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    sessions.emplace_back([&] {
+      for (int round = 0; round < 5; ++round) {
+        auto got = store->TopKBatch(std::span<const VecSpan>(spans), 12,
+                                    EmptySeenSet(), &shared_pool);
+        if (got.size() != want.size()) {
+          ++failures;
+          continue;
+        }
+        for (size_t q = 0; q < got.size(); ++q) {
+          if (got[q].size() != want[q].size()) ++failures;
+          for (size_t i = 0; i < got[q].size(); ++i) {
+            if (got[q][i].id != want[q][i].id) ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (auto& s : sessions) s.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace seesaw::store
