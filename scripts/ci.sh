@@ -1,14 +1,36 @@
 #!/usr/bin/env bash
 # ci.sh — configure, build, and test exactly as the tier-1 verify does.
 #
-# Usage: ./scripts/ci.sh
+# Usage: ./scripts/ci.sh [--tsan]
+#
+# --tsan additionally builds a ThreadSanitizer configuration
+# (CMAKE_BUILD_TYPE=Tsan, see the top-level CMakeLists) and runs the
+# concurrency suites — thread pool, sessions, batched lookups, prefetch —
+# under it.
 set -euo pipefail
 
 SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
 REPO_ROOT="$(dirname "$SCRIPT_DIR")"
 cd "$REPO_ROOT"
 
+RUN_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) RUN_TSAN=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
 cmake -B build -S .
 cmake --build build -j
-cd build
-ctest --output-on-failure -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "$RUN_TSAN" == 1 ]]; then
+  echo "=== ThreadSanitizer pass ==="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Tsan \
+        -DSEESAW_BUILD_BENCH=OFF -DSEESAW_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j
+  (cd build-tsan &&
+   ctest --output-on-failure -j \
+         -R '^(common_test|session_manager_test|topk_batch_test|prefetch_test)$')
+fi

@@ -1,11 +1,29 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <memory>
 
 #include "common/check.h"
 
 namespace seesaw {
+
+bool TaskHandle::done() const {
+  SEESAW_CHECK(state_ != nullptr) << "done() on an empty TaskHandle";
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+void TaskHandle::Wait() {
+  SEESAW_CHECK(state_ != nullptr) << "Wait() on an empty TaskHandle";
+  State& state = *state_;
+  {
+    // Fast path that never touches the pool: a finished task's handle must
+    // stay waitable even after the pool is destroyed (pool destruction
+    // drains the queue, so an unfinished task implies a live pool).
+    std::unique_lock<std::mutex> lock(state.mu);
+    if (state.done) return;
+  }
+  pool_->HelpUntil(state.mu, state.cv, [&state] { return state.done; });
+}
 
 ThreadPool::ThreadPool(size_t num_threads) {
   SEESAW_CHECK_GE(num_threads, 1u);
@@ -29,14 +47,52 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::unique_lock<std::mutex> lock(mu_);
     SEESAW_CHECK(!shutting_down_) << "Submit after shutdown";
     queue_.push(std::move(task));
-    ++in_flight_;
   }
   work_available_.notify_one();
 }
 
-void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+TaskHandle ThreadPool::SubmitWithResult(std::function<void()> task) {
+  auto state = std::make_shared<TaskHandle::State>();
+  Submit([state, task = std::move(task)] {
+    task();
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->done = true;
+    state->cv.notify_all();
+  });
+  return TaskHandle(std::move(state), this);
+}
+
+void ThreadPool::HelpUntil(std::mutex& mu, std::condition_variable& cv,
+                           const std::function<bool()>& done) {
+  // Caller-runs: while the waited-on work is outstanding, execute queued
+  // tasks (the waiter's own or anyone else's) on the calling thread. Park
+  // only once the queue is empty — at that point the outstanding work is
+  // executing on other threads, so waiting on the condition cannot deadlock
+  // even when the caller is itself a pool worker (nested ParallelFor /
+  // TaskHandle::Wait on the same pool).
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      if (done()) return;
+    }
+    if (!TryRunOneTask()) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, done);
+      return;
+    }
+  }
+}
+
+bool ThreadPool::TryRunOneTask() {
+  std::function<void()> task;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  task();
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -54,11 +110,6 @@ void ThreadPool::WorkerLoop() {
       queue_.pop();
     }
     task();
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
-    }
   }
 }
 
@@ -67,9 +118,9 @@ void ThreadPool::ParallelFor(size_t n,
   if (n == 0) return;
   size_t chunks = std::min(n, num_threads() * 4);
   size_t chunk_size = (n + chunks - 1) / chunks;
-  // Per-call completion latch rather than the pool-wide Wait(): many
-  // sessions share one pool, and a caller must only block on its own chunks,
-  // not on whatever other sessions have queued.
+  // Per-call completion latch rather than any pool-wide state: many sessions
+  // share one pool, and a caller must only block on its own chunks, not on
+  // whatever other sessions have queued.
   struct Latch {
     std::mutex mu;
     std::condition_variable done;
@@ -85,8 +136,8 @@ void ThreadPool::ParallelFor(size_t n,
       if (--latch->remaining == 0) latch->done.notify_all();
     });
   }
-  std::unique_lock<std::mutex> lock(latch->mu);
-  latch->done.wait(lock, [&latch] { return latch->remaining == 0; });
+  HelpUntil(latch->mu, latch->done,
+            [&latch] { return latch->remaining == 0; });
 }
 
 size_t ThreadPool::DefaultThreads() {

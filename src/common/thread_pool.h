@@ -1,11 +1,14 @@
 // Fixed-size worker pool used for data-parallel preprocessing (embedding,
-// kNN-graph construction, index builds).
+// kNN-graph construction, index builds) and for the shared lookup pool of
+// concurrent search sessions (sharded scans, speculative prefetch).
 #ifndef SEESAW_COMMON_THREAD_POOL_H_
 #define SEESAW_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -13,11 +16,90 @@
 
 namespace seesaw {
 
-/// A minimal fire-and-wait thread pool.
+class ThreadPool;
+
+/// Cooperative cancellation flag shared between a task's owner and the task.
+///
+/// Copies share one flag. Cancellation is purely advisory: the pool never
+/// kills a task; the task is expected to poll `cancelled()` at natural
+/// checkpoints and exit early. Requesting cancellation is thread-safe and
+/// idempotent.
+class CancellationToken {
+ public:
+  CancellationToken()
+      : cancelled_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Asks the task to stop at its next checkpoint.
+  void RequestCancel() const {
+    cancelled_->store(true, std::memory_order_relaxed);
+  }
+
+  /// Whether cancellation has been requested.
+  bool cancelled() const {
+    return cancelled_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+};
+
+/// Waitable completion handle for one submitted task.
+///
+/// Obtained from ThreadPool::SubmitWithResult. Waiting blocks only on that
+/// one task — never on unrelated pool work — and a waiter that is itself a
+/// pool task helps drain the queue instead of parking, so waiting on a
+/// handle from inside the pool cannot deadlock. Copies share one completion
+/// state; the handle stays valid after the task finishes.
+class TaskHandle {
+ public:
+  /// An empty handle; valid() is false and Wait()/done() must not be called.
+  TaskHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Whether the task has finished running (non-blocking).
+  bool done() const;
+
+  /// Blocks until the task finishes. While the task is still queued behind
+  /// other work, the calling thread runs queued tasks itself (caller-runs),
+  /// which makes this safe to call from a task running on the same pool.
+  /// Waiting on an already-finished task never touches the pool, so handles
+  /// of drained tasks stay safe to Wait() on after the pool is destroyed.
+  void Wait();
+
+ private:
+  friend class ThreadPool;
+
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+
+  TaskHandle(std::shared_ptr<State> state, ThreadPool* pool)
+      : state_(std::move(state)), pool_(pool) {}
+
+  std::shared_ptr<State> state_;
+  ThreadPool* pool_ = nullptr;
+};
+
+/// A minimal shared thread pool with cooperative nested waiting.
 ///
 /// Tasks are void() callables. The pool is intended for coarse-grained batch
-/// parallelism; there is no work stealing or task priority. Destruction waits
-/// for queued tasks to complete.
+/// parallelism; there is no work stealing or task priority. Destruction
+/// drains the queue and joins all workers.
+///
+/// Contract (the concurrent-serving rules every caller relies on):
+///  - Waiting is always per-call (ParallelFor latch, TaskHandle): a caller
+///    blocks only on its own work, never on whatever other sessions queued.
+///    There is deliberately no pool-wide Wait().
+///  - Nesting is allowed: a task running on the pool may call ParallelFor or
+///    TaskHandle::Wait on the same pool. Waiters help drain the queue
+///    (caller-runs) before parking, so the pool cannot deadlock on its own
+///    latches. The trade-off: a helping waiter may execute an unrelated
+///    task, so its wait can extend by one task's runtime.
+///  - Cancellation is cooperative via CancellationToken; cancelling never
+///    removes a queued task, it only asks the task body to finish early.
 class ThreadPool {
  public:
   /// Creates a pool with `num_threads` workers (>= 1).
@@ -29,35 +111,49 @@ class ThreadPool {
   /// Drains the queue and joins all workers.
   ~ThreadPool();
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task for asynchronous execution (fire and forget).
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished running.
-  void Wait();
+  /// Enqueues a task and returns a handle that waits on exactly that task.
+  /// Pair with a CancellationToken captured by the task for cancellable
+  /// background work (e.g. speculative prefetch).
+  TaskHandle SubmitWithResult(std::function<void()> task);
+
+  /// Runs one queued task on the calling thread if any is queued. Returns
+  /// false when the queue was empty. This is the helping primitive behind
+  /// nested waits; exposed for tests and custom wait loops.
+  bool TryRunOneTask();
 
   /// Number of worker threads.
   size_t num_threads() const { return workers_.size(); }
 
-  /// Splits [0, n) into roughly equal chunks and runs `fn(begin, end)` on the
-  /// pool, blocking until all chunks complete. `fn` must be safe to invoke
-  /// concurrently on disjoint ranges. Blocks only on this call's own chunks,
-  /// so many threads may ParallelFor on a shared pool concurrently (the
-  /// batched-query path of concurrent search sessions). Must not be called
-  /// from inside a pool task: a worker blocking on its own pool can deadlock.
+  /// Splits [0, n) into roughly equal chunks and runs `fn(begin, end)` on
+  /// the pool, blocking until all chunks complete. `fn` must be safe to
+  /// invoke concurrently on disjoint ranges. Blocks only on this call's own
+  /// chunks, and the calling thread helps run queued work while it waits —
+  /// so concurrent sessions may ParallelFor on one shared pool, and a pool
+  /// task may itself ParallelFor on the same pool without deadlocking.
   void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
 
   /// A sensible default worker count for this machine.
   static size_t DefaultThreads();
 
  private:
+  friend class TaskHandle;
+
+  /// The shared help-then-park wait loop behind ParallelFor and
+  /// TaskHandle::Wait: runs queued tasks until `done()` (checked under `mu`)
+  /// holds, parking on `cv` once the queue is empty. `cv` must be notified
+  /// under `mu` whenever `done()` may flip.
+  void HelpUntil(std::mutex& mu, std::condition_variable& cv,
+                 const std::function<bool()>& done);
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
   std::mutex mu_;
   std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
   bool shutting_down_ = false;
 };
 

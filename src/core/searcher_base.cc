@@ -4,7 +4,6 @@
 #include <unordered_set>
 
 #include "common/check.h"
-#include "common/thread_pool.h"
 
 namespace seesaw::core {
 
@@ -13,42 +12,65 @@ SearcherBase::SearcherBase(const EmbeddedDataset& embedded)
       seen_images_(embedded.num_images()),
       seen_patches_(embedded.num_vectors()) {}
 
+SearcherBase::~SearcherBase() {
+  // Cancel and drain every speculation, including already-invalidated ones
+  // that may still be running a scan round. The tasks only read snapshots
+  // (never the searcher), but the embedded dataset and shared budget are
+  // only guaranteed alive while the searcher's owner is — and a surviving
+  // task could submit nested pool work during pool shutdown.
+  if (spec_.has_value()) {
+    spec_->task->cancel.RequestCancel();
+    spec_->task->ReleaseBudgetOnce();
+    stale_speculations_.push_back(std::move(spec_->handle));
+  }
+  for (TaskHandle& handle : stale_speculations_) handle.Wait();
+}
+
 void SearcherBase::MarkSeen(uint32_t image_idx) {
   SEESAW_CHECK_LT(image_idx, seen_images_.capacity());
   if (seen_images_.Test(image_idx)) return;
+  // An image outside the predicted batch deviates from the speculation's
+  // snapshot; one inside moves the live state toward it.
+  if (spec_.has_value() && !spec_->seen_images.Test(image_idx)) {
+    InvalidatePrefetch();
+  }
+  ++generation_;
   seen_images_.Set(image_idx);
   auto [begin, end] = embedded_->ImagePatchRange(image_idx);
   for (uint32_t v = begin; v < end; ++v) seen_patches_.Set(v);
 }
 
-std::vector<ScoredImage> SearcherBase::TopImages(linalg::VecSpan query,
-                                                 size_t n) const {
-  const auto& store = embedded_->store();
-  const auto& patches = embedded_->patches();
+std::vector<ScoredImage> SearcherBase::ComputeTopImages(
+    const EmbeddedDataset& embedded, ThreadPool* pool, linalg::VecSpan query,
+    size_t n, const store::SeenSet& seen_patches,
+    const CancellationToken* cancel) {
+  const auto& store = embedded.store();
+  const auto& patches = embedded.patches();
   const size_t total = store.size();
 
   double avg_patches =
       static_cast<double>(total) /
-      static_cast<double>(std::max<size_t>(1, embedded_->num_images()));
+      static_cast<double>(std::max<size_t>(1, embedded.num_images()));
   size_t k = static_cast<size_t>(
       std::max<double>(16.0, (static_cast<double>(n) + 4) * avg_patches * 2));
 
   std::vector<ScoredImage> out;
   std::unordered_set<uint32_t> picked;
   for (;;) {
+    if (cancel != nullptr && cancel->cancelled()) return out;
     k = std::min(k, total);
     // Patches of seen images are excluded inside the store scan via the
     // patch-level bitset; a shared pool (managed sessions) shards the scan.
     std::vector<store::SearchResult> hits;
-    if (pool_ != nullptr) {
+    if (pool != nullptr) {
       linalg::VecSpan queries[] = {query};
       hits = std::move(store
                            .TopKBatch(std::span<const linalg::VecSpan>(
                                           queries, 1),
-                                      k, seen_patches_, pool_)
+                                      k, seen_patches, pool)
                            .front());
     } else {
-      hits = store.TopK(query, k, seen_patches_);
+      hits = store.TopK(query, k, seen_patches);
     }
     out.clear();
     picked.clear();
@@ -66,6 +88,106 @@ std::vector<ScoredImage> SearcherBase::TopImages(linalg::VecSpan query,
     }
     k *= 2;
   }
+}
+
+std::vector<ScoredImage> SearcherBase::TopImages(linalg::VecSpan query,
+                                                 size_t n) const {
+  return ComputeTopImages(*embedded_, pool_, query, n, seen_patches_,
+                          /*cancel=*/nullptr);
+}
+
+void SearcherBase::SchedulePrefetch(linalg::VecSpan query,
+                                    const std::vector<ScoredImage>& batch,
+                                    size_t n) {
+  // At most one speculation per searcher; a new schedule supersedes the old.
+  InvalidatePrefetch();
+  std::erase_if(stale_speculations_,
+                [](const TaskHandle& handle) { return handle.done(); });
+  if (!prefetch_policy_.enabled || pool_ == nullptr || batch.empty()) return;
+  if (budget_ != nullptr && !budget_->TryAcquire()) {
+    ++prefetch_stats_.throttled;
+    return;
+  }
+
+  auto task = std::make_shared<SpecTask>();
+  task->query.assign(query.begin(), query.end());
+  task->seen_patches = seen_patches_;
+  task->n = n;
+  task->budget = budget_;
+
+  Speculation spec;
+  spec.seen_images = seen_images_;
+  // Predict the state after the user labels exactly this batch: every batch
+  // image seen (one generation bump each), query unchanged.
+  size_t new_images = 0;
+  for (const ScoredImage& hit : batch) {
+    if (spec.seen_images.Test(hit.image_idx)) continue;
+    spec.seen_images.Set(hit.image_idx);
+    auto [begin, end] = embedded_->ImagePatchRange(hit.image_idx);
+    for (uint32_t v = begin; v < end; ++v) task->seen_patches.Set(v);
+    ++new_images;
+  }
+  spec.expected_generation = generation_ + new_images;
+  spec.task = task;
+
+  // The task captures no pointer to this searcher: it works on the snapshot
+  // and publishes its result through the handle's completion.
+  const EmbeddedDataset* embedded = embedded_;
+  ThreadPool* pool = pool_;
+  spec.handle = pool_->SubmitWithResult([task, embedded, pool] {
+    if (!task->cancel.cancelled()) {
+      task->result =
+          ComputeTopImages(*embedded, pool, task->query, task->n,
+                           task->seen_patches, &task->cancel);
+    }
+    task->ReleaseBudgetOnce();
+  });
+  ++prefetch_stats_.scheduled;
+  spec_ = std::move(spec);
+}
+
+std::optional<std::vector<ScoredImage>> SearcherBase::TakePrefetched(
+    linalg::VecSpan query, size_t n) {
+  if (!spec_.has_value()) return std::nullopt;
+  Speculation spec = std::move(*spec_);
+  spec_.reset();
+
+  const linalg::VectorF& spec_query = spec.task->query;
+  bool valid = spec.expected_generation == generation_ && spec.task->n == n &&
+               spec_query.size() == query.size() &&
+               std::equal(query.begin(), query.end(), spec_query.begin()) &&
+               seen_images_ == spec.seen_images;
+  if (!valid) {
+    spec.task->cancel.RequestCancel();
+    spec.task->ReleaseBudgetOnce();
+    // Don't wait here (the foreground recompute should start immediately);
+    // park the handle for the destructor to drain.
+    stale_speculations_.push_back(std::move(spec.handle));
+    ++prefetch_stats_.misses;
+    return std::nullopt;
+  }
+  spec.handle.Wait();
+  if (spec.task->cancel.cancelled()) {
+    // Defensive: a cancelled task may hold a partial result.
+    ++prefetch_stats_.misses;
+    return std::nullopt;
+  }
+  ++prefetch_stats_.hits;
+  return std::move(spec.task->result);
+}
+
+void SearcherBase::InvalidatePrefetch() {
+  if (!spec_.has_value()) return;
+  spec_->task->cancel.RequestCancel();
+  spec_->task->ReleaseBudgetOnce();
+  stale_speculations_.push_back(std::move(spec_->handle));
+  spec_.reset();
+  ++prefetch_stats_.invalidated;
+}
+
+void SearcherBase::NoteQueryUpdated() {
+  ++generation_;
+  InvalidatePrefetch();
 }
 
 std::vector<PatchLabel> SearcherBase::LabelPatches(

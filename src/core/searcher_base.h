@@ -1,19 +1,21 @@
 // Shared machinery for vector-query searchers: seen-image bookkeeping,
-// max-pooled image ranking over the patch store, and mapping of box feedback
-// to patch labels (§4.3).
+// max-pooled image ranking over the patch store, mapping of box feedback to
+// patch labels (§4.3), and think-time speculative prefetch of the next
+// batch.
 #ifndef SEESAW_CORE_SEARCHER_BASE_H_
 #define SEESAW_CORE_SEARCHER_BASE_H_
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/embedded_dataset.h"
 #include "core/searcher.h"
 #include "store/seen_set.h"
-
-namespace seesaw {
-class ThreadPool;
-}  // namespace seesaw
 
 namespace seesaw::core {
 
@@ -23,33 +25,138 @@ struct PatchLabel {
   bool positive = false;
 };
 
+/// Think-time speculation policy (SeeSawOptions::prefetch).
+///
+/// When enabled, a searcher with a thread pool schedules the likely next
+/// batch as a cancellable background lookup right after NextBatch returns,
+/// so the store scan overlaps the user's inspection time. The speculation
+/// predicts that the user will label exactly the returned batch and that the
+/// refit will not change the query (always true for zero-shot); any
+/// deviation invalidates it and NextBatch recomputes synchronously, so
+/// results are bitwise identical to the non-speculative path in all cases.
+struct PrefetchPolicy {
+  bool enabled = false;
+  /// Maximum speculative lookups in flight across all sessions sharing one
+  /// PrefetchBudget; 0 = unlimited. Keeps a fleet of idle sessions from
+  /// starving foreground lookups on the shared pool. Read only by the
+  /// budget's owner when sizing it (SessionManager, from the service-level
+  /// policy); searchers themselves consult just `enabled` and are uncapped
+  /// unless handed a budget via set_prefetch_budget.
+  size_t max_in_flight = 2;
+};
+
+/// Shared in-flight speculation counter for the sessions of one manager.
+/// Thread-safe; sessions without a budget speculate without a cap.
+class PrefetchBudget {
+ public:
+  /// `max_in_flight` = 0 means unlimited.
+  explicit PrefetchBudget(size_t max_in_flight) : max_(max_in_flight) {}
+
+  /// Claims a slot; false when the budget is exhausted.
+  bool TryAcquire() {
+    size_t cur = in_flight_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (max_ != 0 && cur >= max_) return false;
+      if (in_flight_.compare_exchange_weak(cur, cur + 1,
+                                           std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  void Release() { in_flight_.fetch_sub(1, std::memory_order_relaxed); }
+
+  size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  size_t max_;
+  std::atomic<size_t> in_flight_{0};
+};
+
+/// Per-searcher speculation counters (bench_prefetch_latency reports these).
+struct PrefetchStats {
+  size_t scheduled = 0;    ///< Speculations submitted to the pool.
+  size_t hits = 0;         ///< NextBatch calls served from a speculation.
+  size_t misses = 0;       ///< Speculations invalid at consume time.
+  size_t invalidated = 0;  ///< Speculations cancelled eagerly (feedback/refit).
+  size_t throttled = 0;    ///< Speculations skipped: shared budget exhausted.
+};
+
 /// Base class holding the embedded dataset and the seen sets.
 ///
 /// Seen state is kept at both granularities the system needs: per image for
 /// the interaction loop, and per patch vector so the store scan tests a
 /// reusable bitset instead of rebuilding an exclusion closure every batch.
+///
+/// Threading: the searcher itself stays single-threaded (one user drives one
+/// session). Speculative prefetch tasks never touch the searcher — they work
+/// on snapshot copies of the query and seen sets and only meet the searcher
+/// again through a TaskHandle, so feedback can mutate the live seen sets
+/// while a speculation is in flight.
 class SearcherBase : public Searcher {
  public:
   explicit SearcherBase(const EmbeddedDataset& embedded);
+
+  /// Cancels and drains any in-flight speculation.
+  ~SearcherBase() override;
 
   const EmbeddedDataset& embedded() const { return *embedded_; }
   size_t num_seen() const { return seen_images_.count(); }
   bool IsSeen(uint32_t image_idx) const { return seen_images_.Test(image_idx); }
 
-  /// Worker pool for sharded store lookups; null (the default) keeps
-  /// lookups on the calling thread. Managed sessions share their
-  /// SessionManager's pool. The pool must outlive the searcher.
+  /// Worker pool for sharded store lookups and speculative prefetch; null
+  /// (the default) keeps lookups on the calling thread and disables
+  /// speculation. Managed sessions share their SessionManager's pool. The
+  /// pool must outlive the searcher.
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
   ThreadPool* thread_pool() const { return pool_; }
 
+  /// Speculation policy; subclasses opt in by calling SchedulePrefetch /
+  /// TakePrefetched from their NextBatch.
+  void set_prefetch_policy(const PrefetchPolicy& policy) {
+    prefetch_policy_ = policy;
+  }
+  const PrefetchPolicy& prefetch_policy() const { return prefetch_policy_; }
+
+  /// Optional cross-session in-flight cap (owned by the SessionManager; must
+  /// outlive every queued speculation, which the manager guarantees by
+  /// joining its pool first).
+  void set_prefetch_budget(PrefetchBudget* budget) { budget_ = budget; }
+
+  const PrefetchStats& prefetch_stats() const { return prefetch_stats_; }
+
  protected:
   /// Marks an image (and all of its patch vectors) as shown/labeled.
+  /// Invalidates an in-flight speculation when the image deviates from the
+  /// predicted batch.
   void MarkSeen(uint32_t image_idx);
 
   /// Top-n unseen images by max patch score under `query` (best first).
   /// Retries the store with a growing k until n distinct unseen images are
   /// found or the store is exhausted.
   std::vector<ScoredImage> TopImages(linalg::VecSpan query, size_t n) const;
+
+  /// Schedules a speculative TopImages for the *next* batch on the pool:
+  /// same query and n, seen sets snapshotted as if every image of `batch`
+  /// had been labeled. No-op when the policy is off, the pool is null, the
+  /// batch is empty (store exhausted), or the shared budget is spent.
+  void SchedulePrefetch(linalg::VecSpan query,
+                        const std::vector<ScoredImage>& batch, size_t n);
+
+  /// Consumes the speculation if it exactly matches the requested lookup
+  /// (generation, query bits, n, and the live seen set all unchanged from
+  /// the prediction); otherwise cancels it and returns nullopt, and the
+  /// caller computes synchronously. A valid consume waits for the task
+  /// (helping the pool drain) and returns its result, which is bitwise
+  /// identical to what TopImages would return now.
+  std::optional<std::vector<ScoredImage>> TakePrefetched(linalg::VecSpan query,
+                                                         size_t n);
+
+  /// Cancels and forgets any in-flight speculation (e.g. the query vector
+  /// changed in a refit).
+  void InvalidatePrefetch();
 
   /// Converts image feedback to patch labels: for a relevant image, patches
   /// overlapping any feedback box are positive and the rest negative; for an
@@ -59,10 +166,68 @@ class SearcherBase : public Searcher {
   std::vector<PatchLabel> LabelPatches(const ImageFeedback& feedback) const;
 
  private:
+  /// Everything a speculative task reads or writes, shared between the
+  /// searcher and the pool task so the task never dereferences the searcher
+  /// (which may be mutated or destroyed while the task runs).
+  struct SpecTask {
+    linalg::VectorF query;        // snapshot of the lookup query
+    store::SeenSet seen_patches;  // snapshot incl. the predicted batch
+    size_t n = 0;
+    CancellationToken cancel;
+    std::vector<ScoredImage> result;  // written by the task, read after Wait
+
+    /// Returns the budget slot exactly once: at task completion, or eagerly
+    /// at cancellation so a cancelled-but-still-queued task doesn't hold a
+    /// slot and throttle other sessions' live speculations. (The cancelled
+    /// task may thus briefly overlap a fresh one — it stops at its next
+    /// checkpoint.)
+    void ReleaseBudgetOnce() {
+      if (budget != nullptr && !budget_released.exchange(true)) {
+        budget->Release();
+      }
+    }
+    PrefetchBudget* budget = nullptr;
+    std::atomic<bool> budget_released{false};
+  };
+
+  struct Speculation {
+    std::shared_ptr<SpecTask> task;
+    store::SeenSet seen_images;  // predicted image-level seen set
+    uint64_t expected_generation = 0;
+    TaskHandle handle;
+  };
+
+  /// The pure lookup: like TopImages but over explicit inputs only, so it
+  /// can run on a pool thread against snapshots. Checks `cancel` (when
+  /// non-null) between store rounds and returns early when requested.
+  static std::vector<ScoredImage> ComputeTopImages(
+      const EmbeddedDataset& embedded, ThreadPool* pool, linalg::VecSpan query,
+      size_t n, const store::SeenSet& seen_patches,
+      const CancellationToken* cancel);
+
   const EmbeddedDataset* embedded_;
   store::SeenSet seen_images_;   // over image indices
   store::SeenSet seen_patches_;  // over patch vector ids, fed to the store
   ThreadPool* pool_ = nullptr;
+
+  PrefetchPolicy prefetch_policy_;
+  PrefetchBudget* budget_ = nullptr;
+  PrefetchStats prefetch_stats_;
+  /// Bumped by every state change that can affect a lookup (MarkSeen, query
+  /// updates via NoteQueryUpdated); a speculation predicts the generation at
+  /// its consume point.
+  uint64_t generation_ = 0;
+  std::optional<Speculation> spec_;
+  /// Handles of cancelled speculations that may still be running a scan
+  /// round. Kept so the destructor can drain them: a task must never
+  /// outlive its searcher, or it could submit nested pool work while the
+  /// pool is shutting down. Pruned of finished handles on each schedule.
+  std::vector<TaskHandle> stale_speculations_;
+
+ protected:
+  /// Subclasses call this when their query vector changed (refit): bumps the
+  /// generation and invalidates any speculation built on the old query.
+  void NoteQueryUpdated();
 };
 
 }  // namespace seesaw::core

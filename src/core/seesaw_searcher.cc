@@ -9,6 +9,7 @@ SeeSawSearcher::SeeSawSearcher(const EmbeddedDataset& embedded,
                                const SeeSawOptions& options)
     : SearcherBase(embedded), options_(options), query_(q_text) {
   SEESAW_CHECK_EQ(q_text.size(), embedded.dim());
+  set_prefetch_policy(options_.prefetch);
   aligner_ = std::make_unique<QueryAligner>(options_.aligner,
                                             std::move(q_text), embedded.md());
 }
@@ -22,7 +23,16 @@ std::string SeeSawSearcher::name() const {
 }
 
 std::vector<ScoredImage> SeeSawSearcher::NextBatch(size_t n) {
-  return TopImages(linalg::VecSpan(query_), n);
+  std::vector<ScoredImage> batch;
+  if (auto prefetched = TakePrefetched(linalg::VecSpan(query_), n)) {
+    batch = std::move(*prefetched);
+  } else {
+    batch = TopImages(linalg::VecSpan(query_), n);
+  }
+  // Overlap the next lookup with the user's think time: speculate that the
+  // user labels exactly this batch and the refit leaves the query unchanged.
+  SchedulePrefetch(linalg::VecSpan(query_), batch, n);
+  return batch;
 }
 
 void SeeSawSearcher::AddFeedback(const ImageFeedback& feedback) {
@@ -33,11 +43,23 @@ void SeeSawSearcher::AddFeedback(const ImageFeedback& feedback) {
                           label.positive);
   }
   dirty_ = true;
+  // New feedback means the next refit will almost surely move the query and
+  // kill the speculation at consume time anyway; cancel now so the
+  // background scan stops at its next checkpoint and frees its budget slot
+  // instead of competing with the eventual synchronous recompute.
+  InvalidatePrefetch();
 }
 
 Status SeeSawSearcher::Refit() {
   if (!options_.update_query || !dirty_) return Status::OK();
-  SEESAW_ASSIGN_OR_RETURN(query_, aligner_->Align());
+  SEESAW_ASSIGN_OR_RETURN(linalg::VectorF aligned, aligner_->Align());
+  // A refit that moves the query (the common case outside zero-shot)
+  // invalidates any speculation built on the old query; a bitwise no-op
+  // refit keeps it alive.
+  if (aligned != query_) {
+    query_ = std::move(aligned);
+    NoteQueryUpdated();
+  }
   dirty_ = false;
   return Status::OK();
 }

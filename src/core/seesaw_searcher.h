@@ -23,6 +23,10 @@ struct SeeSawOptions {
   AlignerOptions aligner;
   /// When false the query vector is never updated (zero-shot behaviour).
   bool update_query = true;
+  /// Think-time speculative prefetch of the next batch (needs a thread
+  /// pool; see PrefetchPolicy). Results stay bitwise identical to the
+  /// synchronous path whether speculation hits or not.
+  PrefetchPolicy prefetch;
   /// Method name override for reports; empty = derived from flags.
   std::string label;
 };

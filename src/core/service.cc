@@ -89,8 +89,8 @@ StatusOr<std::unique_ptr<SeeSawSearcher>> SeeSawService::StartSession(
 SessionManager& SeeSawService::sessions() {
   std::lock_guard<std::mutex> lock(*sessions_mu_);
   if (!sessions_) {
-    sessions_ =
-        std::make_unique<SessionManager>(*this, options_.session_threads);
+    sessions_ = std::make_unique<SessionManager>(
+        *this, options_.session_threads, options_.search.prefetch);
   }
   return *sessions_;
 }

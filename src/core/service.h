@@ -23,6 +23,8 @@ namespace seesaw::core {
 class SessionManager;
 
 /// Service configuration: preprocessing plus per-session search options.
+/// `search.prefetch` doubles as the manager-wide speculation policy: its
+/// max_in_flight caps think-time prefetches across all managed sessions.
 struct ServiceOptions {
   PreprocessOptions preprocess;
   SeeSawOptions search;

@@ -3,8 +3,10 @@
 namespace seesaw::core {
 
 SessionManager::SessionManager(const SeeSawService& service,
-                               size_t num_threads)
+                               size_t num_threads,
+                               const PrefetchPolicy& prefetch)
     : service_(&service),
+      budget_(prefetch.max_in_flight),
       pool_(num_threads == 0 ? ThreadPool::DefaultThreads() : num_threads) {}
 
 StatusOr<SessionId> SessionManager::CreateSession(
@@ -24,6 +26,7 @@ StatusOr<SessionId> SessionManager::CreateSession(
 StatusOr<SessionId> SessionManager::Register(
     std::unique_ptr<SeeSawSearcher> session) {
   session->set_thread_pool(&pool_);
+  session->set_prefetch_budget(&budget_);
   std::lock_guard<std::mutex> lock(mu_);
   SessionId id = next_id_++;
   sessions_.emplace(id, std::shared_ptr<SeeSawSearcher>(session.release()));

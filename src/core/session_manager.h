@@ -39,9 +39,12 @@ using SessionId = uint64_t;
 class SessionManager {
  public:
   /// `service` must outlive the manager. `num_threads` sizes the shared
-  /// lookup pool (0 = hardware default).
-  explicit SessionManager(const SeeSawService& service,
-                          size_t num_threads = 0);
+  /// lookup pool (0 = hardware default). `prefetch` is the think-time
+  /// speculation policy applied to managed sessions; its max_in_flight caps
+  /// concurrent speculations across *all* sessions of this manager so idle
+  /// sessions cannot starve foreground lookups on the shared pool.
+  explicit SessionManager(const SeeSawService& service, size_t num_threads = 0,
+                          const PrefetchPolicy& prefetch = {});
 
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
@@ -70,6 +73,9 @@ class SessionManager {
   /// The lookup pool shared by every session of this manager.
   ThreadPool& pool() { return pool_; }
 
+  /// Speculations currently in flight across all sessions (diagnostics).
+  size_t prefetches_in_flight() const { return budget_.in_flight(); }
+
  private:
   friend class SeeSawService;
 
@@ -80,6 +86,9 @@ class SessionManager {
   void RebindService(const SeeSawService* service) { service_ = service; }
 
   const SeeSawService* service_;
+  // Declared before the pool: the pool's destructor drains queued
+  // speculations, which release budget slots, so the budget must die last.
+  PrefetchBudget budget_;
   ThreadPool pool_;
   mutable std::mutex mu_;
   SessionId next_id_ = 1;

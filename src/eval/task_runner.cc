@@ -1,5 +1,9 @@
 #include "eval/task_runner.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -14,16 +18,25 @@ TaskResult RunSearchTask(core::Searcher& searcher,
   SEESAW_CHECK_GT(options.batch_size, 0u);
   TaskResult result;
   Stopwatch total;
+  Stopwatch call;  // restarted around each user-facing searcher call
+
+  const auto think = std::chrono::duration<double>(
+      std::max(0.0, options.think_seconds_per_image));
 
   while (result.found < options.target_positives &&
          result.inspected < options.max_images) {
     size_t want = std::min(options.batch_size,
                            options.max_images - result.inspected);
+    call.Restart();
     auto batch = searcher.NextBatch(want);
+    double nextbatch = call.ElapsedSeconds();
+    result.nextbatch_seconds += nextbatch;
+    result.perceived_seconds += nextbatch;
     if (batch.empty()) break;  // store exhausted
 
-    // The human inspects the batch image by image; we stop mid-batch once
-    // the target is met (remaining images are never seen).
+    // The human inspects the batch image by image (thinking between
+    // images); we stop mid-batch once the target is met (remaining images
+    // are never seen).
     for (const core::ScoredImage& hit : batch) {
       bool relevant = dataset.IsPositive(hit.image_idx, concept_id);
       core::ImageFeedback fb;
@@ -32,7 +45,13 @@ TaskResult RunSearchTask(core::Searcher& searcher,
       if (relevant) {
         fb.boxes = dataset.ConceptBoxes(hit.image_idx, concept_id);
       }
+      if (think.count() > 0) {
+        std::this_thread::sleep_for(think);
+        result.think_seconds += think.count();
+      }
+      call.Restart();
       searcher.AddFeedback(fb);
+      result.perceived_seconds += call.ElapsedSeconds();
       result.relevance.push_back(relevant ? 1 : 0);
       ++result.inspected;
       if (relevant) ++result.found;
@@ -41,15 +60,17 @@ TaskResult RunSearchTask(core::Searcher& searcher,
         break;
       }
     }
+    call.Restart();
     SEESAW_CHECK(searcher.Refit().ok());
+    result.perceived_seconds += call.ElapsedSeconds();
     ++result.rounds;
   }
 
   result.total_seconds = total.ElapsedSeconds();
   result.seconds_per_round =
-      result.rounds > 0 ? result.total_seconds /
+      result.rounds > 0 ? result.perceived_seconds /
                               static_cast<double>(result.rounds)
-                        : result.total_seconds;
+                        : result.perceived_seconds;
   result.ap = TaskAp(result.relevance, dataset.positives(concept_id).size(),
                      options.target_positives);
   return result;
@@ -105,14 +126,23 @@ BenchmarkRun RunManagedBenchmark(core::SeeSawService& service,
                                  const data::Dataset& dataset,
                                  const std::vector<size_t>& concepts,
                                  const TaskOptions& options,
-                                 size_t num_threads) {
+                                 size_t driver_threads) {
   BenchmarkRun run;
   run.concepts = concepts;
   run.results.resize(concepts.size());
   core::SessionManager& manager = service.sessions();
   const core::EmbeddedDataset& embedded = service.embedded();
-  ThreadPool drivers(num_threads == 0 ? ThreadPool::DefaultThreads()
-                                      : num_threads);
+  // Drivers mostly block inside session calls served by the manager's pool;
+  // sizing them as a second full hardware pool oversubscribed the box 2x and
+  // skewed latency numbers. Default to half the session pool, bounded by the
+  // number of tasks.
+  size_t drivers_wanted =
+      driver_threads != 0 ? driver_threads
+                          : std::max<size_t>(1, manager.pool().num_threads() / 2);
+  if (!concepts.empty()) {
+    drivers_wanted = std::min(drivers_wanted, concepts.size());
+  }
+  ThreadPool drivers(drivers_wanted);
   drivers.ParallelFor(concepts.size(), [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       auto id = manager.CreateSession(embedded.TextQuery(concepts[i]));

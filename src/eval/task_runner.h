@@ -22,18 +22,38 @@ struct TaskOptions {
   /// Images shown between refits ("each loop consists of a batch of a user
   /// specified size"). Active-search baselines use 1.
   size_t batch_size = 10;
+  /// Simulated human think time per inspected image (seconds). The runner
+  /// sleeps this long after each image's feedback, modelling the inspection
+  /// gap that speculative prefetch overlaps with (§2.4's interactive-latency
+  /// argument). 0 (the default) reproduces the pure-compute benchmark.
+  double think_seconds_per_image = 0.0;
 };
 
 /// Outcome of one search task.
+///
+/// Latency is accounted two ways: `perceived_seconds` is the wall time the
+/// simulated user actually waits on the searcher (NextBatch + feedback +
+/// refit calls — what prefetch improves), while `total_seconds` is the whole
+/// task including simulated think time (with think time 0 the two agree up
+/// to timer overhead). Background speculation overlapping think time shows
+/// up as perceived < compute-only runs, not as extra total time.
 struct TaskResult {
   double ap = 0.0;              ///< Task AP (see metrics.h).
   size_t found = 0;             ///< Positives found (<= target).
   size_t inspected = 0;         ///< Images inspected (<= max_images).
   size_t rounds = 0;            ///< Feedback rounds executed.
   std::vector<char> relevance;  ///< Per-inspected-image relevance sequence.
-  double total_seconds = 0.0;   ///< System time (lookup + refit), no human.
-  /// Mean system latency per feedback iteration (the Table 6 metric).
+  double total_seconds = 0.0;   ///< Whole-task wall time (incl. think time).
+  /// Mean user-perceived latency per feedback iteration (the Table 6
+  /// metric): perceived_seconds / rounds.
   double seconds_per_round = 0.0;
+  /// Wall time blocked on the searcher (NextBatch + AddFeedback + Refit).
+  double perceived_seconds = 0.0;
+  /// Portion of perceived_seconds spent inside NextBatch — the lookup
+  /// latency that think-time prefetch hides.
+  double nextbatch_seconds = 0.0;
+  /// Total simulated think time slept (inspected * think_seconds_per_image).
+  double think_seconds = 0.0;
 };
 
 /// Runs one task: drives `searcher` with ground-truth feedback for
@@ -74,13 +94,20 @@ BenchmarkRun RunBenchmarkParallel(const SearcherFactory& factory,
 /// Runs the task for every concept through `service.sessions()`: each task
 /// opens a managed session (by the concept's text query), drives it with
 /// ground-truth feedback, and closes it — tasks run concurrently from
-/// `num_threads` driver threads while all sessions share the manager's
+/// `driver_threads` driver threads while all sessions share the manager's
 /// lookup pool. This is the many-concurrent-users serving path end to end.
+///
+/// Driver threads mostly block inside session calls whose work runs on the
+/// manager's pool, so by default (`driver_threads` = 0) the driver pool is
+/// sized to half the session pool (at least 1, at most one per concept)
+/// rather than a second full hardware pool — a full-size driver pool doubled
+/// the runnable threads and skewed the latency numbers. Size the session
+/// pool itself via ServiceOptions::session_threads.
 BenchmarkRun RunManagedBenchmark(core::SeeSawService& service,
                                  const data::Dataset& dataset,
                                  const std::vector<size_t>& concepts,
                                  const TaskOptions& options,
-                                 size_t num_threads = 0);
+                                 size_t driver_threads = 0);
 
 }  // namespace seesaw::eval
 

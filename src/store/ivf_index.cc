@@ -97,13 +97,21 @@ std::vector<std::vector<SearchResult>> IvfFlatIndex::TopKBatch(
       0, num_cells, queries,
       linalg::MutVecSpan(centroid_scores.data(), centroid_scores.size()));
 
+  // Transpose once to query-major so each query's cell ranking reads one
+  // contiguous row. The previous per-query column gather re-walked the
+  // num_cells x num_queries block with a num_queries stride for every query
+  // (O(num_cells * num_queries) cache-hostile loads per query).
+  std::vector<float> scores_by_query(num_queries * num_cells);
+  for (size_t c = 0; c < num_cells; ++c) {
+    const float* row = &centroid_scores[c * num_queries];
+    for (size_t q = 0; q < num_queries; ++q) {
+      scores_by_query[q * num_cells + c] = row[q];
+    }
+  }
+
   std::vector<std::vector<SearchResult>> out(num_queries);
   auto run_query = [&](size_t q) {
-    // Gather this query's column of the score block for cell ranking.
-    linalg::VectorF scores(num_cells);
-    for (size_t c = 0; c < num_cells; ++c) {
-      scores[c] = centroid_scores[c * num_queries + q];
-    }
+    linalg::VecSpan scores(&scores_by_query[q * num_cells], num_cells);
     out[q] = ScanLists(queries[q], RankCells(scores), k, seen);
   };
 

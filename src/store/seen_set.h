@@ -48,6 +48,13 @@ class SeenSet {
 
   bool empty() const { return count_ == 0; }
 
+  /// Equal when capacity matches and exactly the same ids are marked.
+  /// O(capacity/64); bits past capacity are always zero, so word compare is
+  /// exact. Used to validate speculative-prefetch snapshots.
+  friend bool operator==(const SeenSet& a, const SeenSet& b) {
+    return a.capacity_ == b.capacity_ && a.words_ == b.words_;
+  }
+
  private:
   std::vector<uint64_t> words_;
   size_t capacity_ = 0;

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -207,11 +209,57 @@ TEST(RngTest, ForkIsIndependent) {
 TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
   ThreadPool pool(4);
   std::atomic<int> count{0};
+  // Per-task handles instead of the old pool-wide Wait(): each handle blocks
+  // only on its own task, so callers never wait on other sessions' work.
+  std::vector<TaskHandle> handles;
   for (int i = 0; i < 100; ++i) {
-    pool.Submit([&count] { count.fetch_add(1); });
+    handles.push_back(pool.SubmitWithResult([&count] { count.fetch_add(1); }));
   }
-  pool.Wait();
+  for (TaskHandle& h : handles) h.Wait();
   EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, TaskHandleReportsCompletion) {
+  ThreadPool pool(2);
+  TaskHandle handle = pool.SubmitWithResult([] {});
+  ASSERT_TRUE(handle.valid());
+  handle.Wait();
+  EXPECT_TRUE(handle.done());
+  handle.Wait();  // waiting again on a finished task returns immediately
+  EXPECT_FALSE(TaskHandle().valid());
+}
+
+TEST(ThreadPoolTest, CancellationTokenIsCooperative) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  CancellationToken copy = token;  // copies share the flag
+  token.RequestCancel();
+  EXPECT_TRUE(copy.cancelled());
+
+  // A task observing the token skips its work.
+  std::atomic<int> worked{0};
+  CancellationToken cancel;
+  cancel.RequestCancel();
+  TaskHandle handle = pool.SubmitWithResult([cancel, &worked] {
+    if (!cancel.cancelled()) worked.fetch_add(1);
+  });
+  handle.Wait();
+  EXPECT_EQ(worked.load(), 0);
+}
+
+TEST(ThreadPoolTest, WaitOnHandleFromInsidePoolTask) {
+  // A pool task waiting on another task's handle must help drain the queue
+  // instead of deadlocking, even when the pool has a single worker.
+  ThreadPool pool(1);
+  std::atomic<int> inner_ran{0};
+  TaskHandle outer = pool.SubmitWithResult([&pool, &inner_ran] {
+    TaskHandle inner =
+        pool.SubmitWithResult([&inner_ran] { inner_ran.fetch_add(1); });
+    inner.Wait();
+  });
+  outer.Wait();
+  EXPECT_EQ(inner_ran.load(), 1);
 }
 
 TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
@@ -230,10 +278,90 @@ TEST(ThreadPoolTest, ParallelForEmptyRange) {
   EXPECT_FALSE(called);
 }
 
-TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // Regression: a task running on the pool calling ParallelFor on the same
+  // pool used to park every worker on a latch with the chunks still queued
+  // behind them. The caller-runs wait drains its own queue instead.
   ThreadPool pool(2);
-  pool.Wait();  // must not deadlock
-  SUCCEED();
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(4, [&pool, &inner_total](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      pool.ParallelFor(8, [&inner_total](size_t b, size_t e) {
+        inner_total.fetch_add(static_cast<int>(e - b));
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 8);
+}
+
+TEST(ThreadPoolTest, DeeplyNestedParallelForOnSingleWorker) {
+  // Three levels of nesting on a one-worker pool: only caller-runs draining
+  // can make progress here.
+  ThreadPool pool(1);
+  std::atomic<int> leaves{0};
+  pool.ParallelFor(2, [&](size_t b0, size_t e0) {
+    for (size_t i = b0; i < e0; ++i) {
+      pool.ParallelFor(2, [&](size_t b1, size_t e1) {
+        for (size_t j = b1; j < e1; ++j) {
+          pool.ParallelFor(2, [&](size_t b2, size_t e2) {
+            leaves.fetch_add(static_cast<int>(e2 - b2));
+          });
+        }
+      });
+    }
+  });
+  EXPECT_EQ(leaves.load(), 2 * 2 * 2);
+}
+
+TEST(ThreadPoolTest, ConcurrentNestedParallelForManySessions) {
+  // Many external "sessions" hammer one shared pool, each with a nested
+  // ParallelFor (the prefetch-task-doing-TopKBatch shape), repeatedly.
+  ThreadPool pool(3);
+  constexpr int kSessions = 8;
+  constexpr int kRounds = 20;
+  std::atomic<int> total{0};
+  std::vector<std::thread> sessions;
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.emplace_back([&pool, &total] {
+      for (int r = 0; r < kRounds; ++r) {
+        pool.ParallelFor(6, [&pool, &total](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            pool.ParallelFor(4, [&total](size_t b, size_t e) {
+              total.fetch_add(static_cast<int>(e - b));
+            });
+          }
+        });
+      }
+    });
+  }
+  for (auto& t : sessions) t.join();
+  EXPECT_EQ(total.load(), kSessions * kRounds * 6 * 4);
+}
+
+TEST(ThreadPoolTest, TryRunOneTaskDrainsQueue) {
+  ThreadPool pool(1);
+  // Park the single worker so later submissions stay queued; wait for the
+  // worker to actually hold the blocker before queueing more (otherwise the
+  // helping main thread could pop the blocker itself and spin on a flag it
+  // only sets later).
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  TaskHandle blocker = pool.SubmitWithResult([&started, &release] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!started.load()) std::this_thread::yield();
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  // The caller drains the queued tasks itself.
+  int helped = 0;
+  while (pool.TryRunOneTask()) ++helped;
+  EXPECT_EQ(helped, 2);
+  EXPECT_EQ(ran.load(), 2);
+  release.store(true);
+  blocker.Wait();
+  EXPECT_FALSE(pool.TryRunOneTask());
 }
 
 TEST(ThreadPoolTest, DestructorDrainsQueue) {

@@ -1,0 +1,300 @@
+// Think-time speculative prefetch: bitwise parity with the synchronous
+// path (hit, miss, and invalidated speculations), hit accounting, the
+// cross-session budget, and the managed serving layer end to end.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/embedded_dataset.h"
+#include "core/seesaw_searcher.h"
+#include "core/session_manager.h"
+#include "data/profiles.h"
+#include "eval/task_runner.h"
+
+namespace seesaw::core {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<data::Dataset> dataset;
+  std::unique_ptr<EmbeddedDataset> embedded;
+};
+
+Fixture MakeFixture(StoreBackend backend) {
+  auto profile = data::CocoLikeProfile(0.05);
+  profile.embedding_dim = 32;
+  auto ds = data::Dataset::Generate(profile);
+  EXPECT_TRUE(ds.ok());
+  Fixture f;
+  f.dataset = std::make_unique<data::Dataset>(std::move(*ds));
+  PreprocessOptions options;
+  options.multiscale.enabled = false;
+  options.build_md = false;
+  options.backend = backend;
+  auto ed = EmbeddedDataset::Build(*f.dataset, options);
+  EXPECT_TRUE(ed.ok());
+  f.embedded = std::make_unique<EmbeddedDataset>(std::move(*ed));
+  return f;
+}
+
+SeeSawOptions WithPrefetch(SeeSawOptions options, bool enabled) {
+  options.prefetch.enabled = enabled;
+  options.prefetch.max_in_flight = 0;  // unlimited; budget tested separately
+  return options;
+}
+
+/// One interaction round: fetch a batch, label every image from ground
+/// truth, refit. Returns the batch.
+std::vector<ScoredImage> DriveRound(SeeSawSearcher& searcher,
+                                    const data::Dataset& dataset,
+                                    size_t concept_id, size_t n) {
+  auto batch = searcher.NextBatch(n);
+  for (const auto& hit : batch) {
+    ImageFeedback fb;
+    fb.image_idx = hit.image_idx;
+    fb.relevant = dataset.IsPositive(hit.image_idx, concept_id);
+    if (fb.relevant) {
+      fb.boxes = dataset.ConceptBoxes(hit.image_idx, concept_id);
+    }
+    searcher.AddFeedback(fb);
+  }
+  EXPECT_TRUE(searcher.Refit().ok());
+  return batch;
+}
+
+void ExpectSameBatch(const std::vector<ScoredImage>& a,
+                     const std::vector<ScoredImage>& b, int round) {
+  ASSERT_EQ(a.size(), b.size()) << "round " << round;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].image_idx, b[i].image_idx) << "round " << round;
+    EXPECT_EQ(a[i].score, b[i].score) << "round " << round;  // bitwise
+  }
+}
+
+struct Variant {
+  const char* name;
+  SeeSawOptions options;
+};
+
+std::vector<Variant> Variants() {
+  SeeSawOptions zero;
+  zero.update_query = false;
+  SeeSawOptions few;
+  few.aligner.loss.use_text_term = false;
+  few.aligner.loss.use_db_term = false;
+  return {{"seesaw", {}}, {"zero-shot", zero}, {"few-shot", few}};
+}
+
+TEST(PrefetchTest, ParityAcrossVariantsAndBackends) {
+  for (StoreBackend backend :
+       {StoreBackend::kExact, StoreBackend::kIvf, StoreBackend::kAnnoy}) {
+    auto f = MakeFixture(backend);
+    ThreadPool pool(3);
+    for (const Variant& variant : Variants()) {
+      auto q0 = f.embedded->TextQuery(0);
+      SeeSawSearcher baseline(*f.embedded, q0,
+                              WithPrefetch(variant.options, false));
+      SeeSawSearcher speculating(*f.embedded, q0,
+                                 WithPrefetch(variant.options, true));
+      baseline.set_thread_pool(&pool);
+      speculating.set_thread_pool(&pool);
+      for (int round = 0; round < 5; ++round) {
+        auto expected = DriveRound(baseline, *f.dataset, 0, 8);
+        auto got = DriveRound(speculating, *f.dataset, 0, 8);
+        ExpectSameBatch(expected, got, round);
+      }
+      EXPECT_GT(speculating.prefetch_stats().scheduled, 0u) << variant.name;
+      EXPECT_EQ(baseline.prefetch_stats().scheduled, 0u) << variant.name;
+    }
+  }
+}
+
+TEST(PrefetchTest, ZeroShotConsumesSpeculations) {
+  // Zero-shot never moves the query, so labeling exactly the returned batch
+  // keeps every speculation valid: all rounds after the first must hit.
+  auto f = MakeFixture(StoreBackend::kExact);
+  ThreadPool pool(3);
+  SeeSawOptions zero;
+  zero.update_query = false;
+  SeeSawSearcher searcher(*f.embedded, f.embedded->TextQuery(0),
+                          WithPrefetch(zero, true));
+  searcher.set_thread_pool(&pool);
+  const int rounds = 5;
+  for (int round = 0; round < rounds; ++round) {
+    DriveRound(searcher, *f.dataset, 0, 8);
+  }
+  EXPECT_EQ(searcher.prefetch_stats().hits, static_cast<size_t>(rounds - 1));
+  EXPECT_EQ(searcher.prefetch_stats().misses, 0u);
+}
+
+TEST(PrefetchTest, QueryUpdateInvalidatesSpeculation) {
+  // The full method refits to a new query each round, so speculations built
+  // on the old query must be cancelled — and results still match the
+  // synchronous baseline (covered by ParityAcrossVariantsAndBackends).
+  auto f = MakeFixture(StoreBackend::kExact);
+  ThreadPool pool(3);
+  SeeSawSearcher searcher(*f.embedded, f.embedded->TextQuery(0),
+                          WithPrefetch(SeeSawOptions{}, true));
+  searcher.set_thread_pool(&pool);
+  for (int round = 0; round < 4; ++round) {
+    DriveRound(searcher, *f.dataset, 0, 8);
+  }
+  const PrefetchStats& stats = searcher.prefetch_stats();
+  EXPECT_GT(stats.invalidated, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST(PrefetchTest, DeviatingFeedbackInvalidatesSpeculation) {
+  // Feedback on an image outside the returned batch deviates from the
+  // prediction; the next batch must still equal the synchronous result.
+  auto f = MakeFixture(StoreBackend::kExact);
+  ThreadPool pool(3);
+  SeeSawOptions zero;
+  zero.update_query = false;
+  auto q0 = f.embedded->TextQuery(1);
+  SeeSawSearcher baseline(*f.embedded, q0, WithPrefetch(zero, false));
+  SeeSawSearcher speculating(*f.embedded, q0, WithPrefetch(zero, true));
+  baseline.set_thread_pool(&pool);
+  speculating.set_thread_pool(&pool);
+
+  auto surprise = [&](SeeSawSearcher& s) {
+    auto batch = s.NextBatch(6);
+    // Label the batch plus one unshown image (e.g. found via another tool).
+    std::set<uint32_t> in_batch;
+    for (const auto& hit : batch) in_batch.insert(hit.image_idx);
+    uint32_t outside = 0;
+    while (s.IsSeen(outside) || in_batch.count(outside) != 0) ++outside;
+    ImageFeedback fb;
+    fb.image_idx = outside;
+    fb.relevant = false;
+    s.AddFeedback(fb);
+    for (const auto& hit : batch) {
+      ImageFeedback in;
+      in.image_idx = hit.image_idx;
+      in.relevant = false;
+      s.AddFeedback(in);
+    }
+    EXPECT_TRUE(s.Refit().ok());
+  };
+  surprise(baseline);
+  surprise(speculating);
+  auto expected = baseline.NextBatch(6);
+  auto got = speculating.NextBatch(6);
+  ExpectSameBatch(expected, got, /*round=*/1);
+  EXPECT_GT(speculating.prefetch_stats().invalidated +
+                speculating.prefetch_stats().misses,
+            0u);
+  EXPECT_EQ(speculating.prefetch_stats().hits, 0u);
+}
+
+TEST(PrefetchTest, RepeatedNextBatchWithoutFeedbackMatchesSyncSemantics) {
+  // NextBatch without intervening feedback returns the same images (nothing
+  // was marked seen); the speculation predicted a labeled batch and must be
+  // discarded, not consumed.
+  auto f = MakeFixture(StoreBackend::kExact);
+  ThreadPool pool(2);
+  SeeSawOptions zero;
+  zero.update_query = false;
+  SeeSawSearcher searcher(*f.embedded, f.embedded->TextQuery(0),
+                          WithPrefetch(zero, true));
+  searcher.set_thread_pool(&pool);
+  auto first = searcher.NextBatch(5);
+  auto second = searcher.NextBatch(5);
+  ExpectSameBatch(first, second, /*round=*/0);
+  EXPECT_EQ(searcher.prefetch_stats().hits, 0u);
+  EXPECT_GT(searcher.prefetch_stats().misses, 0u);
+}
+
+TEST(PrefetchTest, DestructionDrainsInvalidatedSpeculations) {
+  // Regression: an invalidated speculation's task may still be mid-scan on
+  // the pool; destroying the searcher and then the pool must drain it. A
+  // leaked task used to submit nested pool work during pool shutdown and
+  // trip the Submit-after-shutdown check.
+  auto f = MakeFixture(StoreBackend::kExact);
+  SeeSawOptions zero;
+  zero.update_query = false;
+  for (int i = 0; i < 20; ++i) {
+    ThreadPool pool(2);
+    auto searcher = std::make_unique<SeeSawSearcher>(
+        *f.embedded, f.embedded->TextQuery(0), WithPrefetch(zero, true));
+    searcher->set_thread_pool(&pool);
+    auto batch = searcher->NextBatch(6);  // schedules a speculation
+    ASSERT_FALSE(batch.empty());
+    std::set<uint32_t> in_batch;
+    for (const auto& hit : batch) in_batch.insert(hit.image_idx);
+    uint32_t outside = 0;
+    while (searcher->IsSeen(outside) || in_batch.count(outside) != 0) {
+      ++outside;
+    }
+    ImageFeedback fb;
+    fb.image_idx = outside;
+    fb.relevant = false;
+    searcher->AddFeedback(fb);  // invalidates while the task may be running
+    searcher.reset();           // must drain the stale task
+  }                             // pool shutdown must see no new submissions
+}
+
+TEST(PrefetchTest, BudgetCapsAcquisitions) {
+  PrefetchBudget budget(2);
+  EXPECT_TRUE(budget.TryAcquire());
+  EXPECT_TRUE(budget.TryAcquire());
+  EXPECT_FALSE(budget.TryAcquire());
+  budget.Release();
+  EXPECT_TRUE(budget.TryAcquire());
+  budget.Release();
+  budget.Release();
+  EXPECT_EQ(budget.in_flight(), 0u);
+
+  PrefetchBudget unlimited(0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(unlimited.TryAcquire());
+}
+
+TEST(PrefetchTest, ManagedSessionsWithPrefetchMatchBaseline) {
+  // End to end through the serving layer: a service configured with
+  // prefetch on (and a tight cross-session budget) must reproduce the
+  // prefetch-off results exactly, under concurrent drivers and think time.
+  auto profile = data::CocoLikeProfile(0.05);
+  profile.embedding_dim = 32;
+  auto ds = data::Dataset::Generate(profile);
+  ASSERT_TRUE(ds.ok());
+
+  auto make_service = [&](bool prefetch_on) {
+    ServiceOptions options;
+    options.preprocess.multiscale.enabled = false;
+    options.preprocess.build_md = false;
+    options.session_threads = 3;
+    options.search.update_query = false;  // zero-shot: speculation-friendly
+    options.search.prefetch.enabled = prefetch_on;
+    options.search.prefetch.max_in_flight = 2;
+    auto svc = SeeSawService::Create(*ds, options);
+    EXPECT_TRUE(svc.ok());
+    return std::make_unique<SeeSawService>(std::move(*svc));
+  };
+
+  auto concepts = ds->EvaluableConcepts(3);
+  ASSERT_FALSE(concepts.empty());
+  if (concepts.size() > 4) concepts.resize(4);
+  eval::TaskOptions task;
+  task.target_positives = 3;
+  task.max_images = 24;
+  task.batch_size = 6;
+  task.think_seconds_per_image = 0.002;
+
+  auto off = make_service(false);
+  auto on = make_service(true);
+  auto run_off = eval::RunManagedBenchmark(*off, *ds, concepts, task);
+  auto run_on = eval::RunManagedBenchmark(*on, *ds, concepts, task);
+  ASSERT_EQ(run_off.results.size(), run_on.results.size());
+  for (size_t i = 0; i < run_off.results.size(); ++i) {
+    EXPECT_EQ(run_off.results[i].relevance, run_on.results[i].relevance);
+    EXPECT_EQ(run_off.results[i].found, run_on.results[i].found);
+    EXPECT_EQ(run_off.results[i].inspected, run_on.results[i].inspected);
+    EXPECT_DOUBLE_EQ(run_off.results[i].ap, run_on.results[i].ap);
+  }
+  EXPECT_EQ(on->sessions().prefetches_in_flight(), 0u);
+}
+
+}  // namespace
+}  // namespace seesaw::core
