@@ -9,12 +9,15 @@
 //
 //   ./bench_topk_latency [--n=20000] [--dim=128] [--k=100] [--warmup=1]
 //                        [--iters=5] [--threads=0] [--seen=0.1]
-//                        [--batches=1,4,8,16] [--csv]
+//                        [--batches=1,4,8,16] [--csv] [--json]
 //
 // Every (backend, batch) cell also verifies batched == scalar results, so
 // the bench doubles as a parity check at scale. With --csv, one
 //   backend,batch_size,scalar_ms,batched_ms,speedup,batched_qps
 // row per cell goes to stdout (after a header) and the table is skipped.
+// With --json, each cell is one JSON object per line (no header), which
+// scripts/run_bench_suite.sh --json merges across store sizes into
+// BENCH_topk.json.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -41,6 +44,7 @@ struct LatencyArgs {
   double seen_fraction = 0.1;
   std::vector<size_t> batches = {1, 4, 8, 16};
   bool csv = false;
+  bool json = false;
 
   static LatencyArgs Parse(int argc, char** argv) {
     LatencyArgs args;
@@ -73,6 +77,7 @@ struct LatencyArgs {
         }
       }
       if (std::strcmp(a, "--csv") == 0) args.csv = true;
+      if (std::strcmp(a, "--json") == 0) args.json = true;
     }
     return args;
   }
@@ -188,6 +193,8 @@ int Run(int argc, char** argv) {
   if (args.csv) {
     std::printf("backend,batch_size,scalar_ms,batched_ms,speedup,"
                 "batched_qps\n");
+  } else if (args.json) {
+    // One object per line; the suite script wraps them into a document.
   } else {
     std::printf("TopK latency: n=%zu dim=%zu k=%zu seen=%.2f threads=%zu "
                 "(ms per batch, mean of %d iters)\n",
@@ -206,6 +213,13 @@ int Run(int argc, char** argv) {
                        : 0.0;
       if (args.csv) {
         std::printf("%s,%zu,%.4f,%.4f,%.3f,%.1f\n", backend.name, batch,
+                    cell.scalar_ms, cell.batched_ms, cell.Speedup(), qps);
+      } else if (args.json) {
+        std::printf("{\"backend\":\"%s\",\"n\":%zu,\"dim\":%zu,"
+                    "\"k\":%zu,\"batch\":%zu,\"scalar_ms\":%.4f,"
+                    "\"batched_ms\":%.4f,\"speedup\":%.3f,"
+                    "\"batched_qps\":%.1f}\n",
+                    backend.name, args.n, args.dim, args.k, batch,
                     cell.scalar_ms, cell.batched_ms, cell.Speedup(), qps);
       } else {
         std::printf("%-8s %6zu %12.4f %12.4f %8.2fx %12.1f\n", backend.name,

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # run_bench_suite.sh — run the TopK latency suite across store sizes and
-# batch sizes, collecting one CSV.
+# batch sizes, collecting one CSV — or, with --json, machine-readable
+# BENCH_*.json baselines (SIMD kernel throughput + TopK latency) that future
+# PRs can diff perf against.
 #
 # Default sizes: 10k, 20k, 40k, 80k vectors.
 #
@@ -8,12 +10,19 @@
 #   ./scripts/run_bench_suite.sh [--sizes 10k,20k,...] [--warmup N] [--iters N]
 #                                [--dim D] [--k K] [--threads T]
 #                                [--batches 1,4,8,16] [--out results.csv]
+#                                [--json] [--out-dir DIR]
+#
+# --json writes BENCH_simd.json (bench_simd_kernels: scalar vs dispatched
+# kernel throughput across dims x batches) and BENCH_topk.json
+# (bench_topk_latency rows across --sizes) into --out-dir (default: repo
+# root) instead of emitting CSV.
 set -euo pipefail
 
 SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
 REPO_ROOT="$(dirname "$SCRIPT_DIR")"
 BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
 BENCH="$BUILD_DIR/bench_topk_latency"
+BENCH_SIMD="$BUILD_DIR/bench_simd_kernels"
 
 WARMUP=1
 ITERS=5
@@ -22,6 +31,8 @@ K=100
 THREADS=0
 BATCHES="1,4,8,16"
 OUT=""
+JSON=0
+OUT_DIR="$REPO_ROOT"
 SIZES=(10000 20000 40000 80000)
 
 parse_size_token() {
@@ -64,6 +75,8 @@ while [[ $# -gt 0 ]]; do
         --threads) THREADS="$2"; shift 2 ;;
         --batches) BATCHES="$2"; shift 2 ;;
         --out)     OUT="$2"; shift 2 ;;
+        --json)    JSON=1; shift ;;
+        --out-dir) OUT_DIR="$2"; shift 2 ;;
         *)
             echo "unknown option: $1" >&2
             exit 1
@@ -71,11 +84,14 @@ while [[ $# -gt 0 ]]; do
     esac
 done
 
-if [[ ! -x "$BENCH" ]]; then
-    echo "building $BENCH ..." >&2
+build_target() {
+    local target="$1"
+    echo "building $target ..." >&2
     cmake -B "$BUILD_DIR" -S "$REPO_ROOT" > /dev/null
-    cmake --build "$BUILD_DIR" --target bench_topk_latency -j > /dev/null
-fi
+    cmake --build "$BUILD_DIR" --target "$target" -j > /dev/null
+}
+
+[[ -x "$BENCH" ]] || build_target bench_topk_latency
 
 emit() {
     header_done=0
@@ -97,7 +113,45 @@ emit() {
     done
 }
 
-if [[ -n "$OUT" ]]; then
+emit_json() {
+    [[ -x "$BENCH_SIMD" ]] || build_target bench_simd_kernels
+
+    local simd_out="$OUT_DIR/BENCH_simd.json"
+    local topk_out="$OUT_DIR/BENCH_topk.json"
+
+    echo "== bench_simd_kernels ==" >&2
+    "$BENCH_SIMD" --warmup="$WARMUP" --iters="$ITERS" --json > "$simd_out"
+    echo "kernel JSON written to $simd_out" >&2
+
+    local rows=""
+    local tmp
+    tmp="$(mktemp)"
+    # EXIT, not RETURN: a set -e abort inside this function (e.g. the bench
+    # crashing) exits the script without firing RETURN traps. ${tmp:-} keeps
+    # the trap safe under set -u once the local goes out of scope.
+    trap 'rm -f "${tmp:-}"' EXIT
+    for n in "${SIZES[@]}"; do
+        echo "== bench_topk_latency n=$n dim=$DIM k=$K ==" >&2
+        # Direct redirection (not process substitution) so a bench crash —
+        # e.g. a parity SEESAW_CHECK abort — fails the script instead of
+        # silently truncating the committed baseline.
+        "$BENCH" --json --n="$n" --dim="$DIM" --k="$K" \
+                 --warmup="$WARMUP" --iters="$ITERS" \
+                 --threads="$THREADS" --batches="$BATCHES" > "$tmp"
+        while IFS= read -r line; do
+            [[ -z "$line" ]] && continue
+            rows="${rows:+$rows,}$line"
+        done < "$tmp"
+    done
+    printf '{"bench":"topk_latency","meta":{"dim":%s,"k":%s,"warmup":%s,"iters":%s,"threads":%s,"batches":"%s"},"rows":[%s]}\n' \
+        "$DIM" "$K" "$WARMUP" "$ITERS" "$THREADS" "$BATCHES" "$rows" \
+        > "$topk_out"
+    echo "topk JSON written to $topk_out" >&2
+}
+
+if [[ "$JSON" == 1 ]]; then
+    emit_json
+elif [[ -n "$OUT" ]]; then
     emit | tee "$OUT" > /dev/null
     echo "CSV written to $OUT" >&2
 else

@@ -1,0 +1,213 @@
+// AVX2+FMA kernels (x86-64).
+//
+// Implements the arithmetic spec from simd.h with 256-bit fused
+// multiply-adds: one __m256 per accumulator bank, _mm256_fmadd_ps per
+// 8-element chunk, the fixed shuffle reduction, and a scalar fused tail.
+// std::fmaf inside these functions compiles to vfmadd, so tail lanes use the
+// same single-rounding operation as the vector body.
+//
+// Every function carries a per-function target attribute instead of the TU
+// being compiled with -mavx2: only these bodies get AVX2 codegen, so nothing
+// here can leak AVX2 instructions into inline functions shared with generic
+// TUs, and the binary still boots on pre-AVX2 CPUs (dispatch probes CPUID
+// before ever calling in).
+//
+// Register blocking: DotBatch pairs queries (row chunks loaded once feed two
+// accumulator chains) and ScoreBlock pairs rows x queries (a 2x2
+// micro-kernel, eight live accumulator chains). Blocking only shares loads —
+// each (row, query) pair's accumulation order is exactly the spec, keeping
+// blocked results bitwise equal to per-pair Dot.
+#include "linalg/simd.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+
+#define SEESAW_AVX2_FN __attribute__((target("avx2,fma")))
+
+namespace seesaw::linalg {
+namespace {
+
+/// Spec reduction: s = A + B lanewise, u[l] = s[l] + s[l+4],
+/// result = (u0 + u1) + (u2 + u3).
+SEESAW_AVX2_FN inline float Reduce(__m256 acc_a, __m256 acc_b) {
+  const __m256 s = _mm256_add_ps(acc_a, acc_b);
+  const __m128 u =
+      _mm_add_ps(_mm256_castps256_ps128(s), _mm256_extractf128_ps(s, 1));
+  __m128 shuf = _mm_movehdup_ps(u);   // u1 u1 u3 u3
+  __m128 sums = _mm_add_ps(u, shuf);  // u0+u1 . u2+u3 .
+  shuf = _mm_movehl_ps(shuf, sums);   // u2+u3 in lane 0
+  sums = _mm_add_ss(sums, shuf);      // (u0+u1) + (u2+u3)
+  return _mm_cvtss_f32(sums);
+}
+
+SEESAW_AVX2_FN float DotAvx2(VecSpan a, VecSpan b) {
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const size_t n = a.size();
+  __m256 acc_a = _mm256_setzero_ps();
+  __m256 acc_b = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc_a = _mm256_fmadd_ps(_mm256_loadu_ps(pa + i), _mm256_loadu_ps(pb + i),
+                            acc_a);
+    acc_b = _mm256_fmadd_ps(_mm256_loadu_ps(pa + i + 8),
+                            _mm256_loadu_ps(pb + i + 8), acc_b);
+  }
+  if (i + 8 <= n) {
+    acc_a = _mm256_fmadd_ps(_mm256_loadu_ps(pa + i), _mm256_loadu_ps(pb + i),
+                            acc_a);
+    i += 8;
+  }
+  float r = Reduce(acc_a, acc_b);
+  for (; i < n; ++i) r = std::fmaf(pa[i], pb[i], r);
+  return r;
+}
+
+/// One row against two queries; row chunks are loaded once.
+SEESAW_AVX2_FN void Dot1R2Q(const float* pa, const float* q0, const float* q1,
+                            size_t n, float* out0, float* out1) {
+  __m256 a0 = _mm256_setzero_ps(), b0 = _mm256_setzero_ps();
+  __m256 a1 = _mm256_setzero_ps(), b1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 va = _mm256_loadu_ps(pa + i);
+    const __m256 vb = _mm256_loadu_ps(pa + i + 8);
+    a0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(q0 + i), a0);
+    b0 = _mm256_fmadd_ps(vb, _mm256_loadu_ps(q0 + i + 8), b0);
+    a1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(q1 + i), a1);
+    b1 = _mm256_fmadd_ps(vb, _mm256_loadu_ps(q1 + i + 8), b1);
+  }
+  if (i + 8 <= n) {
+    const __m256 va = _mm256_loadu_ps(pa + i);
+    a0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(q0 + i), a0);
+    a1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(q1 + i), a1);
+    i += 8;
+  }
+  float r0 = Reduce(a0, b0);
+  float r1 = Reduce(a1, b1);
+  for (; i < n; ++i) {
+    r0 = std::fmaf(pa[i], q0[i], r0);
+    r1 = std::fmaf(pa[i], q1[i], r1);
+  }
+  *out0 = r0;
+  *out1 = r1;
+}
+
+/// Two rows against two queries: the 2x2 micro-kernel. Four dot products
+/// share every row/query chunk load, and the four independent accumulator
+/// chains hide FMA latency.
+SEESAW_AVX2_FN void Dot2R2Q(const float* r0, const float* r1, const float* q0,
+                            const float* q1, size_t n, float* out_row0,
+                            float* out_row1) {
+  __m256 a00 = _mm256_setzero_ps(), b00 = _mm256_setzero_ps();
+  __m256 a01 = _mm256_setzero_ps(), b01 = _mm256_setzero_ps();
+  __m256 a10 = _mm256_setzero_ps(), b10 = _mm256_setzero_ps();
+  __m256 a11 = _mm256_setzero_ps(), b11 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 vr0a = _mm256_loadu_ps(r0 + i);
+    const __m256 vr0b = _mm256_loadu_ps(r0 + i + 8);
+    const __m256 vr1a = _mm256_loadu_ps(r1 + i);
+    const __m256 vr1b = _mm256_loadu_ps(r1 + i + 8);
+    const __m256 vq0a = _mm256_loadu_ps(q0 + i);
+    const __m256 vq0b = _mm256_loadu_ps(q0 + i + 8);
+    const __m256 vq1a = _mm256_loadu_ps(q1 + i);
+    const __m256 vq1b = _mm256_loadu_ps(q1 + i + 8);
+    a00 = _mm256_fmadd_ps(vr0a, vq0a, a00);
+    b00 = _mm256_fmadd_ps(vr0b, vq0b, b00);
+    a01 = _mm256_fmadd_ps(vr0a, vq1a, a01);
+    b01 = _mm256_fmadd_ps(vr0b, vq1b, b01);
+    a10 = _mm256_fmadd_ps(vr1a, vq0a, a10);
+    b10 = _mm256_fmadd_ps(vr1b, vq0b, b10);
+    a11 = _mm256_fmadd_ps(vr1a, vq1a, a11);
+    b11 = _mm256_fmadd_ps(vr1b, vq1b, b11);
+  }
+  if (i + 8 <= n) {
+    const __m256 vr0a = _mm256_loadu_ps(r0 + i);
+    const __m256 vr1a = _mm256_loadu_ps(r1 + i);
+    const __m256 vq0a = _mm256_loadu_ps(q0 + i);
+    const __m256 vq1a = _mm256_loadu_ps(q1 + i);
+    a00 = _mm256_fmadd_ps(vr0a, vq0a, a00);
+    a01 = _mm256_fmadd_ps(vr0a, vq1a, a01);
+    a10 = _mm256_fmadd_ps(vr1a, vq0a, a10);
+    a11 = _mm256_fmadd_ps(vr1a, vq1a, a11);
+    i += 8;
+  }
+  float s00 = Reduce(a00, b00);
+  float s01 = Reduce(a01, b01);
+  float s10 = Reduce(a10, b10);
+  float s11 = Reduce(a11, b11);
+  for (; i < n; ++i) {
+    s00 = std::fmaf(r0[i], q0[i], s00);
+    s01 = std::fmaf(r0[i], q1[i], s01);
+    s10 = std::fmaf(r1[i], q0[i], s10);
+    s11 = std::fmaf(r1[i], q1[i], s11);
+  }
+  out_row0[0] = s00;
+  out_row0[1] = s01;
+  out_row1[0] = s10;
+  out_row1[1] = s11;
+}
+
+SEESAW_AVX2_FN void DotBatchAvx2(VecSpan a, const VecSpan* queries,
+                                 size_t num_queries, float* out) {
+  size_t q = 0;
+  for (; q + 2 <= num_queries; q += 2) {
+    Dot1R2Q(a.data(), queries[q].data(), queries[q + 1].data(), a.size(),
+            out + q, out + q + 1);
+  }
+  if (q < num_queries) out[q] = DotAvx2(a, queries[q]);
+}
+
+SEESAW_AVX2_FN void ScoreBlockAvx2(const float* rows, size_t num_rows,
+                                   size_t dim, const VecSpan* queries,
+                                   size_t num_queries, float* out) {
+  size_t r = 0;
+  for (; r + 2 <= num_rows; r += 2) {
+    const float* row0 = rows + r * dim;
+    const float* row1 = row0 + dim;
+    float* out0 = out + r * num_queries;
+    float* out1 = out0 + num_queries;
+    size_t q = 0;
+    for (; q + 2 <= num_queries; q += 2) {
+      Dot2R2Q(row0, row1, queries[q].data(), queries[q + 1].data(), dim,
+              out0 + q, out1 + q);
+    }
+    if (q < num_queries) {
+      out0[q] = DotAvx2(VecSpan(row0, dim), queries[q]);
+      out1[q] = DotAvx2(VecSpan(row1, dim), queries[q]);
+    }
+  }
+  if (r < num_rows) {
+    DotBatchAvx2(VecSpan(rows + r * dim, dim), queries, num_queries,
+                 out + r * num_queries);
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+const KernelTable* Avx2KernelsOrNull() {
+  if (!__builtin_cpu_supports("avx2") || !__builtin_cpu_supports("fma")) {
+    return nullptr;
+  }
+  static constexpr KernelTable kTable = {"avx2", DotAvx2, DotBatchAvx2,
+                                         ScoreBlockAvx2};
+  return &kTable;
+}
+
+}  // namespace internal
+}  // namespace seesaw::linalg
+
+#else  // !x86
+
+namespace seesaw::linalg::internal {
+const KernelTable* Avx2KernelsOrNull() { return nullptr; }
+}  // namespace seesaw::linalg::internal
+
+#endif

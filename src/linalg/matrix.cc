@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "linalg/simd.h"
 
 namespace seesaw::linalg {
 
@@ -50,9 +51,13 @@ void MatrixF::ScoreBlock(size_t row_begin, size_t row_end,
   SEESAW_CHECK_LE(row_end, rows_);
   const size_t q = queries.size();
   SEESAW_CHECK_EQ(out.size(), (row_end - row_begin) * q);
-  for (size_t r = row_begin; r < row_end; ++r) {
-    DotBatch(Row(r), queries, out.subspan((r - row_begin) * q, q));
-  }
+  for (VecSpan query : queries) SEESAW_CHECK_EQ(query.size(), cols_);
+  // The dispatched kernel may block rows x queries in registers (2x2 on
+  // AVX2); per-(row, query) accumulation order is fixed by the spec
+  // (simd.h), so every score stays bitwise identical to per-row Dot().
+  ActiveKernels().score_block(data_.data() + row_begin * cols_,
+                              row_end - row_begin, cols_, queries.data(), q,
+                              out.data());
 }
 
 VectorF MatrixF::TransposeMatVec(VecSpan x) const {

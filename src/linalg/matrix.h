@@ -49,7 +49,8 @@ class MatrixF {
   /// (row_end - row_begin) x queries.size()) with the inner products of rows
   /// [row_begin, row_end) against every query. Each stored row is streamed
   /// through the cache once while all queries score against it — the batched
-  /// exact-scan kernel. Scores are bitwise identical to per-row Dot().
+  /// exact-scan kernel, served by the runtime-dispatched SIMD layer
+  /// (linalg/simd.h). Scores are bitwise identical to per-row Dot().
   void ScoreBlock(size_t row_begin, size_t row_end,
                   std::span<const VecSpan> queries, MutVecSpan out) const;
 

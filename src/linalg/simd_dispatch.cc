@@ -1,0 +1,92 @@
+// Kernel selection: CPU-feature detection, SEESAW_FORCE_KERNEL, and the
+// cached active-table pointer.
+#include <atomic>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "linalg/simd.h"
+
+namespace seesaw::linalg {
+namespace {
+
+/// Best table the CPU supports, in preference order.
+const KernelTable* DetectKernels() {
+  if (const KernelTable* t = internal::Avx2KernelsOrNull()) return t;
+  if (const KernelTable* t = internal::NeonKernelsOrNull()) return t;
+  return &ScalarKernels();
+}
+
+/// Name lookup over supported tables; "auto" resolves to detection.
+const KernelTable* ResolveName(std::string_view name) {
+  if (name == "auto") return DetectKernels();
+  if (name == "scalar") return &ScalarKernels();
+  if (name == "avx2") return internal::Avx2KernelsOrNull();
+  if (name == "neon") return internal::NeonKernelsOrNull();
+  return nullptr;
+}
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+/// First-use resolution: honor SEESAW_FORCE_KERNEL, else detect. A forced
+/// kernel that is unknown or unsupported on this CPU aborts — CI legs that
+/// pin a kernel must fail loudly, not silently fall back to another path.
+const KernelTable* ResolveInitial() {
+  const char* forced = std::getenv("SEESAW_FORCE_KERNEL");
+  if (forced == nullptr || forced[0] == '\0') return DetectKernels();
+  const KernelTable* t = ResolveName(forced);
+  SEESAW_CHECK(t != nullptr)
+      << "SEESAW_FORCE_KERNEL=" << forced
+      << " is unknown or unsupported on this CPU (supported: scalar"
+#if defined(__x86_64__) || defined(__i386__)
+      << (internal::Avx2KernelsOrNull() != nullptr ? ", avx2" : "")
+#endif
+#if defined(__aarch64__)
+      << ", neon"
+#endif
+      << ")";
+  return t;
+}
+
+}  // namespace
+
+const KernelTable& ActiveKernels() {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    // A racing first use resolves to the same table; the double store is
+    // benign.
+    t = ResolveInitial();
+    g_active.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+bool ForceKernels(std::string_view name) {
+  const KernelTable* t = ResolveName(name);
+  if (t == nullptr) return false;
+  g_active.store(t, std::memory_order_release);
+  return true;
+}
+
+std::vector<std::string> SupportedKernels() {
+  std::vector<std::string> names;
+  if (const KernelTable* t = internal::Avx2KernelsOrNull()) {
+    names.emplace_back(t->name);
+  }
+  if (const KernelTable* t = internal::NeonKernelsOrNull()) {
+    names.emplace_back(t->name);
+  }
+  names.emplace_back(ScalarKernels().name);
+  return names;
+}
+
+const KernelTable* FindKernels(std::string_view name) {
+  return ResolveName(name);
+}
+
+namespace internal {
+void ResetKernelsForTest() {
+  g_active.store(nullptr, std::memory_order_release);
+}
+}  // namespace internal
+
+}  // namespace seesaw::linalg

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "linalg/simd.h"
 
 namespace seesaw::linalg {
 
@@ -12,30 +13,18 @@ constexpr float kNormEpsilon = 1e-12f;
 
 float Dot(VecSpan a, VecSpan b) {
   SEESAW_CHECK_EQ(a.size(), b.size());
-  // Four accumulators give the compiler room to vectorize and reduce
-  // float-summation error versus a single serial accumulator.
-  float s0 = 0.f, s1 = 0.f, s2 = 0.f, s3 = 0.f;
-  size_t n = a.size();
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    s0 += a[i] * b[i];
-    s1 += a[i + 1] * b[i + 1];
-    s2 += a[i + 2] * b[i + 2];
-    s3 += a[i + 3] * b[i + 3];
-  }
-  for (; i < n; ++i) s0 += a[i] * b[i];
-  return (s0 + s1) + (s2 + s3);
+  return ActiveKernels().dot(a, b);
 }
 
 void DotBatch(VecSpan a, std::span<const VecSpan> queries, MutVecSpan out) {
   SEESAW_CHECK_EQ(queries.size(), out.size());
+  for (VecSpan q : queries) SEESAW_CHECK_EQ(q.size(), a.size());
   // `a` is read from memory once and stays L1-resident across all queries —
   // that loop order (row outer, queries inner) is the whole win over
-  // re-streaming the table per query. Reusing Dot() keeps each product
-  // bitwise identical to the scalar path. (An interleaved two-query kernel
-  // benchmarked slower here: without -march=native the extra accumulators
-  // defeat the autovectorizer.)
-  for (size_t q = 0; q < queries.size(); ++q) out[q] = Dot(a, queries[q]);
+  // re-streaming the table per query. The kernel may additionally interleave
+  // query pairs in registers; per-query accumulation order is fixed by the
+  // spec (simd.h), so each entry stays bitwise identical to Dot().
+  ActiveKernels().dot_batch(a, queries.data(), queries.size(), out.data());
 }
 
 double DotDouble(VecSpan a, VecSpan b) {

@@ -22,6 +22,12 @@ using VecSpan = std::span<const float>;
 using MutVecSpan = std::span<float>;
 
 /// Inner product <a, b>. Sizes must match.
+///
+/// Dot, DotBatch, and MatrixF::ScoreBlock all route through the runtime-
+/// dispatched SIMD kernel layer (linalg/simd.h): AVX2+FMA on x86-64, NEON on
+/// aarch64, scalar reference otherwise. Every kernel computes the same fixed
+/// accumulation spec, so results are bitwise identical across kernels (and
+/// overridable via SEESAW_FORCE_KERNEL / ForceKernels for testing).
 float Dot(VecSpan a, VecSpan b);
 
 /// out[q] = <a, queries[q]> for every query. `a` is loaded once and stays
