@@ -9,17 +9,23 @@
 //
 //   ./bench_topk_latency [--n=20000] [--dim=128] [--k=100] [--warmup=1]
 //                        [--iters=5] [--threads=0] [--seen=0.1]
-//                        [--batches=1,4,8,16] [--csv] [--json]
+//                        [--batches=1,4,8,16] [--shards=1,2,4,8]
+//                        [--csv] [--json]
 //
 // Every (backend, batch) cell also verifies batched == scalar results, so
-// the bench doubles as a parity check at scale. With --csv, one
-//   backend,batch_size,scalar_ms,batched_ms,speedup,batched_qps
-// row per cell goes to stdout (after a header) and the table is skipped.
-// With --json, each cell is one JSON object per line (no header), which
+// the bench doubles as a parity check at scale. --shards adds one
+// "sharded" backend row per shard count (a ShardedStore over the same
+// table, verified bitwise against the exact store before timing), recording
+// the shard-scaling curve. With --csv, one
+//   backend,shards,batch_size,scalar_ms,batched_ms,speedup,batched_qps
+// row per cell goes to stdout (after a header; shards is 0 for the
+// unsharded backends) and the table is skipped. With --json, each cell is
+// one JSON object per line (no header), which
 // scripts/run_bench_suite.sh --json merges across store sizes into
 // BENCH_topk.json.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +36,7 @@
 #include "store/annoy_index.h"
 #include "store/exact_store.h"
 #include "store/ivf_index.h"
+#include "store/sharded_store.h"
 
 namespace seesaw::bench {
 namespace {
@@ -43,6 +50,7 @@ struct LatencyArgs {
   size_t threads = 0;  // 0 = hardware default
   double seen_fraction = 0.1;
   std::vector<size_t> batches = {1, 4, 8, 16};
+  std::vector<size_t> shards;  // empty = no sharded rows
   bool csv = false;
   bool json = false;
 
@@ -73,6 +81,21 @@ struct LatencyArgs {
         if (args.batches.empty()) {
           std::fprintf(stderr, "bench_topk_latency: --batches needs positive "
                                "integers, e.g. --batches=1,4,8\n");
+          std::exit(2);
+        }
+      }
+      if (std::strncmp(a, "--shards=", 9) == 0) {
+        args.shards.clear();
+        for (const char* p = a + 9; *p != '\0';) {
+          size_t count = std::strtoul(p, nullptr, 10);
+          if (count > 0) args.shards.push_back(count);
+          p = std::strchr(p, ',');
+          if (p == nullptr) break;
+          ++p;
+        }
+        if (args.shards.empty()) {
+          std::fprintf(stderr, "bench_topk_latency: --shards needs positive "
+                               "integers, e.g. --shards=1,2,4,8\n");
           std::exit(2);
         }
       }
@@ -186,12 +209,45 @@ int Run(int argc, char** argv) {
   struct Backend {
     const char* name;
     const store::VectorStore* store;
+    size_t shards = 0;  // 0 = not a sharded backend
   };
-  const Backend backends[] = {
+  std::vector<Backend> backends = {
       {"exact", &*exact}, {"ivf", &*ivf}, {"annoy", &*annoy}};
 
+  // The --shards axis: one ShardedStore per count over the same table,
+  // verified bitwise against the exact store before any timing.
+  std::vector<std::unique_ptr<store::ShardedStore>> sharded_stores;
+  for (size_t count : args.shards) {
+    store::ShardedOptions sharded_options;
+    sharded_options.num_shards = count;
+    auto sharded = store::ShardedStore::Create(table, sharded_options);
+    SEESAW_CHECK(sharded.ok());
+    // Parity probes draw from their own stream so the measured query
+    // sequence is identical with or without the --shards axis.
+    Rng probe_rng(47);
+    std::vector<linalg::VectorF> probe;
+    for (int i = 0; i < 4; ++i) {
+      linalg::VectorF q(args.dim);
+      for (float& v : q) v = static_cast<float>(probe_rng.Gaussian());
+      linalg::NormalizeInPlace(linalg::MutVecSpan(q.data(), q.size()));
+      probe.push_back(std::move(q));
+    }
+    for (const auto& q : probe) {
+      auto got = sharded->TopK(q, args.k, seen);
+      auto want = exact->TopK(q, args.k, seen);
+      SEESAW_CHECK(SameResults(got, want))
+          << "ShardedStore(" << count << ") diverged from ExactStore";
+    }
+    sharded_stores.push_back(
+        std::make_unique<store::ShardedStore>(std::move(*sharded)));
+    // Record the effective count: Create clamps num_shards to the row
+    // count, and the committed baseline must describe what actually ran.
+    backends.push_back({"sharded", sharded_stores.back().get(),
+                        sharded_stores.back()->num_shards()});
+  }
+
   if (args.csv) {
-    std::printf("backend,batch_size,scalar_ms,batched_ms,speedup,"
+    std::printf("backend,shards,batch_size,scalar_ms,batched_ms,speedup,"
                 "batched_qps\n");
   } else if (args.json) {
     // One object per line; the suite script wraps them into a document.
@@ -200,8 +256,8 @@ int Run(int argc, char** argv) {
                 "(ms per batch, mean of %d iters)\n",
                 args.n, args.dim, args.k, args.seen_fraction,
                 pool.num_threads(), args.iters);
-    std::printf("%-8s %6s %12s %12s %9s %12s\n", "backend", "batch",
-                "scalar_ms", "batched_ms", "speedup", "batched_qps");
+    std::printf("%-8s %6s %6s %12s %12s %9s %12s\n", "backend", "shards",
+                "batch", "scalar_ms", "batched_ms", "speedup", "batched_qps");
   }
 
   for (const Backend& backend : backends) {
@@ -212,19 +268,21 @@ int Run(int argc, char** argv) {
                        ? static_cast<double>(batch) / (cell.batched_ms / 1e3)
                        : 0.0;
       if (args.csv) {
-        std::printf("%s,%zu,%.4f,%.4f,%.3f,%.1f\n", backend.name, batch,
-                    cell.scalar_ms, cell.batched_ms, cell.Speedup(), qps);
+        std::printf("%s,%zu,%zu,%.4f,%.4f,%.3f,%.1f\n", backend.name,
+                    backend.shards, batch, cell.scalar_ms, cell.batched_ms,
+                    cell.Speedup(), qps);
       } else if (args.json) {
         std::printf("{\"backend\":\"%s\",\"n\":%zu,\"dim\":%zu,"
-                    "\"k\":%zu,\"batch\":%zu,\"scalar_ms\":%.4f,"
-                    "\"batched_ms\":%.4f,\"speedup\":%.3f,"
-                    "\"batched_qps\":%.1f}\n",
-                    backend.name, args.n, args.dim, args.k, batch,
-                    cell.scalar_ms, cell.batched_ms, cell.Speedup(), qps);
-      } else {
-        std::printf("%-8s %6zu %12.4f %12.4f %8.2fx %12.1f\n", backend.name,
+                    "\"k\":%zu,\"shards\":%zu,\"batch\":%zu,"
+                    "\"scalar_ms\":%.4f,\"batched_ms\":%.4f,"
+                    "\"speedup\":%.3f,\"batched_qps\":%.1f}\n",
+                    backend.name, args.n, args.dim, args.k, backend.shards,
                     batch, cell.scalar_ms, cell.batched_ms, cell.Speedup(),
                     qps);
+      } else {
+        std::printf("%-8s %6zu %6zu %12.4f %12.4f %8.2fx %12.1f\n",
+                    backend.name, backend.shards, batch, cell.scalar_ms,
+                    cell.batched_ms, cell.Speedup(), qps);
       }
     }
   }

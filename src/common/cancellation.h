@@ -1,0 +1,39 @@
+// CancellationToken: cooperative cancellation flag shared between a task's
+// owner and the task. Split out of thread_pool.h so low-level layers (the
+// store scans) can accept a token without pulling in the whole pool.
+#ifndef SEESAW_COMMON_CANCELLATION_H_
+#define SEESAW_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <memory>
+
+namespace seesaw {
+
+/// Cooperative cancellation flag shared between a task's owner and the task.
+///
+/// Copies share one flag. Cancellation is purely advisory: nothing ever
+/// kills a task; the task is expected to poll `cancelled()` at natural
+/// checkpoints and exit early. Requesting cancellation is thread-safe and
+/// idempotent.
+class CancellationToken {
+ public:
+  CancellationToken()
+      : cancelled_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Asks the task to stop at its next checkpoint.
+  void RequestCancel() const {
+    cancelled_->store(true, std::memory_order_relaxed);
+  }
+
+  /// Whether cancellation has been requested.
+  bool cancelled() const {
+    return cancelled_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+};
+
+}  // namespace seesaw
+
+#endif  // SEESAW_COMMON_CANCELLATION_H_

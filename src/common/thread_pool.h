@@ -4,7 +4,6 @@
 #ifndef SEESAW_COMMON_THREAD_POOL_H_
 #define SEESAW_COMMON_THREAD_POOL_H_
 
-#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -14,34 +13,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
+
 namespace seesaw {
 
 class ThreadPool;
-
-/// Cooperative cancellation flag shared between a task's owner and the task.
-///
-/// Copies share one flag. Cancellation is purely advisory: the pool never
-/// kills a task; the task is expected to poll `cancelled()` at natural
-/// checkpoints and exit early. Requesting cancellation is thread-safe and
-/// idempotent.
-class CancellationToken {
- public:
-  CancellationToken()
-      : cancelled_(std::make_shared<std::atomic<bool>>(false)) {}
-
-  /// Asks the task to stop at its next checkpoint.
-  void RequestCancel() const {
-    cancelled_->store(true, std::memory_order_relaxed);
-  }
-
-  /// Whether cancellation has been requested.
-  bool cancelled() const {
-    return cancelled_->load(std::memory_order_relaxed);
-  }
-
- private:
-  std::shared_ptr<std::atomic<bool>> cancelled_;
-};
 
 /// Waitable completion handle for one submitted task.
 ///

@@ -17,6 +17,7 @@
 #include "store/annoy_index.h"
 #include "store/exact_store.h"
 #include "store/ivf_index.h"
+#include "store/sharded_store.h"
 
 namespace seesaw::core {
 
@@ -37,9 +38,10 @@ struct PreprocessStats {
 
 /// Which max-inner-product index backs the store.
 enum class StoreBackend {
-  kExact,  ///< brute-force scan (accuracy reference)
-  kAnnoy,  ///< RP-tree forest (the paper's store, §2.2)
-  kIvf,    ///< FAISS-style inverted file
+  kExact,    ///< brute-force scan (accuracy reference)
+  kAnnoy,    ///< RP-tree forest (the paper's store, §2.2)
+  kIvf,      ///< FAISS-style inverted file
+  kSharded,  ///< table partitioned across N exact child stores
 };
 
 /// Preprocessing configuration.
@@ -52,6 +54,7 @@ struct PreprocessOptions {
   StoreBackend backend = StoreBackend::kExact;
   store::AnnoyOptions annoy;
   store::IvfOptions ivf;
+  store::ShardedOptions sharded;
   /// Worker threads for embedding (0 = hardware default).
   size_t num_threads = 0;
 };

@@ -61,14 +61,23 @@ std::vector<ScoredImage> SearcherBase::ComputeTopImages(
     k = std::min(k, total);
     // Patches of seen images are excluded inside the store scan via the
     // patch-level bitset; a shared pool (managed sessions) shards the scan.
+    // The cancellation token rides into the scan itself (store::ScanControl)
+    // so a cancelled speculation stops mid-TopKBatch — per row block /
+    // probed list — not just between k-doubling rounds.
     std::vector<store::SearchResult> hits;
     if (pool != nullptr) {
+      store::ScanControl control;
+      control.cancel = cancel;
       linalg::VecSpan queries[] = {query};
       hits = std::move(store
                            .TopKBatch(std::span<const linalg::VecSpan>(
                                           queries, 1),
-                                      k, seen_patches, pool)
+                                      k, seen_patches, pool, control)
                            .front());
+      // A cancelled scan returns partial hits; drop them (the caller
+      // discards the whole speculation anyway) rather than let a truncated
+      // candidate list masquerade as "store exhausted".
+      if (cancel != nullptr && cancel->cancelled()) return out;
     } else {
       hits = store.TopK(query, k, seen_patches);
     }

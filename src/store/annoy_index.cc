@@ -192,9 +192,12 @@ std::vector<SearchResult> AnnoyIndex::TopK(VecSpan query, size_t k,
 
 std::vector<std::vector<SearchResult>> AnnoyIndex::TopKBatch(
     std::span<const VecSpan> queries, size_t k, const SeenSet& seen,
-    ThreadPool* pool) const {
+    ThreadPool* pool, const ScanControl& control) const {
   std::vector<std::vector<SearchResult>> out(queries.size());
-  auto run_query = [&](size_t q) { out[q] = TopK(queries[q], k, seen); };
+  auto run_query = [&](size_t q) {
+    if (control.ShouldStop()) return;
+    out[q] = TopK(queries[q], k, seen);
+  };
   if (pool != nullptr && pool->num_threads() > 1 && queries.size() > 1) {
     pool->ParallelFor(queries.size(), [&](size_t begin, size_t end) {
       for (size_t q = begin; q < end; ++q) run_query(q);

@@ -47,9 +47,11 @@ class AnnoyIndex : public VectorStore {
 
   /// Tree traversals are independent per query, so the batch simply fans
   /// queries out across the pool (exact per-query parity by construction).
+  /// Cancellation is checkpointed per query (each query is one independent
+  /// forest traversal — the natural unit here).
   std::vector<std::vector<SearchResult>> TopKBatch(
       std::span<const linalg::VecSpan> queries, size_t k, const SeenSet& seen,
-      ThreadPool* pool) const override;
+      ThreadPool* pool, const ScanControl& control) const override;
   using VectorStore::TopKBatch;
 
   linalg::VecSpan GetVector(uint32_t id) const override {

@@ -38,7 +38,7 @@ std::vector<SearchResult> ExactStore::TopK(linalg::VecSpan query, size_t k,
 
 std::vector<std::vector<SearchResult>> ExactStore::TopKBatch(
     std::span<const linalg::VecSpan> queries, size_t k, const SeenSet& seen,
-    ThreadPool* pool) const {
+    ThreadPool* pool, const ScanControl& control) const {
   const size_t num_queries = queries.size();
   if (num_queries == 0) return {};
   for (linalg::VecSpan q : queries) SEESAW_CHECK_EQ(q.size(), vectors_.cols());
@@ -87,12 +87,15 @@ std::vector<std::vector<SearchResult>> ExactStore::TopKBatch(
     };
     // Seen rows are skipped before scoring (exactly like the scalar scan):
     // ScoreBlock runs over maximal unseen runs, capped at kRowBlock rows.
+    // Each block is a cancellation checkpoint: a cancelled scan abandons the
+    // rest of this shard's rows (partial heaps; the caller discards them).
     size_t r = begin;
     while (r < end) {
       if (seen.Test(static_cast<uint32_t>(r))) {
         ++r;
         continue;
       }
+      if (control.ShouldStop()) return;
       size_t run_end = r + 1;
       while (run_end < end && run_end - r < kRowBlock &&
              !seen.Test(static_cast<uint32_t>(run_end))) {

@@ -27,9 +27,11 @@ class ExactStore : public VectorStore {
   /// Batched exact scan: each cache-resident row block is scored against
   /// every query at once (linalg::MatrixF::ScoreBlock), and with a pool the
   /// table is sharded across workers with per-shard heaps merged at the end.
+  /// Cancellation is checkpointed per row block, so a cancelled call stops
+  /// the scan mid-flight rather than finishing the table.
   std::vector<std::vector<SearchResult>> TopKBatch(
       std::span<const linalg::VecSpan> queries, size_t k, const SeenSet& seen,
-      ThreadPool* pool) const override;
+      ThreadPool* pool, const ScanControl& control) const override;
   using VectorStore::TopKBatch;
 
   linalg::VecSpan GetVector(uint32_t id) const override {

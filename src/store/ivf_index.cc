@@ -62,9 +62,10 @@ std::vector<uint32_t> IvfFlatIndex::RankCells(
 
 std::vector<SearchResult> IvfFlatIndex::ScanLists(
     linalg::VecSpan query, const std::vector<uint32_t>& cells, size_t k,
-    const SeenSet& seen) const {
+    const SeenSet& seen, const ScanControl* control) const {
   TopKHeap heap(k);
   for (uint32_t cell : cells) {
+    if (control != nullptr && control->ShouldStop()) break;
     for (uint32_t id : lists_[cell]) {
       if (seen.Test(id)) continue;
       heap.Push(id, linalg::Dot(vectors_.Row(id), query));
@@ -79,12 +80,13 @@ std::vector<SearchResult> IvfFlatIndex::TopK(linalg::VecSpan query, size_t k,
   // Rank cells by centroid inner product (vectors are unit norm, so inner
   // product ordering ~ distance ordering).
   linalg::VectorF centroid_scores = centroids_.MatVec(query);
-  return ScanLists(query, RankCells(centroid_scores), k, seen);
+  return ScanLists(query, RankCells(centroid_scores), k, seen,
+                   /*control=*/nullptr);
 }
 
 std::vector<std::vector<SearchResult>> IvfFlatIndex::TopKBatch(
     std::span<const linalg::VecSpan> queries, size_t k, const SeenSet& seen,
-    ThreadPool* pool) const {
+    ThreadPool* pool, const ScanControl& control) const {
   const size_t num_queries = queries.size();
   if (num_queries == 0) return {};
   for (linalg::VecSpan q : queries) SEESAW_CHECK_EQ(q.size(), vectors_.cols());
@@ -112,7 +114,7 @@ std::vector<std::vector<SearchResult>> IvfFlatIndex::TopKBatch(
   std::vector<std::vector<SearchResult>> out(num_queries);
   auto run_query = [&](size_t q) {
     linalg::VecSpan scores(&scores_by_query[q * num_cells], num_cells);
-    out[q] = ScanLists(queries[q], RankCells(scores), k, seen);
+    out[q] = ScanLists(queries[q], RankCells(scores), k, seen, &control);
   };
 
   if (pool != nullptr && pool->num_threads() > 1 && num_queries > 1) {

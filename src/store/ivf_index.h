@@ -42,10 +42,11 @@ class IvfFlatIndex : public VectorStore {
 
   /// Batched lookup: centroids are scored against all queries in one blocked
   /// pass, then each query's probe lists are scanned — in parallel across
-  /// queries when a pool is given.
+  /// queries when a pool is given. Cancellation is checkpointed per probed
+  /// list, so a cancelled call stops mid-scan.
   std::vector<std::vector<SearchResult>> TopKBatch(
       std::span<const linalg::VecSpan> queries, size_t k, const SeenSet& seen,
-      ThreadPool* pool) const override;
+      ThreadPool* pool, const ScanControl& control) const override;
   using VectorStore::TopKBatch;
 
   linalg::VecSpan GetVector(uint32_t id) const override {
@@ -67,10 +68,12 @@ class IvfFlatIndex : public VectorStore {
   /// batched paths so both probe identical lists.
   std::vector<uint32_t> RankCells(linalg::VecSpan centroid_scores) const;
 
-  /// Exhaustive scan of `cells`' member lists under `seen`.
+  /// Exhaustive scan of `cells`' member lists under `seen`. When `control`
+  /// is non-null, every probed list is a cancellation checkpoint.
   std::vector<SearchResult> ScanLists(linalg::VecSpan query,
                                       const std::vector<uint32_t>& cells,
-                                      size_t k, const SeenSet& seen) const;
+                                      size_t k, const SeenSet& seen,
+                                      const ScanControl* control) const;
 
   IvfOptions options_;
   linalg::MatrixF vectors_;

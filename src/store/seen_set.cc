@@ -39,6 +39,36 @@ void SeenSet::Reset(uint32_t id) {
   }
 }
 
+SeenSet SeenSet::Slice(uint32_t begin, uint32_t end) const {
+  SEESAW_CHECK_LE(begin, end);
+  SeenSet out(end - begin);
+  if (out.capacity_ == 0 || begin >= capacity_) return out;
+
+  // Bits [begin, limit) exist in this set; everything past limit is unseen
+  // and stays zero in the fresh slice.
+  const size_t limit = std::min<size_t>(end, capacity_);
+  const size_t nbits = limit - begin;
+  const size_t first_word = begin >> 6;
+  const size_t shift = begin & 63;
+  const size_t out_words = (nbits + 63) / 64;
+  for (size_t w = 0; w < out_words; ++w) {
+    uint64_t bits = words_[first_word + w] >> shift;
+    if (shift != 0 && first_word + w + 1 < words_.size()) {
+      bits |= words_[first_word + w + 1] << (64 - shift);
+    }
+    out.words_[w] = bits;
+  }
+  // Mask stray bits past nbits: they belong to ids outside [begin, limit)
+  // and would corrupt count()/operator== otherwise.
+  if (size_t tail = nbits & 63; tail != 0) {
+    out.words_[out_words - 1] &= (uint64_t{1} << tail) - 1;
+  }
+  size_t c = 0;
+  for (uint64_t w : out.words_) c += static_cast<size_t>(std::popcount(w));
+  out.count_ = c;
+  return out;
+}
+
 void SeenSet::Clear() {
   std::fill(words_.begin(), words_.end(), 0);
   count_ = 0;

@@ -41,6 +41,14 @@ class SeenSet {
   /// Unmarks every id (capacity is unchanged).
   void Clear();
 
+  /// The bits of [begin, end) as a new SeenSet over local ids [0, end-begin):
+  /// out.Test(i) == this->Test(begin + i). Ids at or past this set's
+  /// capacity read as unseen, so slicing past the end is well defined (an
+  /// empty global set slices to an empty local set of any size). This is how
+  /// ShardedStore derives each child's exclusion view from the session's
+  /// global seen set; word-shift copy, O((end-begin)/64).
+  SeenSet Slice(uint32_t begin, uint32_t end) const;
+
   size_t capacity() const { return capacity_; }
 
   /// Number of seen ids (maintained incrementally; O(1)).

@@ -1,0 +1,155 @@
+#include "store/sharded_store.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "store/exact_store.h"
+
+namespace seesaw::store {
+
+StatusOr<ShardedStore> ShardedStore::Create(linalg::MatrixF vectors,
+                                            const ShardedOptions& options) {
+  return Create(std::move(vectors), options,
+                [](linalg::MatrixF part) -> StatusOr<std::unique_ptr<VectorStore>> {
+                  SEESAW_ASSIGN_OR_RETURN(ExactStore child,
+                                          ExactStore::Create(std::move(part)));
+                  return std::unique_ptr<VectorStore>(
+                      std::make_unique<ExactStore>(std::move(child)));
+                });
+}
+
+StatusOr<ShardedStore> ShardedStore::Create(linalg::MatrixF vectors,
+                                            const ShardedOptions& options,
+                                            const ChildFactory& factory) {
+  if (vectors.rows() == 0 || vectors.cols() == 0) {
+    return Status::InvalidArgument("ShardedStore: empty vector table");
+  }
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("ShardedStore: num_shards must be >= 1");
+  }
+  const size_t n = vectors.rows();
+  const size_t d = vectors.cols();
+  // Near-equal contiguous ranges; clamping keeps every shard non-empty.
+  const size_t num_shards = std::min(options.num_shards, n);
+  const size_t base = n / num_shards;
+  const size_t extra = n % num_shards;
+
+  std::vector<std::unique_ptr<VectorStore>> shards;
+  std::vector<uint32_t> begin(num_shards + 1, 0);
+  size_t row = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t rows = base + (s < extra ? 1 : 0);
+    linalg::MatrixF part(rows, d);
+    for (size_t r = 0; r < rows; ++r) {
+      auto src = vectors.Row(row + r);
+      std::copy(src.begin(), src.end(), part.MutableRow(r).begin());
+    }
+    SEESAW_ASSIGN_OR_RETURN(std::unique_ptr<VectorStore> child,
+                            factory(std::move(part)));
+    if (child == nullptr || child->size() != rows || child->dim() != d) {
+      return Status::InvalidArgument(
+          "ShardedStore: child factory returned a store of the wrong shape");
+    }
+    shards.push_back(std::move(child));
+    row += rows;
+    begin[s + 1] = static_cast<uint32_t>(row);
+  }
+  return ShardedStore(std::move(shards), std::move(begin), d);
+}
+
+std::pair<size_t, uint32_t> ShardedStore::Locate(uint32_t global_id) const {
+  SEESAW_CHECK_LT(global_id, begin_.back());
+  // First partition start past the id, minus one, owns it.
+  size_t s = static_cast<size_t>(
+      std::upper_bound(begin_.begin(), begin_.end(), global_id) -
+      begin_.begin() - 1);
+  return {s, global_id - begin_[s]};
+}
+
+linalg::VecSpan ShardedStore::GetVector(uint32_t id) const {
+  auto [s, local] = Locate(id);
+  return shards_[s]->GetVector(local);
+}
+
+std::vector<SearchResult> ShardedStore::MergeTopK(
+    std::vector<SearchResult> merged, size_t k) {
+  // The global top-k under BetterResult is unique (ids are unique), so
+  // re-selecting from the union of exact per-shard top-ks reproduces the
+  // single-store result exactly.
+  const size_t keep = std::min(k, merged.size());
+  std::partial_sort(merged.begin(), merged.begin() + keep, merged.end(),
+                    BetterResult);
+  merged.resize(keep);
+  return merged;
+}
+
+std::vector<SearchResult> ShardedStore::TopK(linalg::VecSpan query, size_t k,
+                                             const SeenSet& seen) const {
+  SEESAW_CHECK_EQ(query.size(), dim_);
+  const size_t num_shards = shards_.size();
+  std::vector<std::vector<SearchResult>> per_shard(num_shards);
+  auto scan_shard = [&](size_t s) {
+    SeenSet local = seen.Slice(begin_[s], begin_[s + 1]);
+    per_shard[s] = shards_[s]->TopK(query, k, local);
+    for (SearchResult& hit : per_shard[s]) hit.id += begin_[s];
+  };
+  if (pool_ != nullptr && pool_->num_threads() > 1 && num_shards > 1) {
+    pool_->ParallelFor(num_shards, [&](size_t b, size_t e) {
+      for (size_t s = b; s < e; ++s) scan_shard(s);
+    });
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) scan_shard(s);
+  }
+  std::vector<SearchResult> merged;
+  for (const auto& hits : per_shard) {
+    merged.insert(merged.end(), hits.begin(), hits.end());
+  }
+  return MergeTopK(std::move(merged), k);
+}
+
+std::vector<std::vector<SearchResult>> ShardedStore::TopKBatch(
+    std::span<const linalg::VecSpan> queries, size_t k, const SeenSet& seen,
+    ThreadPool* pool, const ScanControl& control) const {
+  const size_t num_queries = queries.size();
+  if (num_queries == 0) return {};
+  for (linalg::VecSpan q : queries) SEESAW_CHECK_EQ(q.size(), dim_);
+  if (k == 0) return std::vector<std::vector<SearchResult>>(num_queries);
+
+  const size_t num_shards = shards_.size();
+  // per_shard[s][q]: local hits remapped to global ids. A shard skipped by
+  // cancellation leaves its slot empty (size() != num_queries).
+  std::vector<std::vector<std::vector<SearchResult>>> per_shard(num_shards);
+  auto scan_shard = [&](size_t s) {
+    // Checkpoint before the dispatch so shards not yet started are skipped
+    // outright once the token trips; the child checkpoints per block/list.
+    if (control.ShouldStop()) return;
+    SeenSet local = seen.Slice(begin_[s], begin_[s + 1]);
+    per_shard[s] = shards_[s]->TopKBatch(queries, k, local, pool, control);
+    const uint32_t offset = begin_[s];
+    for (auto& hits : per_shard[s]) {
+      for (SearchResult& hit : hits) hit.id += offset;
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && num_shards > 1) {
+    pool->ParallelFor(num_shards, [&](size_t b, size_t e) {
+      for (size_t s = b; s < e; ++s) scan_shard(s);
+    });
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) scan_shard(s);
+  }
+
+  std::vector<std::vector<SearchResult>> out(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    std::vector<SearchResult> merged;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (per_shard[s].size() != num_queries) continue;  // cancelled shard
+      const auto& hits = per_shard[s][q];
+      merged.insert(merged.end(), hits.begin(), hits.end());
+    }
+    out[q] = MergeTopK(std::move(merged), k);
+  }
+  return out;
+}
+
+}  // namespace seesaw::store

@@ -1,0 +1,126 @@
+// ShardedStore: partitions the vector table itself across N child
+// VectorStores and serves TopK/TopKBatch by scatter-gather over the shards.
+//
+// This is the seam ROADMAP's "lift ExactStore's internal scan shards into
+// separate stores" item asks for: where ExactStore::TopKBatch splits one
+// table's rows across pool workers, ShardedStore splits the *table* into N
+// row-range partitions, each backed by its own child store. Future work pins
+// children to NUMA nodes or remote machines without touching callers; today
+// every child is an in-process ExactStore (or anything a ChildFactory
+// builds).
+//
+// Correctness contract: results are bitwise identical to a single ExactStore
+// over the whole table, for every shard count. Three properties make that
+// hold:
+//   1. Row-range partitioning copies rows verbatim, so a child's Dot /
+//      ScoreBlock over local row i computes exactly the global kernel over
+//      global row (begin + i) — same bits, same scores.
+//   2. Each child returns its exact local top-k under the canonical
+//      (score desc, id asc) order; the global top-k is a subset of the
+//      union of local top-ks.
+//   3. The merge re-sorts the union under the same total order. Scores tie
+//      bitwise across shards exactly when they tie in a single store, and
+//      global ids are unique, so the selection is the same unique set in
+//      the same order.
+//
+// Exclusions: the session keeps ONE global SeenSet; each lookup slices the
+// per-shard view out of it (SeenSet::Slice — a word-shift copy, O(rows/64),
+// negligible next to the O(rows * dim) scan it guards).
+//
+// Cancellation: the ScanControl token is propagated to every child, and the
+// store additionally checkpoints before dispatching each shard — a
+// cancelled speculative lookup stops mid-scan inside whichever child block
+// is running and skips the shards not yet started.
+#ifndef SEESAW_STORE_SHARDED_STORE_H_
+#define SEESAW_STORE_SHARDED_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/statusor.h"
+#include "store/vector_store.h"
+
+namespace seesaw::store {
+
+/// Build knobs for ShardedStore.
+struct ShardedOptions {
+  /// Number of child stores the table is partitioned into. Clamped to the
+  /// row count (a shard always owns at least one row).
+  size_t num_shards = 1;
+};
+
+/// Row-range-partitioned store over N child VectorStores.
+class ShardedStore : public VectorStore {
+ public:
+  /// Builds one child store from its partition of the table (rows are
+  /// copied verbatim, ids are partition-local).
+  using ChildFactory =
+      std::function<StatusOr<std::unique_ptr<VectorStore>>(linalg::MatrixF)>;
+
+  /// Partitions `vectors` into options.num_shards contiguous row ranges of
+  /// near-equal size (the first rows%shards ranges hold one extra row) and
+  /// builds an ExactStore child per range.
+  static StatusOr<ShardedStore> Create(linalg::MatrixF vectors,
+                                       const ShardedOptions& options);
+
+  /// Same partitioning, children built by `factory` (e.g. per-shard IVF).
+  static StatusOr<ShardedStore> Create(linalg::MatrixF vectors,
+                                       const ShardedOptions& options,
+                                       const ChildFactory& factory);
+
+  size_t size() const override { return begin_.back(); }
+  size_t dim() const override { return dim_; }
+
+  /// Scalar lookup: every shard is scanned (on the default pool when one is
+  /// set, serially otherwise) and the per-shard top-ks are merged under the
+  /// canonical order. Exactly equal to a single ExactStore's TopK.
+  std::vector<SearchResult> TopK(linalg::VecSpan query, size_t k,
+                                 const SeenSet& seen) const override;
+  using VectorStore::TopK;
+
+  /// Batched lookup: fans the shards out on `pool` (each child may shard
+  /// its own scan on the same pool — nested ParallelFor is safe), slicing
+  /// the global seen set per shard and merging per-shard results. `control`
+  /// is propagated to every child and checkpointed per shard.
+  std::vector<std::vector<SearchResult>> TopKBatch(
+      std::span<const linalg::VecSpan> queries, size_t k, const SeenSet& seen,
+      ThreadPool* pool, const ScanControl& control) const override;
+  using VectorStore::TopKBatch;
+
+  linalg::VecSpan GetVector(uint32_t id) const override;
+
+  /// Optional worker pool for the scalar TopK fan-out (TopKBatch takes its
+  /// pool per call). The pool must outlive the store. Null = serial shards.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  size_t num_shards() const { return shards_.size(); }
+  const VectorStore& shard(size_t s) const { return *shards_[s]; }
+
+  /// First global row id owned by shard `s` (shard_begin(num_shards()) ==
+  /// size()); shard s owns [shard_begin(s), shard_begin(s+1)).
+  uint32_t shard_begin(size_t s) const { return begin_[s]; }
+
+  /// Global id -> (shard index, shard-local id).
+  std::pair<size_t, uint32_t> Locate(uint32_t global_id) const;
+
+ private:
+  ShardedStore(std::vector<std::unique_ptr<VectorStore>> shards,
+               std::vector<uint32_t> begin, size_t dim)
+      : shards_(std::move(shards)), begin_(std::move(begin)), dim_(dim) {}
+
+  /// Concatenates per-shard hits (already remapped to global ids) and keeps
+  /// the best k under the canonical order.
+  static std::vector<SearchResult> MergeTopK(
+      std::vector<SearchResult> merged, size_t k);
+
+  std::vector<std::unique_ptr<VectorStore>> shards_;
+  std::vector<uint32_t> begin_;  // size num_shards()+1, begin_[0] == 0
+  size_t dim_ = 0;
+  ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace seesaw::store
+
+#endif  // SEESAW_STORE_SHARDED_STORE_H_

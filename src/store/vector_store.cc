@@ -6,10 +6,13 @@ namespace seesaw::store {
 
 std::vector<std::vector<SearchResult>> VectorStore::TopKBatch(
     std::span<const linalg::VecSpan> queries, size_t k, const SeenSet& seen,
-    ThreadPool* /*pool*/) const {
+    ThreadPool* /*pool*/, const ScanControl& control) const {
   // Serial fallback: correctness reference for the parallel overrides.
+  // Checkpoint granularity is one whole query — the finest this layer can
+  // offer without knowing the backend's scan structure.
   std::vector<std::vector<SearchResult>> out(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
+    if (control.ShouldStop()) break;
     out[i] = TopK(queries[i], k, seen);
   }
   return out;
@@ -21,9 +24,15 @@ double RecallAgainst(const std::vector<SearchResult>& got,
   std::unordered_set<uint32_t> got_ids;
   got_ids.reserve(got.size() * 2);
   for (const SearchResult& g : got) got_ids.insert(g.id);
+  // Dedup truth before counting: set membership is not consumed, so a truth
+  // id repeated r times used to count r hits against a single candidate and
+  // inflate recall.
+  std::unordered_set<uint32_t> truth_ids;
+  truth_ids.reserve(truth.size() * 2);
+  for (const SearchResult& t : truth) truth_ids.insert(t.id);
   size_t hits = 0;
-  for (const SearchResult& t : truth) hits += got_ids.count(t.id);
-  return static_cast<double>(hits) / static_cast<double>(truth.size());
+  for (uint32_t id : truth_ids) hits += got_ids.count(id);
+  return static_cast<double>(hits) / static_cast<double>(truth_ids.size());
 }
 
 }  // namespace seesaw::store

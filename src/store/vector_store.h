@@ -17,9 +17,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "linalg/matrix.h"
 #include "linalg/vector_ops.h"
 #include "store/seen_set.h"
@@ -29,6 +31,37 @@ class ThreadPool;
 }  // namespace seesaw
 
 namespace seesaw::store {
+
+/// In-scan control for batched lookups: cooperative cancellation plus a
+/// test-only checkpoint hook.
+///
+/// Backends poll ShouldStop() at natural scan checkpoints — per row block
+/// for the exact scan, per probed inverted list for IVF, per child shard
+/// for ShardedStore, per query for Annoy — so a cancelled speculative
+/// lookup stops mid-TopKBatch instead of running the scan to completion.
+/// A cancelled call returns early with whatever it has accumulated: the
+/// result is safe to destroy but carries no completeness guarantee, so
+/// callers that observe `cancel->cancelled()` must discard it (exactly what
+/// the speculative-prefetch consume path does).
+struct ScanControl {
+  /// Cancellation flag polled at every checkpoint; null = not cancellable.
+  const CancellationToken* cancel = nullptr;
+
+  /// Test-only hook invoked at every checkpoint *before* the token is
+  /// tested. Lets a test block a scan mid-flight deterministically (hook
+  /// parks on a semaphore, the test cancels, the hook returns, the scan
+  /// observes the cancel). May be invoked concurrently from every worker
+  /// scanning a shard, so the hook must be thread-safe. Empty in
+  /// production: one branch per checkpoint.
+  std::function<void()> checkpoint;
+
+  /// Checkpoint: runs the hook (if any) and reports whether the scan should
+  /// stop here.
+  bool ShouldStop() const {
+    if (checkpoint) checkpoint();
+    return cancel != nullptr && cancel->cancelled();
+  }
+};
 
 /// One scored hit.
 struct SearchResult {
@@ -116,27 +149,37 @@ class VectorStore {
   /// it with batched kernels and, when `pool` is non-null, shard the work
   /// across it. All sessions of a service share one pool, so implementations
   /// must only use pool->ParallelFor (safe under concurrent callers).
+  /// `control` threads cooperative cancellation into the scan itself: every
+  /// backend polls control.ShouldStop() at its checkpoints and returns early
+  /// (with unspecified partial results) once cancellation is observed.
   virtual std::vector<std::vector<SearchResult>> TopKBatch(
       std::span<const linalg::VecSpan> queries, size_t k, const SeenSet& seen,
-      ThreadPool* pool) const;
+      ThreadPool* pool, const ScanControl& control) const;
 
-  /// Convenience overloads: no pool / no exclusions.
+  /// Convenience overloads: no control / no pool / no exclusions.
+  std::vector<std::vector<SearchResult>> TopKBatch(
+      std::span<const linalg::VecSpan> queries, size_t k, const SeenSet& seen,
+      ThreadPool* pool) const {
+    return TopKBatch(queries, k, seen, pool, ScanControl{});
+  }
   std::vector<std::vector<SearchResult>> TopKBatch(
       std::span<const linalg::VecSpan> queries, size_t k,
       const SeenSet& seen) const {
-    return TopKBatch(queries, k, seen, nullptr);
+    return TopKBatch(queries, k, seen, nullptr, ScanControl{});
   }
   std::vector<std::vector<SearchResult>> TopKBatch(
       std::span<const linalg::VecSpan> queries, size_t k) const {
-    return TopKBatch(queries, k, EmptySeenSet(), nullptr);
+    return TopKBatch(queries, k, EmptySeenSet(), nullptr, ScanControl{});
   }
 
   /// Read access to vector `id`.
   virtual linalg::VecSpan GetVector(uint32_t id) const = 0;
 };
 
-/// Fraction of `truth` ids present in `got` (recall@k for index quality
-/// checks; both inputs are TopK outputs over the same query).
+/// Fraction of distinct `truth` ids present in `got` (recall@k for index
+/// quality checks; both inputs are TopK outputs over the same query).
+/// Duplicate ids in either list count once: an id repeated in `truth` is one
+/// item to recall, and repeats in `got` cannot recall it twice.
 double RecallAgainst(const std::vector<SearchResult>& got,
                      const std::vector<SearchResult>& truth);
 

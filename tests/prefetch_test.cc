@@ -13,30 +13,15 @@
 #include "core/session_manager.h"
 #include "data/profiles.h"
 #include "eval/task_runner.h"
+#include "tests/test_util.h"
 
 namespace seesaw::core {
 namespace {
 
-struct Fixture {
-  std::unique_ptr<data::Dataset> dataset;
-  std::unique_ptr<EmbeddedDataset> embedded;
-};
+using Fixture = test_util::EmbeddedFixture;
 
 Fixture MakeFixture(StoreBackend backend) {
-  auto profile = data::CocoLikeProfile(0.05);
-  profile.embedding_dim = 32;
-  auto ds = data::Dataset::Generate(profile);
-  EXPECT_TRUE(ds.ok());
-  Fixture f;
-  f.dataset = std::make_unique<data::Dataset>(std::move(*ds));
-  PreprocessOptions options;
-  options.multiscale.enabled = false;
-  options.build_md = false;
-  options.backend = backend;
-  auto ed = EmbeddedDataset::Build(*f.dataset, options);
-  EXPECT_TRUE(ed.ok());
-  f.embedded = std::make_unique<EmbeddedDataset>(std::move(*ed));
-  return f;
+  return test_util::MakeEmbeddedFixture(backend);
 }
 
 SeeSawOptions WithPrefetch(SeeSawOptions options, bool enabled) {
@@ -89,7 +74,8 @@ std::vector<Variant> Variants() {
 
 TEST(PrefetchTest, ParityAcrossVariantsAndBackends) {
   for (StoreBackend backend :
-       {StoreBackend::kExact, StoreBackend::kIvf, StoreBackend::kAnnoy}) {
+       {StoreBackend::kExact, StoreBackend::kIvf, StoreBackend::kAnnoy,
+        StoreBackend::kSharded}) {
     auto f = MakeFixture(backend);
     ThreadPool pool(3);
     for (const Variant& variant : Variants()) {

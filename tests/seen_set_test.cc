@@ -4,12 +4,14 @@
 
 #include "common/rng.h"
 #include "store/exact_store.h"
+#include "tests/test_util.h"
 
 namespace seesaw::store {
 namespace {
 
 using linalg::MatrixF;
 using linalg::VectorF;
+using test_util::RandomTable;
 
 TEST(SeenSetTest, DefaultIsEmptyWithZeroCapacity) {
   SeenSet seen;
@@ -72,16 +74,59 @@ TEST(SeenSetTest, UnseenIdsPastCapacityAreExcludedFromNothing) {
   EXPECT_FALSE(seen.Test(1u << 30));
 }
 
-/// Random unit-vector table, like an embedding table.
-MatrixF RandomTable(size_t n, size_t d, uint64_t seed) {
-  Rng rng(seed);
-  MatrixF table(n, d);
-  for (size_t i = 0; i < n; ++i) {
-    auto row = table.MutableRow(i);
-    for (size_t j = 0; j < d; ++j) row[j] = static_cast<float>(rng.Gaussian());
-    linalg::NormalizeInPlace(row);
+TEST(SeenSetTest, SliceMatchesPerIdTestAtEveryOffset) {
+  // The slicing contract ShardedStore relies on: out.Test(i) ==
+  // in.Test(begin + i) for every alignment of begin/end against the 64-bit
+  // word grid, with counts maintained.
+  const size_t capacity = 200;
+  SeenSet seen(capacity);
+  Rng rng(77);
+  for (uint32_t id = 0; id < capacity; ++id) {
+    if (rng.Uniform() < 0.4) seen.Set(id);
   }
-  return table;
+  const std::pair<uint32_t, uint32_t> ranges[] = {
+      {0, 64},  {0, 200},  {1, 65},   {63, 64},  {63, 130},
+      {64, 64}, {64, 128}, {65, 199}, {100, 137}, {199, 200}};
+  for (auto [begin, end] : ranges) {
+    SeenSet local = seen.Slice(begin, end);
+    EXPECT_EQ(local.capacity(), static_cast<size_t>(end - begin));
+    size_t want_count = 0;
+    for (uint32_t i = 0; i < end - begin; ++i) {
+      EXPECT_EQ(local.Test(i), seen.Test(begin + i))
+          << "begin=" << begin << " end=" << end << " i=" << i;
+      want_count += seen.Test(begin + i) ? 1 : 0;
+    }
+    EXPECT_EQ(local.count(), want_count);
+  }
+}
+
+TEST(SeenSetTest, SlicePastCapacityReadsUnseen) {
+  SeenSet seen(70);
+  seen.Set(69);
+  // The tail beyond capacity is unseen, exactly like Test() reports it.
+  SeenSet local = seen.Slice(64, 140);
+  EXPECT_EQ(local.capacity(), 76u);
+  EXPECT_TRUE(local.Test(5));  // id 69
+  EXPECT_EQ(local.count(), 1u);
+  for (uint32_t i = 6; i < 76; ++i) EXPECT_FALSE(local.Test(i));
+
+  // Entirely past capacity, and the empty "no exclusions" set: all unseen.
+  EXPECT_EQ(seen.Slice(70, 170).count(), 0u);
+  EXPECT_EQ(EmptySeenSet().Slice(0, 100).count(), 0u);
+  // Degenerate empty range.
+  EXPECT_EQ(seen.Slice(10, 10).capacity(), 0u);
+}
+
+TEST(SeenSetTest, SliceEqualsManuallyBuiltLocalSet) {
+  // operator== must hold against a set built bit by bit (guards the
+  // stray-tail-bits invariant).
+  SeenSet seen(130);
+  for (uint32_t id : {0u, 63u, 64u, 90u, 129u}) seen.Set(id);
+  SeenSet want(60);
+  for (uint32_t i = 0; i < 60; ++i) {
+    if (seen.Test(60 + i)) want.Set(i);
+  }
+  EXPECT_TRUE(seen.Slice(60, 120) == want);
 }
 
 TEST(SeenSetTest, ExclusionHonoredByStoreScan) {

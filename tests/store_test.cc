@@ -6,24 +6,15 @@
 #include "common/rng.h"
 #include "store/annoy_index.h"
 #include "store/exact_store.h"
+#include "tests/test_util.h"
 
 namespace seesaw::store {
 namespace {
 
 using linalg::MatrixF;
 using linalg::VectorF;
-
-/// Random unit-vector table, like an embedding table.
-MatrixF RandomTable(size_t n, size_t d, uint64_t seed) {
-  Rng rng(seed);
-  MatrixF table(n, d);
-  for (size_t i = 0; i < n; ++i) {
-    auto row = table.MutableRow(i);
-    for (size_t j = 0; j < d; ++j) row[j] = static_cast<float>(rng.Gaussian());
-    linalg::NormalizeInPlace(row);
-  }
-  return table;
-}
+using test_util::ClusteredTable;
+using test_util::RandomTable;
 
 // ------------------------------------------------------------ ExactStore --
 
@@ -89,6 +80,22 @@ TEST(RecallAgainstTest, ComputesOverlapFraction) {
   EXPECT_DOUBLE_EQ(RecallAgainst(got, {}), 1.0);
 }
 
+TEST(RecallAgainstTest, DuplicateIdsCountOnce) {
+  // Regression: set membership is not consumed, so a truth id repeated r
+  // times counted r hits against one candidate and inflated recall (2/4
+  // here instead of 1/3).
+  std::vector<SearchResult> truth = {{1, .9f}, {1, .9f}, {2, .8f}, {3, .7f}};
+  std::vector<SearchResult> got = {{1, .9f}, {9, .1f}};
+  EXPECT_DOUBLE_EQ(RecallAgainst(got, truth), 1.0 / 3.0);
+  // Duplicates in the candidate list must not recall an id twice either.
+  std::vector<SearchResult> dup_got = {{2, .8f}, {2, .8f}, {9, .1f}};
+  std::vector<SearchResult> four = {{1, .9f}, {2, .8f}, {3, .7f}, {4, .6f}};
+  EXPECT_DOUBLE_EQ(RecallAgainst(dup_got, four), 0.25);
+  // Fully duplicated truth recalled by a single candidate is exactly 1.
+  std::vector<SearchResult> all_same = {{5, .5f}, {5, .5f}, {5, .5f}};
+  EXPECT_DOUBLE_EQ(RecallAgainst({{5, .5f}}, all_same), 1.0);
+}
+
 // ------------------------------------------------------------ AnnoyIndex --
 
 TEST(AnnoyIndexTest, ValidatesOptionsAndInput) {
@@ -137,27 +144,6 @@ TEST(AnnoyIndexTest, ExclusionWorks) {
   for (uint32_t id = 1; id < 200; id += 2) seen.Set(id);
   auto hits = annoy->TopK(q, 10, seen);
   for (const auto& h : hits) EXPECT_EQ(h.id % 2, 0u);
-}
-
-/// Clustered unit vectors — the shape of real embedding tables (uniform
-/// random high-dim data is the known worst case for RP trees and not what
-/// the store sees in practice).
-MatrixF ClusteredTable(size_t n, size_t d, size_t centers, uint64_t seed) {
-  Rng rng(seed);
-  std::vector<VectorF> mu;
-  for (size_t c = 0; c < centers; ++c) {
-    mu.push_back(clip::RandomUnitVector(rng, d));
-  }
-  MatrixF table(n, d);
-  for (size_t i = 0; i < n; ++i) {
-    auto row = table.MutableRow(i);
-    const VectorF& center = mu[i % centers];
-    for (size_t j = 0; j < d; ++j) {
-      row[j] = center[j] + 0.25f * static_cast<float>(rng.Gaussian());
-    }
-    linalg::NormalizeInPlace(row);
-  }
-  return table;
 }
 
 /// Recall sweep across build parameters: more trees must give high recall.

@@ -1,0 +1,132 @@
+// Shared fixture builders for the test suites: random embedding-like
+// tables, query sets, seen sets, and the embedded-dataset fixture — the
+// builders that used to be duplicated across store_test, topk_batch_test,
+// and prefetch_test. Header-only; every test binary links the full library.
+#ifndef SEESAW_TESTS_TEST_UTIL_H_
+#define SEESAW_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "clip/concept_space.h"
+#include "common/rng.h"
+#include "core/embedded_dataset.h"
+#include "data/profiles.h"
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+#include "store/seen_set.h"
+#include "store/vector_store.h"
+
+namespace seesaw::test_util {
+
+/// Random unit-vector table, like an embedding table.
+inline linalg::MatrixF RandomTable(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  linalg::MatrixF table(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = table.MutableRow(i);
+    for (size_t j = 0; j < d; ++j) row[j] = static_cast<float>(rng.Gaussian());
+    linalg::NormalizeInPlace(row);
+  }
+  return table;
+}
+
+/// Clustered unit vectors — the shape of real embedding tables (uniform
+/// random high-dim data is the known worst case for RP trees and not what
+/// the store sees in practice).
+inline linalg::MatrixF ClusteredTable(size_t n, size_t d, size_t centers,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  std::vector<linalg::VectorF> mu;
+  for (size_t c = 0; c < centers; ++c) {
+    mu.push_back(clip::RandomUnitVector(rng, d));
+  }
+  linalg::MatrixF table(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = table.MutableRow(i);
+    const linalg::VectorF& center = mu[i % centers];
+    for (size_t j = 0; j < d; ++j) {
+      row[j] = center[j] + 0.25f * static_cast<float>(rng.Gaussian());
+    }
+    linalg::NormalizeInPlace(row);
+  }
+  return table;
+}
+
+/// Random unit-norm query set.
+inline std::vector<linalg::VectorF> RandomQueries(size_t count, size_t d,
+                                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<linalg::VectorF> queries;
+  for (size_t i = 0; i < count; ++i) {
+    linalg::VectorF q(d);
+    for (float& v : q) v = static_cast<float>(rng.Gaussian());
+    linalg::NormalizeInPlace(linalg::MutVecSpan(q.data(), q.size()));
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+/// Seen set over [0, capacity) with each id marked with probability
+/// `fraction`.
+inline store::SeenSet RandomSeenSet(size_t capacity, double fraction,
+                                    uint64_t seed) {
+  store::SeenSet seen(capacity);
+  Rng rng(seed);
+  for (size_t id = 0; id < capacity; ++id) {
+    if (rng.Uniform() < fraction) seen.Set(static_cast<uint32_t>(id));
+  }
+  return seen;
+}
+
+/// Borrowed spans over a query set (the TopKBatch argument shape).
+inline std::vector<linalg::VecSpan> AsSpans(
+    const std::vector<linalg::VectorF>& queries) {
+  return std::vector<linalg::VecSpan>(queries.begin(), queries.end());
+}
+
+/// Asserts two result lists are bitwise identical: same length, and the
+/// same id and score bits at every rank.
+inline void ExpectIdenticalResults(
+    const std::vector<store::SearchResult>& got,
+    const std::vector<store::SearchResult>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << "rank " << i;
+    EXPECT_EQ(got[i].score, want[i].score) << "rank " << i;
+  }
+}
+
+/// A small generated dataset embedded with the given store backend — the
+/// fixture the searcher/prefetch/session suites drive end to end.
+struct EmbeddedFixture {
+  std::unique_ptr<data::Dataset> dataset;
+  std::unique_ptr<core::EmbeddedDataset> embedded;
+};
+
+inline EmbeddedFixture MakeEmbeddedFixture(core::StoreBackend backend,
+                                           double scale = 0.05,
+                                           size_t dim = 32,
+                                           size_t num_shards = 4) {
+  auto profile = data::CocoLikeProfile(scale);
+  profile.embedding_dim = dim;
+  auto ds = data::Dataset::Generate(profile);
+  EXPECT_TRUE(ds.ok());
+  EmbeddedFixture f;
+  f.dataset = std::make_unique<data::Dataset>(std::move(*ds));
+  core::PreprocessOptions options;
+  options.multiscale.enabled = false;
+  options.build_md = false;
+  options.backend = backend;
+  options.sharded.num_shards = num_shards;
+  auto ed = core::EmbeddedDataset::Build(*f.dataset, options);
+  EXPECT_TRUE(ed.ok());
+  f.embedded = std::make_unique<core::EmbeddedDataset>(std::move(*ed));
+  return f;
+}
+
+}  // namespace seesaw::test_util
+
+#endif  // SEESAW_TESTS_TEST_UTIL_H_

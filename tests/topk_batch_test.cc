@@ -12,6 +12,7 @@
 #include "store/annoy_index.h"
 #include "store/exact_store.h"
 #include "store/ivf_index.h"
+#include "tests/test_util.h"
 
 namespace seesaw::store {
 namespace {
@@ -19,49 +20,20 @@ namespace {
 using linalg::MatrixF;
 using linalg::VecSpan;
 using linalg::VectorF;
-
-MatrixF RandomTable(size_t n, size_t d, uint64_t seed) {
-  Rng rng(seed);
-  MatrixF table(n, d);
-  for (size_t i = 0; i < n; ++i) {
-    auto row = table.MutableRow(i);
-    for (size_t j = 0; j < d; ++j) row[j] = static_cast<float>(rng.Gaussian());
-    linalg::NormalizeInPlace(row);
-  }
-  return table;
-}
-
-std::vector<VectorF> RandomQueries(size_t count, size_t d, uint64_t seed) {
-  Rng rng(seed);
-  std::vector<VectorF> queries;
-  for (size_t i = 0; i < count; ++i) {
-    VectorF q(d);
-    for (float& v : q) v = static_cast<float>(rng.Gaussian());
-    linalg::NormalizeInPlace(linalg::MutVecSpan(q.data(), q.size()));
-    queries.push_back(std::move(q));
-  }
-  return queries;
-}
-
-void ExpectIdentical(const std::vector<SearchResult>& got,
-                     const std::vector<SearchResult>& want) {
-  ASSERT_EQ(got.size(), want.size());
-  for (size_t i = 0; i < got.size(); ++i) {
-    EXPECT_EQ(got[i].id, want[i].id) << "rank " << i;
-    EXPECT_EQ(got[i].score, want[i].score) << "rank " << i;
-  }
-}
+using test_util::ExpectIdenticalResults;
+using test_util::RandomQueries;
+using test_util::RandomTable;
 
 /// Asserts TopKBatch == per-query TopK for every query, with `pool` possibly
 /// null and `seen` possibly empty.
 void CheckParity(const VectorStore& store, const std::vector<VectorF>& queries,
                  size_t k, const SeenSet& seen, ThreadPool* pool) {
-  std::vector<VecSpan> spans(queries.begin(), queries.end());
+  std::vector<VecSpan> spans = test_util::AsSpans(queries);
   auto batched =
       store.TopKBatch(std::span<const VecSpan>(spans), k, seen, pool);
   ASSERT_EQ(batched.size(), queries.size());
   for (size_t q = 0; q < spans.size(); ++q) {
-    ExpectIdentical(batched[q], store.TopK(spans[q], k, seen));
+    ExpectIdenticalResults(batched[q], store.TopK(spans[q], k, seen));
   }
 }
 
@@ -70,11 +42,7 @@ class TopKBatchParityTest : public ::testing::Test {
   void SetUp() override {
     table_ = RandomTable(600, 16, 17);
     queries_ = RandomQueries(7, 16, 18);
-    seen_.Resize(600);
-    Rng rng(19);
-    for (uint32_t id = 0; id < 600; ++id) {
-      if (rng.Uniform() < 0.25) seen_.Set(id);
-    }
+    seen_ = test_util::RandomSeenSet(600, 0.25, 19);
   }
 
   MatrixF table_;
