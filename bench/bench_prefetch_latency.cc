@@ -5,16 +5,25 @@
 // on between feedback rounds. With simulated per-image think time, the
 // speculative pipeline overlaps the next lookup with inspection: a hit turns
 // the perceived NextBatch latency into a handle wait, a miss recomputes
-// synchronously and costs the same as prefetch-off. Every (backend, variant)
-// cell also asserts the prefetch-on relevance sequence is identical to the
-// prefetch-off one — speculation must never change results.
+// synchronously and costs the same as prefetch-off. The zero-shot rows
+// measure the same-query speculation; the seesaw rows measure speculation
+// *through the refit* — the aligner runs during think time and the scan uses
+// the predicted post-refit query, so `hit_rate_post_refit` was identically 0
+// before refit speculation and should approach 1 with it. Every (backend,
+// variant) cell also asserts the prefetch-on relevance sequence is identical
+// to the prefetch-off one — speculation must never change results.
 //
 //   ./bench_prefetch_latency [--scale=0.3] [--dim=64] [--batch=8]
-//                            [--think_ms=20] [--threads=0] [--csv]
+//                            [--think_ms=20] [--threads=0] [--shards=4]
+//                            [--csv] [--json]
 //
 // With --csv, one
-//   backend,variant,prefetch,hit_rate,perceived_nextbatch_ms,total_wait_ms
+//   backend,variant,prefetch,hit_rate,hit_rate_post_refit,refit_fits,
+//   refit_matches,perceived_nextbatch_ms,total_wait_ms
 // row per cell goes to stdout (after a header) and the table is skipped.
+// With --json, each cell is one JSON object per line (same fields plus
+// think_ms); scripts/run_bench_suite.sh --json collects them into
+// BENCH_prefetch.json.
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -37,7 +46,9 @@ struct PrefetchArgs {
   size_t batch = 8;
   double think_ms = 20.0;
   size_t threads = 0;  // 0 = hardware default
+  size_t shards = 4;   // sharded-backend row
   bool csv = false;
+  bool json = false;
 
   static PrefetchArgs Parse(int argc, char** argv) {
     PrefetchArgs args;
@@ -52,14 +63,19 @@ struct PrefetchArgs {
       if (std::strncmp(a, "--threads=", 10) == 0) {
         args.threads = std::atoi(a + 10);
       }
+      if (std::strncmp(a, "--shards=", 9) == 0) args.shards = std::atoi(a + 9);
       if (std::strcmp(a, "--csv") == 0) args.csv = true;
+      if (std::strcmp(a, "--json") == 0) args.json = true;
     }
     return args;
   }
 };
 
 struct CellResult {
-  double hit_rate = 0.0;
+  double hit_rate = 0.0;             // all consumed speculations
+  double hit_rate_post_refit = 0.0;  // consumed with a predicted query
+  size_t refit_fits = 0;             // speculative aligner fits launched
+  size_t refit_matches = 0;          // refits landing on the predicted bits
   double perceived_nextbatch_ms = 0.0;  // mean per round
   double total_wait_ms = 0.0;           // mean perceived per task
   std::vector<std::vector<char>> relevance;  // per concept, parity key
@@ -84,6 +100,7 @@ CellResult RunCell(const core::EmbeddedDataset& embedded,
 
   CellResult cell;
   size_t hits = 0;
+  size_t hits_post_refit = 0;
   size_t rounds = 0;
   double nextbatch_seconds = 0;
   double perceived_seconds = 0;
@@ -93,7 +110,11 @@ CellResult RunCell(const core::EmbeddedDataset& embedded,
     searcher.set_thread_pool(pool);
     eval::TaskResult r =
         eval::RunSearchTask(searcher, dataset, concept_id, task);
-    hits += searcher.prefetch_stats().hits;
+    const core::PrefetchStats& stats = searcher.prefetch_stats();
+    hits += stats.hits;
+    hits_post_refit += stats.hits_post_refit;
+    cell.refit_fits += stats.refit_fits;
+    cell.refit_matches += stats.refit_matches;
     rounds += r.rounds;
     nextbatch_seconds += r.nextbatch_seconds;
     perceived_seconds += r.perceived_seconds;
@@ -103,10 +124,12 @@ CellResult RunCell(const core::EmbeddedDataset& embedded,
   size_t hit_opportunities = rounds > concepts.size()
                                  ? rounds - concepts.size()
                                  : 0;
-  cell.hit_rate = hit_opportunities > 0
-                      ? static_cast<double>(hits) /
-                            static_cast<double>(hit_opportunities)
-                      : 0.0;
+  if (hit_opportunities > 0) {
+    cell.hit_rate = static_cast<double>(hits) /
+                    static_cast<double>(hit_opportunities);
+    cell.hit_rate_post_refit = static_cast<double>(hits_post_refit) /
+                               static_cast<double>(hit_opportunities);
+  }
   cell.perceived_nextbatch_ms =
       rounds > 0 ? nextbatch_seconds * 1e3 / static_cast<double>(rounds) : 0;
   cell.total_wait_ms =
@@ -133,34 +156,35 @@ int Run(int argc, char** argv) {
   zero.update_query = false;
   const std::vector<Variant> variants = {{"zero-shot", zero},
                                          {"seesaw", core::SeeSawOptions{}}};
-  const core::StoreBackend backends[] = {core::StoreBackend::kExact,
-                                         core::StoreBackend::kIvf,
-                                         core::StoreBackend::kAnnoy};
-  const char* backend_names[] = {"exact", "ivf", "annoy"};
+  const core::StoreBackend backends[] = {
+      core::StoreBackend::kExact, core::StoreBackend::kSharded,
+      core::StoreBackend::kIvf, core::StoreBackend::kAnnoy};
+  const char* backend_names[] = {"exact", "sharded", "ivf", "annoy"};
 
   ThreadPool pool(args.threads == 0 ? ThreadPool::DefaultThreads()
                                     : args.threads);
 
   if (args.csv) {
     std::printf(
-        "backend,variant,prefetch,hit_rate,perceived_nextbatch_ms,"
-        "total_wait_ms\n");
-  } else {
+        "backend,variant,prefetch,hit_rate,hit_rate_post_refit,refit_fits,"
+        "refit_matches,perceived_nextbatch_ms,total_wait_ms\n");
+  } else if (!args.json) {
     std::printf(
         "Prefetch latency: scale=%.2f dim=%zu batch=%zu think=%.1fms "
-        "threads=%zu concepts=%zu\n",
+        "threads=%zu shards=%zu concepts=%zu\n",
         args.scale, args.dim, args.batch, args.think_ms, pool.num_threads(),
-        concepts.size());
-    std::printf("%-8s %-10s %-9s %9s %22s %14s\n", "backend", "variant",
-                "prefetch", "hit_rate", "perceived_nextbatch_ms",
-                "total_wait_ms");
+        args.shards, concepts.size());
+    std::printf("%-8s %-10s %-9s %9s %10s %22s %14s\n", "backend", "variant",
+                "prefetch", "hit_rate", "post_refit",
+                "perceived_nextbatch_ms", "total_wait_ms");
   }
 
-  for (size_t b = 0; b < 3; ++b) {
+  for (size_t b = 0; b < 4; ++b) {
     core::PreprocessOptions pre;
     pre.multiscale.enabled = false;
     pre.build_md = false;
     pre.backend = backends[b];
+    pre.sharded.num_shards = args.shards;
     auto embedded = core::EmbeddedDataset::Build(*ds, pre);
     SEESAW_CHECK(embedded.ok()) << embedded.status().ToString();
 
@@ -176,22 +200,37 @@ int Run(int argc, char** argv) {
       for (int prefetch = 0; prefetch < 2; ++prefetch) {
         const CellResult& cell = prefetch ? on : off;
         if (args.csv) {
-          std::printf("%s,%s,%s,%.3f,%.4f,%.3f\n", backend_names[b],
-                      variant.name, prefetch ? "on" : "off", cell.hit_rate,
-                      cell.perceived_nextbatch_ms, cell.total_wait_ms);
-        } else {
-          std::printf("%-8s %-10s %-9s %9.3f %22.4f %14.3f\n",
+          std::printf("%s,%s,%s,%.3f,%.3f,%zu,%zu,%.4f,%.3f\n",
                       backend_names[b], variant.name, prefetch ? "on" : "off",
-                      cell.hit_rate, cell.perceived_nextbatch_ms,
-                      cell.total_wait_ms);
+                      cell.hit_rate, cell.hit_rate_post_refit,
+                      cell.refit_fits, cell.refit_matches,
+                      cell.perceived_nextbatch_ms, cell.total_wait_ms);
+        } else if (args.json) {
+          std::printf(
+              "{\"backend\":\"%s\",\"variant\":\"%s\",\"prefetch\":\"%s\","
+              "\"think_ms\":%.3f,\"hit_rate\":%.3f,"
+              "\"hit_rate_post_refit\":%.3f,\"refit_fits\":%zu,"
+              "\"refit_matches\":%zu,\"perceived_nextbatch_ms\":%.4f,"
+              "\"total_wait_ms\":%.3f}\n",
+              backend_names[b], variant.name, prefetch ? "on" : "off",
+              args.think_ms, cell.hit_rate, cell.hit_rate_post_refit,
+              cell.refit_fits, cell.refit_matches,
+              cell.perceived_nextbatch_ms, cell.total_wait_ms);
+        } else {
+          std::printf("%-8s %-10s %-9s %9.3f %10.3f %22.4f %14.3f\n",
+                      backend_names[b], variant.name, prefetch ? "on" : "off",
+                      cell.hit_rate, cell.hit_rate_post_refit,
+                      cell.perceived_nextbatch_ms, cell.total_wait_ms);
         }
       }
     }
   }
-  std::printf(
-      "%sparity: prefetch-on == prefetch-off result sequences for every "
-      "cell\n",
-      args.csv ? "# " : "");
+  if (!args.json) {
+    std::printf(
+        "%sparity: prefetch-on == prefetch-off result sequences for every "
+        "cell\n",
+        args.csv ? "# " : "");
+  }
   return 0;
 }
 

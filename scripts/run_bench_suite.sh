@@ -13,10 +13,13 @@
 #                                [--out results.csv] [--json] [--out-dir DIR]
 #
 # --json writes BENCH_simd.json (bench_simd_kernels: scalar vs dispatched
-# kernel throughput across dims x batches) and BENCH_topk.json
+# kernel throughput across dims x batches), BENCH_topk.json
 # (bench_topk_latency rows across --sizes, including one "sharded" row per
-# --shards count — the shard-scaling curve) into --out-dir (default: repo
-# root) instead of emitting CSV.
+# --shards count — the shard-scaling curve) and BENCH_prefetch.json
+# (bench_prefetch_latency: per-backend/variant speculation hit rates —
+# zero-shot and post-refit — plus perceived NextBatch latency, prefetch off
+# vs on, parity-checked) into --out-dir (default: repo root) instead of
+# emitting CSV.
 set -euo pipefail
 
 SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
@@ -24,6 +27,14 @@ REPO_ROOT="$(dirname "$SCRIPT_DIR")"
 BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
 BENCH="$BUILD_DIR/bench_topk_latency"
 BENCH_SIMD="$BUILD_DIR/bench_simd_kernels"
+BENCH_PREFETCH="$BUILD_DIR/bench_prefetch_latency"
+
+# bench_prefetch_latency knobs for the --json baseline (kept modest: the
+# bench sleeps real think time per inspected image).
+PREFETCH_SCALE="${PREFETCH_SCALE:-0.15}"
+PREFETCH_DIM="${PREFETCH_DIM:-64}"
+PREFETCH_BATCH="${PREFETCH_BATCH:-8}"
+PREFETCH_THINK_MS="${PREFETCH_THINK_MS:-10}"
 
 WARMUP=1
 ITERS=5
@@ -152,6 +163,26 @@ emit_json() {
         "$DIM" "$K" "$WARMUP" "$ITERS" "$THREADS" "$BATCHES" "$SHARDS" "$rows" \
         > "$topk_out"
     echo "topk JSON written to $topk_out" >&2
+
+    [[ -x "$BENCH_PREFETCH" ]] || build_target bench_prefetch_latency
+    local prefetch_out="$OUT_DIR/BENCH_prefetch.json"
+    echo "== bench_prefetch_latency scale=$PREFETCH_SCALE think_ms=$PREFETCH_THINK_MS ==" >&2
+    local prows=""
+    # Same direct-redirection rationale as above: a parity SEESAW_CHECK
+    # abort in the bench must fail the script, not truncate the baseline.
+    "$BENCH_PREFETCH" --json --scale="$PREFETCH_SCALE" --dim="$PREFETCH_DIM" \
+                      --batch="$PREFETCH_BATCH" \
+                      --think_ms="$PREFETCH_THINK_MS" \
+                      --threads="$THREADS" > "$tmp"
+    while IFS= read -r line; do
+        [[ -z "$line" ]] && continue
+        prows="${prows:+$prows,}$line"
+    done < "$tmp"
+    printf '{"bench":"prefetch_latency","meta":{"scale":%s,"dim":%s,"batch":%s,"think_ms":%s,"threads":%s},"rows":[%s]}\n' \
+        "$PREFETCH_SCALE" "$PREFETCH_DIM" "$PREFETCH_BATCH" \
+        "$PREFETCH_THINK_MS" "$THREADS" "$prows" \
+        > "$prefetch_out"
+    echo "prefetch JSON written to $prefetch_out" >&2
 }
 
 if [[ "$JSON" == 1 ]]; then

@@ -8,8 +8,7 @@ QueryAligner::QueryAligner(const AlignerOptions& options,
                            linalg::VectorF q_text, const linalg::MatrixF* md)
     : options_(options),
       q_text_(q_text),
-      loss_(options.loss, std::move(q_text), md),
-      lbfgs_(options.lbfgs) {}
+      loss_(options.loss, std::move(q_text), md) {}
 
 void QueryAligner::AddFeedback(linalg::VecSpan x, bool positive,
                                float weight) {
@@ -19,10 +18,12 @@ void QueryAligner::AddFeedback(linalg::VecSpan x, bool positive,
   } else {
     ++num_negative_;
   }
+  ++fit_generation_;
 }
 
 void QueryAligner::AddSoftFeedback(linalg::VecSpan x, float y, float weight) {
   loss_.AddExample(x, y, weight);
+  ++fit_generation_;
 }
 
 void QueryAligner::Reset() {
@@ -30,34 +31,81 @@ void QueryAligner::Reset() {
   num_positive_ = 0;
   num_negative_ = 0;
   have_warm_ = false;
+  ++fit_generation_;
 }
 
-StatusOr<linalg::VectorF> QueryAligner::Align() {
-  if (loss_.num_examples() == 0) {
-    return q_text_;  // no information yet: q1 = q0
+void QueryAligner::set_options(const AlignerOptions& options) {
+  options_ = options;
+  loss_.set_options(options.loss);
+  ++fit_generation_;
+}
+
+AlignerSnapshot QueryAligner::Snapshot() const {
+  return AlignerSnapshot{options_, q_text_,   loss_,
+                         warm_,    have_warm_, fit_generation_};
+}
+
+StatusOr<QueryAligner::FitOutcome> QueryAligner::Fit(
+    const AlignerOptions& options, const linalg::VectorF& q_text,
+    const AlignerLoss& loss, const optim::VectorD* warm) {
+  FitOutcome outcome;
+  if (loss.num_examples() == 0) {
+    outcome.query = q_text;  // no information yet: q1 = q0
+    return outcome;
   }
-  const size_t d = q_text_.size();
+  const size_t d = q_text.size();
   optim::VectorD x0;
-  if (options_.warm_start && have_warm_) {
-    x0 = warm_;
+  if (options.warm_start && warm != nullptr) {
+    x0 = *warm;
   } else {
     x0.assign(d, 0.0);
-    for (size_t j = 0; j < d; ++j) x0[j] = q_text_[j];
+    for (size_t j = 0; j < d; ++j) x0[j] = q_text[j];
   }
-  SEESAW_ASSIGN_OR_RETURN(last_result_,
-                          lbfgs_.Minimize(loss_.AsObjective(), std::move(x0)));
-  warm_ = last_result_.x;
-  have_warm_ = true;
+  // Lbfgs is stateless between Minimize calls; a local instance keeps this
+  // path free of shared mutable state (the speculative fit runs it on pool
+  // threads).
+  optim::Lbfgs lbfgs(options.lbfgs);
+  SEESAW_ASSIGN_OR_RETURN(outcome.result,
+                          lbfgs.Minimize(loss.AsObjective(), std::move(x0)));
+  outcome.solution = outcome.result.x;
+  outcome.ran_solver = true;
 
   linalg::VectorF w(d);
-  for (size_t j = 0; j < d; ++j) w[j] = static_cast<float>(last_result_.x[j]);
+  for (size_t j = 0; j < d; ++j) {
+    w[j] = static_cast<float>(outcome.result.x[j]);
+  }
   float norm = linalg::NormalizeInPlace(linalg::MutVecSpan(w.data(), w.size()));
   if (norm <= 1e-12f) {
     // Degenerate all-zero solution (can only happen with pathological
     // hyper-parameters); fall back to the text query.
-    return q_text_;
+    outcome.query = q_text;
+    return outcome;
   }
-  return w;
+  outcome.query = std::move(w);
+  return outcome;
+}
+
+StatusOr<linalg::VectorF> QueryAligner::Align() {
+  SEESAW_ASSIGN_OR_RETURN(
+      FitOutcome outcome,
+      Fit(options_, q_text_, loss_,
+          (options_.warm_start && have_warm_) ? &warm_ : nullptr));
+  if (!outcome.ran_solver) return std::move(outcome.query);
+  last_result_ = std::move(outcome.result);
+  warm_ = std::move(outcome.solution);
+  have_warm_ = true;
+  return std::move(outcome.query);
+}
+
+StatusOr<linalg::VectorF> QueryAligner::AlignWith(
+    const AlignerSnapshot& snapshot) {
+  SEESAW_ASSIGN_OR_RETURN(
+      FitOutcome outcome,
+      Fit(snapshot.options, snapshot.q_text, snapshot.loss,
+          (snapshot.options.warm_start && snapshot.have_warm)
+              ? &snapshot.warm
+              : nullptr));
+  return std::move(outcome.query);
 }
 
 }  // namespace seesaw::core

@@ -3,6 +3,18 @@
 // AlignerLoss with L-BFGS. Work per call grows with the amount of feedback
 // (plus a d x d product), never with the database size — the paper's central
 // scalability property.
+//
+// Determinism contract: Align() is a pure function of the aligner's state
+// (options, q_text, accumulated examples in insertion order, warm start).
+// The whole fit path — AlignerLoss::Evaluate, linalg::DotDouble / MatVec,
+// and optim::Lbfgs::Minimize — is sequential arithmetic with no randomness,
+// no time dependence and no thread-count dependence, and the SIMD kernel
+// layer guarantees bitwise-identical scores per process (linalg/simd.h), so
+// identical feedback sequences yield bitwise-identical aligned queries.
+// The think-time refit speculation (searcher_base.h) leans on this: a
+// speculative fit over a Snapshot() predicts the real Refit() bit for bit
+// whenever no further state change lands in between. The invariant is
+// enforced by tests/aligner_determinism_test.cc.
 #ifndef SEESAW_CORE_ALIGNER_H_
 #define SEESAW_CORE_ALIGNER_H_
 
@@ -27,7 +39,25 @@ struct AlignerOptions {
   bool warm_start = true;
 };
 
+/// Frozen copy of everything Align() reads: options, text query, the
+/// accumulated feedback (deep copy, insertion order preserved) and the warm
+/// start. A snapshot is self-contained — AlignWith(snapshot) may run on any
+/// thread while the live aligner keeps accumulating feedback. Cost: the
+/// examples table (num_examples x dim floats), tiny next to one store scan.
+struct AlignerSnapshot {
+  AlignerOptions options;
+  linalg::VectorF q_text;
+  AlignerLoss loss;
+  optim::VectorD warm;
+  bool have_warm = false;
+  /// The fit-state version the snapshot was taken at (see fit_generation()).
+  uint64_t fit_generation = 0;
+};
+
 /// Stateful per-search aligner. Not thread-safe; one instance per session.
+/// The const snapshot path (Snapshot / AlignWith) is the exception: it never
+/// touches mutable state, so speculative fits over snapshots may run
+/// concurrently with anything.
 class QueryAligner {
  public:
   /// `q_text` is the unit CLIP text embedding (q0). `md` may be null.
@@ -43,26 +73,65 @@ class QueryAligner {
   /// Drops all accumulated feedback (restarts the search).
   void Reset();
 
+  /// Replaces the options mid-session (hyper-parameter adjustment). Counts
+  /// as a fit-state change: a speculative fit taken under the old options no
+  /// longer predicts Align().
+  void set_options(const AlignerOptions& options);
+  const AlignerOptions& options() const { return options_; }
+
   size_t num_positive() const { return num_positive_; }
   size_t num_negative() const { return num_negative_; }
   size_t num_examples() const { return loss_.num_examples(); }
+
+  /// Version counter of the fit-relevant state: bumped by AddFeedback,
+  /// AddSoftFeedback, Reset and set_options. Two Align() calls bracketing an
+  /// unchanged generation return bitwise-identical vectors (determinism
+  /// contract above) — the refit-speculation consume check rests on this.
+  uint64_t fit_generation() const { return fit_generation_; }
 
   /// Minimizes the loss and returns the unit-normalized next query vector
   /// q_{t+1}. With no feedback recorded, returns q0 unchanged.
   StatusOr<linalg::VectorF> Align();
 
+  /// Clones the current fit state (cheap deep copy; see AlignerSnapshot).
+  AlignerSnapshot Snapshot() const;
+
+  /// The speculative-fit path: runs exactly the minimization Align() would
+  /// run from `snapshot`'s state — same code, hence bitwise-identical output
+  /// — without touching any live aligner (static: there is nothing to
+  /// mutate). Safe to call from pool threads.
+  static StatusOr<linalg::VectorF> AlignWith(const AlignerSnapshot& snapshot);
+
   /// Statistics of the last Align() call.
   const optim::OptimResult& last_result() const { return last_result_; }
 
  private:
+  /// One minimization outcome: the query plus the raw solver iterate that
+  /// Align() adopts as the next warm start.
+  struct FitOutcome {
+    linalg::VectorF query;
+    optim::VectorD solution;
+    optim::OptimResult result;
+    /// False when no feedback was recorded (query == q0, nothing to adopt).
+    bool ran_solver = false;
+  };
+
+  /// The shared fit core behind Align() and AlignWith(): a pure function of
+  /// its inputs. Keeping both entry points on one code path is what makes
+  /// the speculative fit bitwise-predictive of the real one.
+  static StatusOr<FitOutcome> Fit(const AlignerOptions& options,
+                                  const linalg::VectorF& q_text,
+                                  const AlignerLoss& loss,
+                                  const optim::VectorD* warm);
+
   AlignerOptions options_;
   linalg::VectorF q_text_;
   AlignerLoss loss_;
-  optim::Lbfgs lbfgs_;
   optim::VectorD warm_;
   bool have_warm_ = false;
   size_t num_positive_ = 0;
   size_t num_negative_ = 0;
+  uint64_t fit_generation_ = 0;
   optim::OptimResult last_result_;
 };
 

@@ -68,6 +68,8 @@ class AlignerLoss {
   size_t num_examples() const { return labels_.size(); }
   size_t dim() const { return q_text_.size(); }
   const LossOptions& options() const { return options_; }
+  /// Replaces the hyper-parameters; the accumulated examples are kept.
+  void set_options(const LossOptions& options) { options_ = options; }
 
   /// Evaluates L(w) and its gradient.
   double Evaluate(const optim::VectorD& w, optim::VectorD* grad) const;

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "store/vector_store.h"
 
 namespace seesaw::core {
 
@@ -14,15 +15,12 @@ SearcherBase::SearcherBase(const EmbeddedDataset& embedded)
 
 SearcherBase::~SearcherBase() {
   // Cancel and drain every speculation, including already-invalidated ones
-  // that may still be running a scan round. The tasks only read snapshots
-  // (never the searcher), but the embedded dataset and shared budget are
-  // only guaranteed alive while the searcher's owner is — and a surviving
-  // task could submit nested pool work during pool shutdown.
-  if (spec_.has_value()) {
-    spec_->task->cancel.RequestCancel();
-    spec_->task->ReleaseBudgetOnce();
-    stale_speculations_.push_back(std::move(spec_->handle));
-  }
+  // that may still be running a fit or a scan round. The tasks only read
+  // snapshots (never the searcher), but the embedded dataset and shared
+  // budget are only guaranteed alive while the searcher's owner is — and a
+  // surviving task could submit nested pool work during pool shutdown.
+  if (spec_.has_value()) RetireSpeculation(std::move(*spec_));
+  spec_.reset();
   for (TaskHandle& handle : stale_speculations_) handle.Wait();
 }
 
@@ -38,6 +36,13 @@ void SearcherBase::MarkSeen(uint32_t image_idx) {
   seen_images_.Set(image_idx);
   auto [begin, end] = embedded_->ImagePatchRange(image_idx);
   for (uint32_t v = begin; v < end; ++v) seen_patches_.Set(v);
+  // A surviving speculation only sees in-batch, previously-unseen images
+  // here. When the last predicted label lands, the live state equals the
+  // prediction and the refit speculation can start its fit.
+  if (spec_.has_value() && spec_->stage == SpecStage::kAwaitLabels &&
+      --spec_->images_remaining == 0) {
+    ArmPredictedFit();
+  }
 }
 
 std::vector<ScoredImage> SearcherBase::ComputeTopImages(
@@ -62,25 +67,26 @@ std::vector<ScoredImage> SearcherBase::ComputeTopImages(
     // Patches of seen images are excluded inside the store scan via the
     // patch-level bitset; a shared pool (managed sessions) shards the scan.
     // The cancellation token rides into the scan itself (store::ScanControl)
-    // so a cancelled speculation stops mid-TopKBatch — per row block /
-    // probed list — not just between k-doubling rounds.
+    // so a cancelled speculation stops mid-scan — per row block / probed
+    // list — not just between k-doubling rounds. Both the batched and the
+    // scalar path checkpoint.
+    store::ScanControl control;
+    control.cancel = cancel;
     std::vector<store::SearchResult> hits;
     if (pool != nullptr) {
-      store::ScanControl control;
-      control.cancel = cancel;
       linalg::VecSpan queries[] = {query};
       hits = std::move(store
                            .TopKBatch(std::span<const linalg::VecSpan>(
                                           queries, 1),
                                       k, seen_patches, pool, control)
                            .front());
-      // A cancelled scan returns partial hits; drop them (the caller
-      // discards the whole speculation anyway) rather than let a truncated
-      // candidate list masquerade as "store exhausted".
-      if (cancel != nullptr && cancel->cancelled()) return out;
     } else {
-      hits = store.TopK(query, k, seen_patches);
+      hits = store.TopK(query, k, seen_patches, control);
     }
+    // A cancelled scan returns partial hits; drop them (the caller discards
+    // the whole speculation anyway) rather than let a truncated candidate
+    // list masquerade as "store exhausted".
+    if (cancel != nullptr && cancel->cancelled()) return out;
     out.clear();
     picked.clear();
     // Hits come best-first, so the first patch of an image carries the
@@ -105,39 +111,53 @@ std::vector<ScoredImage> SearcherBase::TopImages(linalg::VecSpan query,
                           /*cancel=*/nullptr);
 }
 
-void SearcherBase::SchedulePrefetch(linalg::VecSpan query,
-                                    const std::vector<ScoredImage>& batch,
-                                    size_t n) {
+bool SearcherBase::BeginSchedule(const std::vector<ScoredImage>& batch) {
   // At most one speculation per searcher; a new schedule supersedes the old.
   InvalidatePrefetch();
   std::erase_if(stale_speculations_,
                 [](const TaskHandle& handle) { return handle.done(); });
-  if (!prefetch_policy_.enabled || pool_ == nullptr || batch.empty()) return;
-  if (budget_ != nullptr && !budget_->TryAcquire()) {
-    ++prefetch_stats_.throttled;
-    return;
-  }
+  return prefetch_policy_.enabled && pool_ != nullptr && !batch.empty();
+}
 
+SearcherBase::Speculation SearcherBase::MakeSpeculation(
+    const std::vector<ScoredImage>& batch, size_t n, size_t* new_images) {
   auto task = std::make_shared<SpecTask>();
-  task->query.assign(query.begin(), query.end());
   task->seen_patches = seen_patches_;
   task->n = n;
-  task->budget = budget_;
 
   Speculation spec;
   spec.seen_images = seen_images_;
   // Predict the state after the user labels exactly this batch: every batch
-  // image seen (one generation bump each), query unchanged.
-  size_t new_images = 0;
+  // image seen (one generation bump each).
+  *new_images = 0;
   for (const ScoredImage& hit : batch) {
     if (spec.seen_images.Test(hit.image_idx)) continue;
     spec.seen_images.Set(hit.image_idx);
     auto [begin, end] = embedded_->ImagePatchRange(hit.image_idx);
     for (uint32_t v = begin; v < end; ++v) task->seen_patches.Set(v);
-    ++new_images;
+    ++*new_images;
   }
-  spec.expected_generation = generation_ + new_images;
-  spec.task = task;
+  spec.expected_generation = generation_ + *new_images;
+  spec.task = std::move(task);
+  return spec;
+}
+
+void SearcherBase::SchedulePrefetch(linalg::VecSpan query,
+                                    const std::vector<ScoredImage>& batch,
+                                    size_t n) {
+  if (!BeginSchedule(batch)) return;
+  if (budget_ != nullptr && !budget_->TryAcquire()) {
+    ++prefetch_stats_.throttled;
+    return;
+  }
+
+  size_t new_images = 0;
+  Speculation spec = MakeSpeculation(batch, n, &new_images);
+  spec.stage = SpecStage::kScan;
+  spec.query_known = true;  // the query is predicted not to move
+  std::shared_ptr<SpecTask> task = spec.task;
+  task->query.assign(query.begin(), query.end());
+  task->budget = budget_;
 
   // The task captures no pointer to this searcher: it works on the snapshot
   // and publishes its result through the handle's completion.
@@ -155,23 +175,146 @@ void SearcherBase::SchedulePrefetch(linalg::VecSpan query,
   spec_ = std::move(spec);
 }
 
+void SearcherBase::SchedulePrefetchAfterRefit(
+    const std::vector<ScoredImage>& batch, size_t n,
+    PredictedFitFactory fit_factory) {
+  if (!BeginSchedule(batch)) return;
+
+  size_t new_images = 0;
+  Speculation spec = MakeSpeculation(batch, n, &new_images);
+  if (new_images == 0) return;  // nothing to wait for; cannot arm
+  spec.stage = SpecStage::kAwaitLabels;
+  spec.images_remaining = new_images;
+  spec.fit_factory = std::move(fit_factory);
+  // Nothing is submitted and no budget is held until the batch is fully
+  // labeled (ArmPredictedFit); an abandoned prediction costs nothing.
+  ++prefetch_stats_.scheduled;
+  spec_ = std::move(spec);
+}
+
+void SearcherBase::ArmPredictedFit() {
+  SEESAW_CHECK(spec_.has_value());
+  SEESAW_CHECK(spec_->stage == SpecStage::kAwaitLabels);
+  // Submission was deferred from schedule time to now, so re-validate the
+  // preconditions BeginSchedule checked then: the driver may have detached
+  // the pool or disabled the policy in between.
+  if (pool_ == nullptr || !prefetch_policy_.enabled) {
+    spec_.reset();
+    ++prefetch_stats_.invalidated;
+    return;
+  }
+  // The fit burns a worker's CPU, so it is what the shared budget meters:
+  // charge the slot here, not at schedule time.
+  if (budget_ != nullptr && !budget_->TryAcquire()) {
+    ++prefetch_stats_.throttled;
+    spec_.reset();  // nothing running, nothing to cancel
+    return;
+  }
+  std::shared_ptr<SpecTask> task = spec_->task;
+  task->budget = budget_;
+  // Clone the fit state on this (the searcher's) thread, while it is
+  // consistent; the resulting closure owns the clone outright.
+  task->fit = spec_->fit_factory();
+  spec_->fit_factory = nullptr;
+
+  // Stage 1: the speculative fit. Publishes the predicted post-refit query
+  // into the task; readers order themselves after it via fit_handle.Wait().
+  spec_->fit_handle = pool_->SubmitWithResult([task] {
+    if (!task->cancel.cancelled()) {
+      if (std::optional<linalg::VectorF> q = task->fit()) {
+        task->query = *std::move(q);
+        task->fit_ok = true;
+      }
+    }
+    // Drop the closure (and the cloned aligner snapshot inside it — the
+    // whole accumulated-feedback table) as soon as the query is published,
+    // not when the speculation is eventually consumed or drained.
+    task->fit = nullptr;
+  });
+  // Stage 2: the scan with the predicted query. Waiting on the fit handle
+  // from a pool task is safe (the waiter helps drain the queue).
+  TaskHandle fit_handle = spec_->fit_handle;
+  const EmbeddedDataset* embedded = embedded_;
+  ThreadPool* pool = pool_;
+  spec_->handle =
+      pool_->SubmitWithResult([task, fit_handle, embedded, pool]() mutable {
+        fit_handle.Wait();
+        if (task->fit_ok && !task->cancel.cancelled()) {
+          task->result =
+              ComputeTopImages(*embedded, pool, task->query, task->n,
+                               task->seen_patches, &task->cancel);
+        }
+        task->ReleaseBudgetOnce();
+      });
+  spec_->stage = SpecStage::kFitScan;
+  // All predicted labels have landed, so the live generation is exactly the
+  // predicted one; the only bump still to come is the refit's own.
+  SEESAW_CHECK_EQ(spec_->expected_generation, generation_);
+  ++prefetch_stats_.refit_fits;
+}
+
+void SearcherBase::CommitRefit(linalg::VecSpan refit_query, bool query_moved) {
+  if (query_moved) ++generation_;
+  if (!spec_.has_value()) return;
+  switch (spec_->stage) {
+    case SpecStage::kScan:
+      // A same-query speculation only survives a refit that left the query
+      // bitwise unchanged.
+      if (query_moved) InvalidatePrefetch();
+      return;
+    case SpecStage::kAwaitLabels:
+      // The refit arrived before the predicted batch was fully labeled
+      // (partial labels). A moved query falsifies the prediction outright; an
+      // unmoved one keeps the pending speculation plausible — the remaining
+      // labels may still arrive.
+      if (query_moved) InvalidatePrefetch();
+      return;
+    case SpecStage::kFitScan:
+      break;
+  }
+  // Wait for the fit stage only (the scan keeps running); during real think
+  // time this returns immediately. The wait orders this thread after the
+  // fit task's writes.
+  spec_->fit_handle.Wait();
+  const linalg::VectorF& predicted = spec_->task->query;
+  bool match = spec_->task->fit_ok &&
+               predicted.size() == refit_query.size() &&
+               std::equal(refit_query.begin(), refit_query.end(),
+                          predicted.begin());
+  if (!match) {
+    // The session state moved between arm and refit (extra soft feedback,
+    // changed aligner options, duplicate labels, ...), or the fit failed:
+    // the scan is running against the wrong query. Cancel it mid-scan.
+    ++prefetch_stats_.refit_mismatches;
+    InvalidatePrefetch();
+    return;
+  }
+  // Blessed: the refit landed on the predicted bits, so the speculative scan
+  // is exactly the lookup the next NextBatch wants. Re-key the speculation
+  // to the post-refit generation and let TakePrefetched compare the query.
+  spec_->expected_generation = generation_;
+  spec_->query_known = true;
+  ++prefetch_stats_.refit_matches;
+}
+
 std::optional<std::vector<ScoredImage>> SearcherBase::TakePrefetched(
     linalg::VecSpan query, size_t n) {
   if (!spec_.has_value()) return std::nullopt;
   Speculation spec = std::move(*spec_);
   spec_.reset();
 
-  const linalg::VectorF& spec_query = spec.task->query;
-  bool valid = spec.expected_generation == generation_ && spec.task->n == n &&
-               spec_query.size() == query.size() &&
-               std::equal(query.begin(), query.end(), spec_query.begin()) &&
-               seen_images_ == spec.seen_images;
+  // query_known gates the bit compare: an unblessed kFitScan task may still
+  // be writing its predicted query, and a kAwaitLabels one has none at all.
+  bool valid = spec.query_known &&
+               spec.expected_generation == generation_ && spec.task->n == n;
+  if (valid) {
+    const linalg::VectorF& spec_query = spec.task->query;
+    valid = spec_query.size() == query.size() &&
+            std::equal(query.begin(), query.end(), spec_query.begin()) &&
+            seen_images_ == spec.seen_images;
+  }
   if (!valid) {
-    spec.task->cancel.RequestCancel();
-    spec.task->ReleaseBudgetOnce();
-    // Don't wait here (the foreground recompute should start immediately);
-    // park the handle for the destructor to drain.
-    stale_speculations_.push_back(std::move(spec.handle));
+    RetireSpeculation(std::move(spec));
     ++prefetch_stats_.misses;
     return std::nullopt;
   }
@@ -182,21 +325,29 @@ std::optional<std::vector<ScoredImage>> SearcherBase::TakePrefetched(
     return std::nullopt;
   }
   ++prefetch_stats_.hits;
+  if (spec.stage == SpecStage::kFitScan) ++prefetch_stats_.hits_post_refit;
   return std::move(spec.task->result);
+}
+
+void SearcherBase::RetireSpeculation(Speculation&& spec) {
+  spec.task->cancel.RequestCancel();
+  spec.task->ReleaseBudgetOnce();
+  // Don't wait here (the foreground recompute should start immediately);
+  // park the handles for the destructor to drain. A kAwaitLabels speculation
+  // never submitted anything, so its handles are empty.
+  if (spec.fit_handle.valid()) {
+    stale_speculations_.push_back(std::move(spec.fit_handle));
+  }
+  if (spec.handle.valid()) {
+    stale_speculations_.push_back(std::move(spec.handle));
+  }
 }
 
 void SearcherBase::InvalidatePrefetch() {
   if (!spec_.has_value()) return;
-  spec_->task->cancel.RequestCancel();
-  spec_->task->ReleaseBudgetOnce();
-  stale_speculations_.push_back(std::move(spec_->handle));
+  RetireSpeculation(std::move(*spec_));
   spec_.reset();
   ++prefetch_stats_.invalidated;
-}
-
-void SearcherBase::NoteQueryUpdated() {
-  ++generation_;
-  InvalidatePrefetch();
 }
 
 std::vector<PatchLabel> SearcherBase::LabelPatches(

@@ -1,12 +1,13 @@
 // Shared machinery for vector-query searchers: seen-image bookkeeping,
 // max-pooled image ranking over the patch store, mapping of box feedback to
 // patch labels (§4.3), and think-time speculative prefetch of the next
-// batch.
+// batch — including speculation *through* a query-moving refit.
 #ifndef SEESAW_CORE_SEARCHER_BASE_H_
 #define SEESAW_CORE_SEARCHER_BASE_H_
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -27,21 +28,34 @@ struct PatchLabel {
 
 /// Think-time speculation policy (SeeSawOptions::prefetch).
 ///
-/// When enabled, a searcher with a thread pool schedules the likely next
-/// batch as a cancellable background lookup right after NextBatch returns,
-/// so the store scan overlaps the user's inspection time. The speculation
-/// predicts that the user will label exactly the returned batch and that the
-/// refit will not change the query (always true for zero-shot); any
-/// deviation invalidates it and NextBatch recomputes synchronously, so
-/// results are bitwise identical to the non-speculative path in all cases.
+/// When enabled, a searcher with a thread pool overlaps the next batch's
+/// lookup with the user's inspection time. Two speculation shapes exist:
+///
+///  - Same-query (zero-shot paging): the scan launches right after NextBatch
+///    with the current query, predicting the user labels exactly the
+///    returned batch and the refit leaves the query unchanged.
+///  - Through-the-refit (the full seesaw loop): the speculation first waits
+///    for the predicted batch to be fully labeled, then runs the *aligner*
+///    speculatively on the feedback received (a cloned snapshot, so the live
+///    session is never touched) and launches the scan with the predicted
+///    post-refit query. The real Refit() consumes the fit when its aligned
+///    vector is bitwise identical to the prediction.
+///
+/// Any deviation — feedback outside the predicted batch, extra soft
+/// feedback, changed aligner options, a refit landing on different bits —
+/// cancels the speculation (mid-scan, via store::ScanControl) and NextBatch
+/// recomputes synchronously, so results are bitwise identical to the
+/// non-speculative path in all cases.
 struct PrefetchPolicy {
   bool enabled = false;
-  /// Maximum speculative lookups in flight across all sessions sharing one
-  /// PrefetchBudget; 0 = unlimited. Keeps a fleet of idle sessions from
-  /// starving foreground lookups on the shared pool. Read only by the
-  /// budget's owner when sizing it (SessionManager, from the service-level
-  /// policy); searchers themselves consult just `enabled` and are uncapped
-  /// unless handed a budget via set_prefetch_budget.
+  /// Maximum speculations in flight across all sessions sharing one
+  /// PrefetchBudget; 0 = unlimited. A slot covers the whole speculative
+  /// pipeline — including the aligner fit, which burns CPU unlike a pure
+  /// scan — so a fleet of idle sessions can neither starve foreground
+  /// lookups nor soak the pool in background fits. Read only by the budget's
+  /// owner when sizing it (SessionManager, from the service-level policy);
+  /// searchers themselves consult just `enabled` and are uncapped unless
+  /// handed a budget via set_prefetch_budget.
   size_t max_in_flight = 2;
 };
 
@@ -77,11 +91,20 @@ class PrefetchBudget {
 
 /// Per-searcher speculation counters (bench_prefetch_latency reports these).
 struct PrefetchStats {
-  size_t scheduled = 0;    ///< Speculations submitted to the pool.
+  size_t scheduled = 0;    ///< Speculations scheduled (either shape).
   size_t hits = 0;         ///< NextBatch calls served from a speculation.
   size_t misses = 0;       ///< Speculations invalid at consume time.
   size_t invalidated = 0;  ///< Speculations cancelled eagerly (feedback/refit).
   size_t throttled = 0;    ///< Speculations skipped: shared budget exhausted.
+  // Through-the-refit accounting (zero for same-query speculations):
+  size_t refit_fits = 0;       ///< Speculative aligner fits launched.
+  size_t refit_matches = 0;    ///< Refits landing bitwise on the predicted
+                               ///< query (the speculative scan survives).
+  size_t refit_mismatches = 0; ///< Armed fits discarded at refit time (state
+                               ///< diverged between arm and Refit, or the
+                               ///< speculative fit failed).
+  size_t hits_post_refit = 0;  ///< Subset of `hits` whose scan ran with a
+                               ///< predicted post-refit query.
 };
 
 /// Base class holding the embedded dataset and the seen sets.
@@ -91,10 +114,28 @@ struct PrefetchStats {
 /// reusable bitset instead of rebuilding an exclusion closure every batch.
 ///
 /// Threading: the searcher itself stays single-threaded (one user drives one
-/// session). Speculative prefetch tasks never touch the searcher — they work
-/// on snapshot copies of the query and seen sets and only meet the searcher
-/// again through a TaskHandle, so feedback can mutate the live seen sets
-/// while a speculation is in flight.
+/// session). Speculative tasks never touch the searcher — they work on
+/// snapshot copies of the query, the seen sets and (for refit speculation)
+/// the aligner state, and only meet the searcher again through TaskHandles,
+/// so feedback can mutate the live state while a speculation is in flight.
+///
+/// Refit-speculation state machine (one speculation at a time):
+///
+///   NextBatch ── same-query policy ──▶ [kScan: scan(current query)]
+///       │
+///       └── refit policy ──▶ [kAwaitLabels]
+///                                │ last predicted image labeled ("armed")
+///                                ▼
+///                     [kFitScan: fit(cloned aligner) → scan(predicted q)]
+///                                │ Refit(): aligned == predicted (bitwise)
+///                                ▼
+///                     [blessed: consumable by the next NextBatch]
+///
+/// Exits from every state: feedback outside the predicted batch, a refit
+/// whose query lands on different bits, a changed lookup (n / query /
+/// generation) at consume time — each cancels the speculation (the token
+/// stops the scan at its next in-scan checkpoint) and the caller recomputes
+/// synchronously.
 class SearcherBase : public Searcher {
  public:
   explicit SearcherBase(const EmbeddedDataset& embedded);
@@ -114,7 +155,7 @@ class SearcherBase : public Searcher {
   ThreadPool* thread_pool() const { return pool_; }
 
   /// Speculation policy; subclasses opt in by calling SchedulePrefetch /
-  /// TakePrefetched from their NextBatch.
+  /// SchedulePrefetchAfterRefit / TakePrefetched from their NextBatch.
   void set_prefetch_policy(const PrefetchPolicy& policy) {
     prefetch_policy_ = policy;
   }
@@ -128,9 +169,20 @@ class SearcherBase : public Searcher {
   const PrefetchStats& prefetch_stats() const { return prefetch_stats_; }
 
  protected:
+  /// A speculative aligner fit: produces the predicted post-refit query on a
+  /// pool thread, or nullopt when the fit fails (speculation aborted). Must
+  /// be self-contained — it closes over cloned state only, never the
+  /// searcher or its aligner.
+  using PredictedFit = std::function<std::optional<linalg::VectorF>()>;
+
+  /// Invoked on the searcher's thread at arm time — the moment the predicted
+  /// batch becomes fully labeled — to clone the session's fit state (e.g.
+  /// QueryAligner::Snapshot) into a self-contained PredictedFit.
+  using PredictedFitFactory = std::function<PredictedFit()>;
+
   /// Marks an image (and all of its patch vectors) as shown/labeled.
   /// Invalidates an in-flight speculation when the image deviates from the
-  /// predicted batch.
+  /// predicted batch; arms a pending refit speculation when it completes it.
   void MarkSeen(uint32_t image_idx);
 
   /// Top-n unseen images by max patch score under `query` (best first).
@@ -138,12 +190,33 @@ class SearcherBase : public Searcher {
   /// found or the store is exhausted.
   std::vector<ScoredImage> TopImages(linalg::VecSpan query, size_t n) const;
 
-  /// Schedules a speculative TopImages for the *next* batch on the pool:
-  /// same query and n, seen sets snapshotted as if every image of `batch`
-  /// had been labeled. No-op when the policy is off, the pool is null, the
+  /// Schedules a same-query speculative TopImages for the *next* batch on
+  /// the pool: same query and n, seen sets snapshotted as if every image of
+  /// `batch` had been labeled. For searchers whose refit never moves the
+  /// query (zero-shot). No-op when the policy is off, the pool is null, the
   /// batch is empty (store exhausted), or the shared budget is spent.
   void SchedulePrefetch(linalg::VecSpan query,
                         const std::vector<ScoredImage>& batch, size_t n);
+
+  /// Schedules a through-the-refit speculation: the same seen-set prediction
+  /// as SchedulePrefetch, but the scan query is unknown until the aligner
+  /// runs. The speculation idles (kAwaitLabels) until every image of `batch`
+  /// has been labeled; at that moment `fit_factory` clones the fit state on
+  /// the searcher's thread, the shared budget is charged, and a fit → scan
+  /// pipeline launches on the pool. CommitRefit later decides consume vs
+  /// cancel. No-op under the same conditions as SchedulePrefetch (the budget
+  /// is checked at arm time, when CPU is actually about to burn).
+  void SchedulePrefetchAfterRefit(const std::vector<ScoredImage>& batch,
+                                  size_t n, PredictedFitFactory fit_factory);
+
+  /// Subclasses call this from Refit() with the freshly aligned query after
+  /// updating their live query vector (`query_moved` = the vector changed
+  /// bitwise). Bumps the lookup generation on a move, and reconciles any
+  /// armed refit speculation: waits for the speculative fit (not the scan),
+  /// compares bitwise, and either blesses the speculation to survive the
+  /// query move — the next NextBatch can then consume its scan — or cancels
+  /// it. Safe to call with no speculation pending (plain generation bump).
+  void CommitRefit(linalg::VecSpan refit_query, bool query_moved);
 
   /// Consumes the speculation if it exactly matches the requested lookup
   /// (generation, query bits, n, and the live seen set all unchanged from
@@ -154,8 +227,7 @@ class SearcherBase : public Searcher {
   std::optional<std::vector<ScoredImage>> TakePrefetched(linalg::VecSpan query,
                                                          size_t n);
 
-  /// Cancels and forgets any in-flight speculation (e.g. the query vector
-  /// changed in a refit).
+  /// Cancels and forgets any in-flight speculation.
   void InvalidatePrefetch();
 
   /// Converts image feedback to patch labels: for a relevant image, patches
@@ -166,15 +238,30 @@ class SearcherBase : public Searcher {
   std::vector<PatchLabel> LabelPatches(const ImageFeedback& feedback) const;
 
  private:
+  /// Lifecycle of the single speculation slot (see the class comment).
+  enum class SpecStage {
+    kScan,         ///< Scan in flight with a known (unmoved) query.
+    kAwaitLabels,  ///< Refit speculation waiting for the batch's labels;
+                   ///< nothing submitted, no budget held.
+    kFitScan,      ///< Fit → scan pipeline in flight with the predicted
+                   ///< post-refit query.
+  };
+
   /// Everything a speculative task reads or writes, shared between the
-  /// searcher and the pool task so the task never dereferences the searcher
-  /// (which may be mutated or destroyed while the task runs).
+  /// searcher and the pool tasks so the tasks never dereference the searcher
+  /// (which may be mutated or destroyed while they run).
   struct SpecTask {
-    linalg::VectorF query;        // snapshot of the lookup query
+    linalg::VectorF query;        // lookup query: snapshotted at schedule for
+                                  // kScan; written by the fit task for
+                                  // kFitScan (read only after its handle)
     store::SeenSet seen_patches;  // snapshot incl. the predicted batch
     size_t n = 0;
     CancellationToken cancel;
-    std::vector<ScoredImage> result;  // written by the task, read after Wait
+    std::vector<ScoredImage> result;  // written by the scan task, read after
+                                      // Wait
+    PredictedFit fit;      // set at arm time (kFitScan only)
+    bool fit_ok = false;   // written by the fit task before its handle
+                           // completes; read after fit_handle.Wait()
 
     /// Returns the budget slot exactly once: at task completion, or eagerly
     /// at cancellation so a cancelled-but-still-queued task doesn't hold a
@@ -194,7 +281,17 @@ class SearcherBase : public Searcher {
     std::shared_ptr<SpecTask> task;
     store::SeenSet seen_images;  // predicted image-level seen set
     uint64_t expected_generation = 0;
-    TaskHandle handle;
+    SpecStage stage = SpecStage::kScan;
+    /// Whether task->query is published and safe to read/compare on the
+    /// searcher's thread: true from the start for kScan, true after
+    /// CommitRefit blessed a kFitScan speculation (its fit handle was
+    /// waited, which orders the fit task's write).
+    bool query_known = false;
+    /// Predicted-batch images not yet labeled (kAwaitLabels arming counter).
+    size_t images_remaining = 0;
+    PredictedFitFactory fit_factory;  // kAwaitLabels only
+    TaskHandle fit_handle;  // kFitScan: the fit stage
+    TaskHandle handle;      // the scan (kScan, or kFitScan after the fit)
   };
 
   /// The pure lookup: like TopImages but over explicit inputs only, so it
@@ -205,6 +302,26 @@ class SearcherBase : public Searcher {
       size_t n, const store::SeenSet& seen_patches,
       const CancellationToken* cancel);
 
+  /// Shared head of both Schedule entry points: supersedes the current
+  /// speculation and prunes finished stale handles. Returns false when the
+  /// policy/pool/batch preconditions rule speculation out.
+  bool BeginSchedule(const std::vector<ScoredImage>& batch);
+
+  /// Builds the shared speculation skeleton: the task snapshot (seen patches
+  /// + predicted batch patches), the predicted image seen set, and the
+  /// number of genuinely new images in the batch.
+  Speculation MakeSpeculation(const std::vector<ScoredImage>& batch, size_t n,
+                              size_t* new_images);
+
+  /// kAwaitLabels → kFitScan: clones the fit state via the factory (on the
+  /// calling = searcher's thread), charges the budget, and launches the
+  /// fit → scan pipeline.
+  void ArmPredictedFit();
+
+  /// Cancels the speculation's tasks (if any), returns its budget slot and
+  /// parks its handles for the destructor to drain.
+  void RetireSpeculation(Speculation&& spec);
+
   const EmbeddedDataset* embedded_;
   store::SeenSet seen_images_;   // over image indices
   store::SeenSet seen_patches_;  // over patch vector ids, fed to the store
@@ -214,8 +331,8 @@ class SearcherBase : public Searcher {
   PrefetchBudget* budget_ = nullptr;
   PrefetchStats prefetch_stats_;
   /// Bumped by every state change that can affect a lookup (MarkSeen, query
-  /// updates via NoteQueryUpdated); a speculation predicts the generation at
-  /// its consume point.
+  /// moves committed via CommitRefit); a speculation predicts the generation
+  /// at its consume point.
   uint64_t generation_ = 0;
   std::optional<Speculation> spec_;
   /// Handles of cancelled speculations that may still be running a scan
@@ -223,11 +340,6 @@ class SearcherBase : public Searcher {
   /// outlive its searcher, or it could submit nested pool work while the
   /// pool is shutting down. Pruned of finished handles on each schedule.
   std::vector<TaskHandle> stale_speculations_;
-
- protected:
-  /// Subclasses call this when their query vector changed (refit): bumps the
-  /// generation and invalidates any speculation built on the old query.
-  void NoteQueryUpdated();
 };
 
 }  // namespace seesaw::core

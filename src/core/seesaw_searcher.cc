@@ -29,38 +29,62 @@ std::vector<ScoredImage> SeeSawSearcher::NextBatch(size_t n) {
   } else {
     batch = TopImages(linalg::VecSpan(query_), n);
   }
-  // Overlap the next lookup with the user's think time: speculate that the
-  // user labels exactly this batch and the refit leaves the query unchanged.
-  SchedulePrefetch(linalg::VecSpan(query_), batch, n);
+  // Overlap the next lookup with the user's think time. Zero-shot never
+  // moves the query, so the scan can start now; the query-updating variants
+  // speculate through the refit instead — once this batch is fully labeled,
+  // the aligner runs on a cloned snapshot of the feedback received and the
+  // scan launches with the predicted post-refit query.
+  if (!options_.update_query) {
+    SchedulePrefetch(linalg::VecSpan(query_), batch, n);
+  } else {
+    SchedulePrefetchAfterRefit(batch, n, [this] {
+      // Arm time, searcher thread: clone the fit state while it is
+      // consistent. The returned closure owns the snapshot outright and
+      // never touches the live aligner (AlignWith is const/static), so the
+      // session can keep accumulating feedback while the fit runs.
+      auto snapshot =
+          std::make_shared<AlignerSnapshot>(aligner_->Snapshot());
+      return PredictedFit([snapshot]() -> std::optional<linalg::VectorF> {
+        auto aligned = QueryAligner::AlignWith(*snapshot);
+        if (!aligned.ok()) return std::nullopt;
+        return *std::move(aligned);
+      });
+    });
+  }
   return batch;
 }
 
 void SeeSawSearcher::AddFeedback(const ImageFeedback& feedback) {
-  MarkSeen(feedback.image_idx);
-  if (!options_.update_query) return;  // zero-shot ignores feedback
-  for (const PatchLabel& label : LabelPatches(feedback)) {
-    aligner_->AddFeedback(embedded().vectors().Row(label.vec_id),
-                          label.positive);
+  if (options_.update_query) {
+    for (const PatchLabel& label : LabelPatches(feedback)) {
+      aligner_->AddFeedback(embedded().vectors().Row(label.vec_id),
+                            label.positive);
+    }
   }
-  dirty_ = true;
-  // New feedback means the next refit will almost surely move the query and
-  // kill the speculation at consume time anyway; cancel now so the
-  // background scan stops at its next checkpoint and frees its budget slot
-  // instead of competing with the eventual synchronous recompute.
-  InvalidatePrefetch();
+  // Aligner first, then MarkSeen: marking the last predicted image seen arms
+  // the speculative refit, whose snapshot must already contain this image's
+  // labels. Feedback outside the predicted batch invalidates inside
+  // MarkSeen, stopping the background scan at its next checkpoint.
+  MarkSeen(feedback.image_idx);
 }
 
 Status SeeSawSearcher::Refit() {
-  if (!options_.update_query || !dirty_) return Status::OK();
-  SEESAW_ASSIGN_OR_RETURN(linalg::VectorF aligned, aligner_->Align());
-  // A refit that moves the query (the common case outside zero-shot)
-  // invalidates any speculation built on the old query; a bitwise no-op
-  // refit keeps it alive.
-  if (aligned != query_) {
-    query_ = std::move(aligned);
-    NoteQueryUpdated();
+  // The aligner's fit generation covers every fit-state mutation — image
+  // feedback, soft feedback and options changes through mutable_aligner(),
+  // Reset() — so none of them can be silently skipped here.
+  if (!options_.update_query ||
+      aligner_->fit_generation() == refitted_generation_) {
+    return Status::OK();
   }
-  dirty_ = false;
+  SEESAW_ASSIGN_OR_RETURN(linalg::VectorF aligned, aligner_->Align());
+  const bool moved = aligned != query_;
+  if (moved) query_ = std::move(aligned);
+  // Reconcile the refit with any speculation: a same-query speculation
+  // survives only an unmoved query; a speculative refit survives exactly
+  // when this refit landed bitwise on its predicted query (in which case the
+  // background scan is already computing the next batch).
+  CommitRefit(linalg::VecSpan(query_), moved);
+  refitted_generation_ = aligner_->fit_generation();
   return Status::OK();
 }
 

@@ -24,8 +24,12 @@ struct SeeSawOptions {
   /// When false the query vector is never updated (zero-shot behaviour).
   bool update_query = true;
   /// Think-time speculative prefetch of the next batch (needs a thread
-  /// pool; see PrefetchPolicy). Results stay bitwise identical to the
-  /// synchronous path whether speculation hits or not.
+  /// pool; see PrefetchPolicy). Zero-shot variants speculate with the
+  /// current query; query-updating variants speculate *through* the refit —
+  /// once the shown batch is fully labeled, the aligner runs speculatively
+  /// on a cloned snapshot and the scan launches with the predicted
+  /// post-refit query. Results stay bitwise identical to the synchronous
+  /// path whether speculation hits or not.
   PrefetchPolicy prefetch;
   /// Method name override for reports; empty = derived from flags.
   std::string label;
@@ -52,11 +56,22 @@ class SeeSawSearcher : public SearcherBase {
   /// Aligner diagnostics (iterations of the last refit etc.).
   const QueryAligner& aligner() const { return *aligner_; }
 
+  /// Mutable aligner access for advanced drivers (soft feedback from a
+  /// propagation front end, mid-session hyper-parameter changes). Any
+  /// mutation counts as new fit state: an armed refit speculation based on
+  /// the old state is discarded at the next Refit() (bitwise compare), never
+  /// consumed.
+  QueryAligner& mutable_aligner() { return *aligner_; }
+
  private:
   SeeSawOptions options_;
   linalg::VectorF query_;
   std::unique_ptr<QueryAligner> aligner_;
-  bool dirty_ = false;  // new feedback since last refit
+  /// Aligner fit generation the current query_ was refit at; Refit() is a
+  /// no-op while the aligner still sits at this generation. Tracking the
+  /// generation (not a local dirty flag) makes every fit-state mutation
+  /// refit-visible, including ones through mutable_aligner().
+  uint64_t refitted_generation_ = 0;
 };
 
 }  // namespace seesaw::core

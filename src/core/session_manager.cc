@@ -6,6 +6,7 @@ SessionManager::SessionManager(const SeeSawService& service,
                                size_t num_threads,
                                const PrefetchPolicy& prefetch)
     : service_(&service),
+      prefetch_policy_(prefetch),
       budget_(prefetch.max_in_flight),
       pool_(num_threads == 0 ? ThreadPool::DefaultThreads() : num_threads) {}
 

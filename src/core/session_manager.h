@@ -42,7 +42,12 @@ class SessionManager {
   /// lookup pool (0 = hardware default). `prefetch` is the think-time
   /// speculation policy applied to managed sessions; its max_in_flight caps
   /// concurrent speculations across *all* sessions of this manager so idle
-  /// sessions cannot starve foreground lookups on the shared pool.
+  /// sessions cannot starve foreground lookups on the shared pool. A budget
+  /// slot covers a session's whole speculative pipeline — including the
+  /// speculative aligner *fit* of a refit speculation, which burns a
+  /// worker's CPU outright (a pure scan mostly contends for memory
+  /// bandwidth) — so the cap bounds background compute, not just background
+  /// scans.
   explicit SessionManager(const SeeSawService& service, size_t num_threads = 0,
                           const PrefetchPolicy& prefetch = {});
 
@@ -73,8 +78,12 @@ class SessionManager {
   /// The lookup pool shared by every session of this manager.
   ThreadPool& pool() { return pool_; }
 
-  /// Speculations currently in flight across all sessions (diagnostics).
+  /// Speculations (fit and/or scan stages) currently in flight across all
+  /// sessions (diagnostics).
   size_t prefetches_in_flight() const { return budget_.in_flight(); }
+
+  /// The manager-wide speculation policy its sessions were registered under.
+  const PrefetchPolicy& prefetch_policy() const { return prefetch_policy_; }
 
  private:
   friend class SeeSawService;
@@ -86,6 +95,7 @@ class SessionManager {
   void RebindService(const SeeSawService* service) { service_ = service; }
 
   const SeeSawService* service_;
+  PrefetchPolicy prefetch_policy_;
   // Declared before the pool: the pool's destructor drains queued
   // speculations, which release budget slots, so the budget must die last.
   PrefetchBudget budget_;

@@ -34,9 +34,14 @@ TaskResult RunSearchTask(core::Searcher& searcher,
     result.perceived_seconds += nextbatch;
     if (batch.empty()) break;  // store exhausted
 
-    // The human inspects the batch image by image (thinking between
-    // images); we stop mid-batch once the target is met (remaining images
-    // are never seen).
+    // The human inspects the batch image by image (thinking between user
+    // actions); we stop mid-batch once the target is met (remaining images
+    // are never seen). The think gap is modelled *after* each label: the
+    // user lingers over their judgment while moving on to the next image —
+    // and after the last label, while deciding to turn the page. That final
+    // dwell is exactly the window the refit speculation overlaps: the
+    // feedback is complete, so the predicted fit and the next-batch scan
+    // run while the user still "thinks".
     for (const core::ScoredImage& hit : batch) {
       bool relevant = dataset.IsPositive(hit.image_idx, concept_id);
       core::ImageFeedback fb;
@@ -45,13 +50,13 @@ TaskResult RunSearchTask(core::Searcher& searcher,
       if (relevant) {
         fb.boxes = dataset.ConceptBoxes(hit.image_idx, concept_id);
       }
+      call.Restart();
+      searcher.AddFeedback(fb);
+      result.perceived_seconds += call.ElapsedSeconds();
       if (think.count() > 0) {
         std::this_thread::sleep_for(think);
         result.think_seconds += think.count();
       }
-      call.Restart();
-      searcher.AddFeedback(fb);
-      result.perceived_seconds += call.ElapsedSeconds();
       result.relevance.push_back(relevant ? 1 : 0);
       ++result.inspected;
       if (relevant) ++result.found;

@@ -23,9 +23,12 @@ struct TaskOptions {
   /// specified size"). Active-search baselines use 1.
   size_t batch_size = 10;
   /// Simulated human think time per inspected image (seconds). The runner
-  /// sleeps this long after each image's feedback, modelling the inspection
-  /// gap that speculative prefetch overlaps with (§2.4's interactive-latency
-  /// argument). 0 (the default) reproduces the pure-compute benchmark.
+  /// sleeps this long after each image's feedback — including after the
+  /// batch's last label, before the refit — modelling the inspection gap
+  /// that speculative prefetch overlaps with (§2.4's interactive-latency
+  /// argument): the post-last-label dwell is where a refit speculation runs
+  /// its predicted fit + scan. 0 (the default) reproduces the pure-compute
+  /// benchmark.
   double think_seconds_per_image = 0.0;
 };
 

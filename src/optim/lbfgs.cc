@@ -58,6 +58,12 @@ std::string TerminationReasonToString(TerminationReason r) {
 
 Lbfgs::Lbfgs(LbfgsOptions options) : options_(options) {}
 
+// Determinism note (see lbfgs.h): this function deliberately avoids any
+// source of run-to-run variation — no RNG, no wall-clock dependence, no
+// unordered containers, no parallelism. Scalar accumulations (Dot, InfNorm)
+// run in fixed index order so their rounding is reproducible. Keep it that
+// way: the speculative-refit hit rate collapses to zero the moment two runs
+// from the same state disagree in even one bit.
 StatusOr<OptimResult> Lbfgs::Minimize(const Objective& objective,
                                       VectorD x0) const {
   if (x0.empty()) {

@@ -3,6 +3,17 @@
 // This is the minimizer behind SeeSaw's query aligner (§4.4 of the paper):
 // the loss is smooth and low-dimensional (embedding dim), and L-BFGS
 // converges in a few tens of iterations with no learning-rate tuning.
+//
+// Determinism audit (the refit-speculation consume check depends on it):
+// Minimize is a pure function of (options, objective, x0). Every operation
+// is sequential double-precision arithmetic in a fixed order — the two-loop
+// recursion walks the history deque deterministically, the line search and
+// zoom iterate on scalars, and there is no randomness, no time dependence,
+// no parallel reduction and no hidden global state. Provided the objective
+// itself is deterministic (AlignerLoss is: see core/aligner.h), repeated
+// calls from identical inputs return bitwise-identical iterates in the same
+// number of evaluations, regardless of concurrent load elsewhere in the
+// process. Guarded by tests/aligner_determinism_test.cc.
 #ifndef SEESAW_OPTIM_LBFGS_H_
 #define SEESAW_OPTIM_LBFGS_H_
 

@@ -132,8 +132,10 @@ int32_t AnnoyIndex::BuildSubtree(std::vector<uint32_t>& items, size_t begin,
 }
 
 std::vector<SearchResult> AnnoyIndex::TopK(VecSpan query, size_t k,
-                                           const SeenSet& seen) const {
+                                           const SeenSet& seen,
+                                           const ScanControl& control) const {
   SEESAW_CHECK_EQ(query.size(), vectors_.cols());
+  if (control.ShouldStop()) return {};
   const size_t d = vectors_.cols();
   size_t search_k = options_.search_k != 0
                         ? options_.search_k
@@ -177,6 +179,9 @@ std::vector<SearchResult> AnnoyIndex::TopK(VecSpan query, size_t k,
     frontier.push({std::min(e.priority, std::abs(margin)), far});
   }
 
+  // Second checkpoint before the exact scoring pass: a cancel delivered
+  // during the traversal skips the candidate scoring entirely.
+  if (control.ShouldStop()) return {};
   std::vector<SearchResult> scored;
   scored.reserve(candidates.size());
   for (uint32_t id : candidates) {
@@ -196,7 +201,7 @@ std::vector<std::vector<SearchResult>> AnnoyIndex::TopKBatch(
   std::vector<std::vector<SearchResult>> out(queries.size());
   auto run_query = [&](size_t q) {
     if (control.ShouldStop()) return;
-    out[q] = TopK(queries[q], k, seen);
+    out[q] = TopK(queries[q], k, seen, control);
   };
   if (pool != nullptr && pool->num_threads() > 1 && queries.size() > 1) {
     pool->ParallelFor(queries.size(), [&](size_t begin, size_t end) {

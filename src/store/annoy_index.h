@@ -41,8 +41,13 @@ class AnnoyIndex : public VectorStore {
   size_t size() const override { return vectors_.rows(); }
   size_t dim() const override { return vectors_.cols(); }
 
+  /// Scalar lookup. One forest traversal is the natural scan unit here (the
+  /// batched path checkpoints per query), so cancellation is checkpointed
+  /// twice: before the traversal and before the exact candidate-scoring
+  /// pass.
   std::vector<SearchResult> TopK(linalg::VecSpan query, size_t k,
-                                 const SeenSet& seen) const override;
+                                 const SeenSet& seen,
+                                 const ScanControl& control) const override;
   using VectorStore::TopK;
 
   /// Tree traversals are independent per query, so the batch simply fans

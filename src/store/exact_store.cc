@@ -24,14 +24,23 @@ StatusOr<ExactStore> ExactStore::Create(linalg::MatrixF vectors) {
 }
 
 std::vector<SearchResult> ExactStore::TopK(linalg::VecSpan query, size_t k,
-                                           const SeenSet& seen) const {
+                                           const SeenSet& seen,
+                                           const ScanControl& control) const {
   SEESAW_CHECK_EQ(query.size(), vectors_.cols());
   TopKHeap heap(k);
   const size_t n = vectors_.rows();
-  for (size_t i = 0; i < n; ++i) {
-    uint32_t id = static_cast<uint32_t>(i);
-    if (seen.Test(id)) continue;
-    heap.Push(id, linalg::Dot(vectors_.Row(i), query));
+  // Checkpoint every kRowBlock rows — the same stride the batched scan
+  // checkpoints at — so a cancelled speculative lookup on the scalar path
+  // stops mid-table too. The checkpoints do not affect scoring or order:
+  // an uncancelled scan returns exactly the pre-control result.
+  for (size_t block = 0; block < n; block += kRowBlock) {
+    if (control.ShouldStop()) break;
+    const size_t block_end = std::min(n, block + kRowBlock);
+    for (size_t i = block; i < block_end; ++i) {
+      uint32_t id = static_cast<uint32_t>(i);
+      if (seen.Test(id)) continue;
+      heap.Push(id, linalg::Dot(vectors_.Row(i), query));
+    }
   }
   return heap.TakeSorted();
 }

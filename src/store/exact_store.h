@@ -20,8 +20,11 @@ class ExactStore : public VectorStore {
   size_t size() const override { return vectors_.rows(); }
   size_t dim() const override { return vectors_.cols(); }
 
+  /// Scalar scan; cancellation is checkpointed per row block, same
+  /// granularity as the batched path.
   std::vector<SearchResult> TopK(linalg::VecSpan query, size_t k,
-                                 const SeenSet& seen) const override;
+                                 const SeenSet& seen,
+                                 const ScanControl& control) const override;
   using VectorStore::TopK;
 
   /// Batched exact scan: each cache-resident row block is scored against

@@ -62,10 +62,10 @@ std::vector<uint32_t> IvfFlatIndex::RankCells(
 
 std::vector<SearchResult> IvfFlatIndex::ScanLists(
     linalg::VecSpan query, const std::vector<uint32_t>& cells, size_t k,
-    const SeenSet& seen, const ScanControl* control) const {
+    const SeenSet& seen, const ScanControl& control) const {
   TopKHeap heap(k);
   for (uint32_t cell : cells) {
-    if (control != nullptr && control->ShouldStop()) break;
+    if (control.ShouldStop()) break;
     for (uint32_t id : lists_[cell]) {
       if (seen.Test(id)) continue;
       heap.Push(id, linalg::Dot(vectors_.Row(id), query));
@@ -75,13 +75,13 @@ std::vector<SearchResult> IvfFlatIndex::ScanLists(
 }
 
 std::vector<SearchResult> IvfFlatIndex::TopK(linalg::VecSpan query, size_t k,
-                                             const SeenSet& seen) const {
+                                             const SeenSet& seen,
+                                             const ScanControl& control) const {
   SEESAW_CHECK_EQ(query.size(), vectors_.cols());
   // Rank cells by centroid inner product (vectors are unit norm, so inner
   // product ordering ~ distance ordering).
   linalg::VectorF centroid_scores = centroids_.MatVec(query);
-  return ScanLists(query, RankCells(centroid_scores), k, seen,
-                   /*control=*/nullptr);
+  return ScanLists(query, RankCells(centroid_scores), k, seen, control);
 }
 
 std::vector<std::vector<SearchResult>> IvfFlatIndex::TopKBatch(
@@ -114,7 +114,7 @@ std::vector<std::vector<SearchResult>> IvfFlatIndex::TopKBatch(
   std::vector<std::vector<SearchResult>> out(num_queries);
   auto run_query = [&](size_t q) {
     linalg::VecSpan scores(&scores_by_query[q * num_cells], num_cells);
-    out[q] = ScanLists(queries[q], RankCells(scores), k, seen, &control);
+    out[q] = ScanLists(queries[q], RankCells(scores), k, seen, control);
   };
 
   if (pool != nullptr && pool->num_threads() > 1 && num_queries > 1) {

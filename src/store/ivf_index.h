@@ -36,8 +36,11 @@ class IvfFlatIndex : public VectorStore {
   size_t size() const override { return vectors_.rows(); }
   size_t dim() const override { return vectors_.cols(); }
 
+  /// Scalar lookup; cancellation is checkpointed per probed inverted list,
+  /// same granularity as the batched path.
   std::vector<SearchResult> TopK(linalg::VecSpan query, size_t k,
-                                 const SeenSet& seen) const override;
+                                 const SeenSet& seen,
+                                 const ScanControl& control) const override;
   using VectorStore::TopK;
 
   /// Batched lookup: centroids are scored against all queries in one blocked
@@ -68,12 +71,12 @@ class IvfFlatIndex : public VectorStore {
   /// batched paths so both probe identical lists.
   std::vector<uint32_t> RankCells(linalg::VecSpan centroid_scores) const;
 
-  /// Exhaustive scan of `cells`' member lists under `seen`. When `control`
-  /// is non-null, every probed list is a cancellation checkpoint.
+  /// Exhaustive scan of `cells`' member lists under `seen`. Every probed
+  /// list is a cancellation checkpoint.
   std::vector<SearchResult> ScanLists(linalg::VecSpan query,
                                       const std::vector<uint32_t>& cells,
                                       size_t k, const SeenSet& seen,
-                                      const ScanControl* control) const;
+                                      const ScanControl& control) const;
 
   IvfOptions options_;
   linalg::MatrixF vectors_;

@@ -85,13 +85,18 @@ std::vector<SearchResult> ShardedStore::MergeTopK(
 }
 
 std::vector<SearchResult> ShardedStore::TopK(linalg::VecSpan query, size_t k,
-                                             const SeenSet& seen) const {
+                                             const SeenSet& seen,
+                                             const ScanControl& control) const {
   SEESAW_CHECK_EQ(query.size(), dim_);
   const size_t num_shards = shards_.size();
   std::vector<std::vector<SearchResult>> per_shard(num_shards);
   auto scan_shard = [&](size_t s) {
+    // Checkpoint before the dispatch (shards not yet started are skipped
+    // outright once the token trips); the child checkpoints inside its own
+    // scalar scan.
+    if (control.ShouldStop()) return;
     SeenSet local = seen.Slice(begin_[s], begin_[s + 1]);
-    per_shard[s] = shards_[s]->TopK(query, k, local);
+    per_shard[s] = shards_[s]->TopK(query, k, local, control);
     for (SearchResult& hit : per_shard[s]) hit.id += begin_[s];
   };
   if (pool_ != nullptr && pool_->num_threads() > 1 && num_shards > 1) {

@@ -76,8 +76,11 @@ class ShardedStore : public VectorStore {
   /// Scalar lookup: every shard is scanned (on the default pool when one is
   /// set, serially otherwise) and the per-shard top-ks are merged under the
   /// canonical order. Exactly equal to a single ExactStore's TopK.
+  /// Cancellation is checkpointed per shard dispatch and propagated into
+  /// each child's scalar scan, mirroring the batched path.
   std::vector<SearchResult> TopK(linalg::VecSpan query, size_t k,
-                                 const SeenSet& seen) const override;
+                                 const SeenSet& seen,
+                                 const ScanControl& control) const override;
   using VectorStore::TopK;
 
   /// Batched lookup: fans the shards out on `pool` (each child may shard

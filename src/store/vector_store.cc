@@ -8,12 +8,13 @@ std::vector<std::vector<SearchResult>> VectorStore::TopKBatch(
     std::span<const linalg::VecSpan> queries, size_t k, const SeenSet& seen,
     ThreadPool* /*pool*/, const ScanControl& control) const {
   // Serial fallback: correctness reference for the parallel overrides.
-  // Checkpoint granularity is one whole query — the finest this layer can
-  // offer without knowing the backend's scan structure.
+  // This layer checkpoints once per query and additionally forwards the
+  // control into each scalar scan, which polls it at the backend's own
+  // checkpoints.
   std::vector<std::vector<SearchResult>> out(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     if (control.ShouldStop()) break;
-    out[i] = TopK(queries[i], k, seen);
+    out[i] = TopK(queries[i], k, seen, control);
   }
   return out;
 }

@@ -136,12 +136,23 @@ class VectorStore {
   /// best first (see BetterResult), skipping ids marked in `seen`. Fewer
   /// than k results are returned only when the store (after exclusions) is
   /// smaller than k or the index exhausts its candidates.
+  ///
+  /// `control` threads cooperative cancellation into the scalar scan, at the
+  /// same checkpoints as the batched path (per row block for the exact scan,
+  /// per probed list for IVF, per shard for ShardedStore). Same contract as
+  /// TopKBatch: a cancelled call returns early with unspecified partial
+  /// results, which the caller must discard.
   virtual std::vector<SearchResult> TopK(linalg::VecSpan query, size_t k,
-                                         const SeenSet& seen) const = 0;
+                                         const SeenSet& seen,
+                                         const ScanControl& control) const = 0;
 
-  /// Convenience overload without exclusions.
+  /// Convenience overloads: no control / no exclusions.
+  std::vector<SearchResult> TopK(linalg::VecSpan query, size_t k,
+                                 const SeenSet& seen) const {
+    return TopK(query, k, seen, ScanControl{});
+  }
   std::vector<SearchResult> TopK(linalg::VecSpan query, size_t k) const {
-    return TopK(query, k, EmptySeenSet());
+    return TopK(query, k, EmptySeenSet(), ScanControl{});
   }
 
   /// Multi-query lookup: out[i] is exactly TopK(queries[i], k, seen). The

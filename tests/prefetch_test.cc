@@ -1,10 +1,11 @@
 // Think-time speculative prefetch: bitwise parity with the synchronous
 // path (hit, miss, and invalidated speculations), hit accounting, the
-// cross-session budget, and the managed serving layer end to end.
+// cross-session budget, and the managed serving layer end to end. The
+// refit-speculation state machine (speculating *through* a query-moving
+// refit) has its own suite: tests/refit_speculation_test.cc.
 #include <gtest/gtest.h>
 
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -18,6 +19,9 @@
 namespace seesaw::core {
 namespace {
 
+using test_util::ExpectSameImageBatch;
+using test_util::RoundScript;
+using test_util::ScriptedUser;
 using Fixture = test_util::EmbeddedFixture;
 
 Fixture MakeFixture(StoreBackend backend) {
@@ -28,34 +32,6 @@ SeeSawOptions WithPrefetch(SeeSawOptions options, bool enabled) {
   options.prefetch.enabled = enabled;
   options.prefetch.max_in_flight = 0;  // unlimited; budget tested separately
   return options;
-}
-
-/// One interaction round: fetch a batch, label every image from ground
-/// truth, refit. Returns the batch.
-std::vector<ScoredImage> DriveRound(SeeSawSearcher& searcher,
-                                    const data::Dataset& dataset,
-                                    size_t concept_id, size_t n) {
-  auto batch = searcher.NextBatch(n);
-  for (const auto& hit : batch) {
-    ImageFeedback fb;
-    fb.image_idx = hit.image_idx;
-    fb.relevant = dataset.IsPositive(hit.image_idx, concept_id);
-    if (fb.relevant) {
-      fb.boxes = dataset.ConceptBoxes(hit.image_idx, concept_id);
-    }
-    searcher.AddFeedback(fb);
-  }
-  EXPECT_TRUE(searcher.Refit().ok());
-  return batch;
-}
-
-void ExpectSameBatch(const std::vector<ScoredImage>& a,
-                     const std::vector<ScoredImage>& b, int round) {
-  ASSERT_EQ(a.size(), b.size()) << "round " << round;
-  for (size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a[i].image_idx, b[i].image_idx) << "round " << round;
-    EXPECT_EQ(a[i].score, b[i].score) << "round " << round;  // bitwise
-  }
 }
 
 struct Variant {
@@ -78,6 +54,7 @@ TEST(PrefetchTest, ParityAcrossVariantsAndBackends) {
         StoreBackend::kSharded}) {
     auto f = MakeFixture(backend);
     ThreadPool pool(3);
+    ScriptedUser user(*f.dataset, /*concept_id=*/0);
     for (const Variant& variant : Variants()) {
       auto q0 = f.embedded->TextQuery(0);
       SeeSawSearcher baseline(*f.embedded, q0,
@@ -87,9 +64,9 @@ TEST(PrefetchTest, ParityAcrossVariantsAndBackends) {
       baseline.set_thread_pool(&pool);
       speculating.set_thread_pool(&pool);
       for (int round = 0; round < 5; ++round) {
-        auto expected = DriveRound(baseline, *f.dataset, 0, 8);
-        auto got = DriveRound(speculating, *f.dataset, 0, 8);
-        ExpectSameBatch(expected, got, round);
+        auto expected = user.DriveRound(baseline, 8);
+        auto got = user.DriveRound(speculating, 8);
+        ExpectSameImageBatch(got, expected, round);
       }
       EXPECT_GT(speculating.prefetch_stats().scheduled, 0u) << variant.name;
       EXPECT_EQ(baseline.prefetch_stats().scheduled, 0u) << variant.name;
@@ -107,29 +84,40 @@ TEST(PrefetchTest, ZeroShotConsumesSpeculations) {
   SeeSawSearcher searcher(*f.embedded, f.embedded->TextQuery(0),
                           WithPrefetch(zero, true));
   searcher.set_thread_pool(&pool);
+  ScriptedUser user(*f.dataset, 0);
   const int rounds = 5;
   for (int round = 0; round < rounds; ++round) {
-    DriveRound(searcher, *f.dataset, 0, 8);
+    user.DriveRound(searcher, 8);
   }
   EXPECT_EQ(searcher.prefetch_stats().hits, static_cast<size_t>(rounds - 1));
   EXPECT_EQ(searcher.prefetch_stats().misses, 0u);
+  // Zero-shot speculations never involve a predicted fit.
+  EXPECT_EQ(searcher.prefetch_stats().refit_fits, 0u);
+  EXPECT_EQ(searcher.prefetch_stats().hits_post_refit, 0u);
 }
 
-TEST(PrefetchTest, QueryUpdateInvalidatesSpeculation) {
-  // The full method refits to a new query each round, so speculations built
-  // on the old query must be cancelled — and results still match the
-  // synchronous baseline (covered by ParityAcrossVariantsAndBackends).
+TEST(PrefetchTest, QueryMovingRefitConsumesPredictedSpeculation) {
+  // The full method refits to a new query each round. Speculations used to
+  // die here (they were built on the stale query); with refit speculation
+  // the aligner runs during labeling and the scan uses the predicted
+  // post-refit query, so full-batch rounds now consume — bitwise parity is
+  // covered by ParityAcrossVariantsAndBackends and the refit_speculation
+  // suite.
   auto f = MakeFixture(StoreBackend::kExact);
   ThreadPool pool(3);
   SeeSawSearcher searcher(*f.embedded, f.embedded->TextQuery(0),
                           WithPrefetch(SeeSawOptions{}, true));
   searcher.set_thread_pool(&pool);
-  for (int round = 0; round < 4; ++round) {
-    DriveRound(searcher, *f.dataset, 0, 8);
+  ScriptedUser user(*f.dataset, 0);
+  const int rounds = 4;
+  for (int round = 0; round < rounds; ++round) {
+    user.DriveRound(searcher, 8);
   }
   const PrefetchStats& stats = searcher.prefetch_stats();
-  EXPECT_GT(stats.invalidated, 0u);
-  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_GT(stats.refit_fits, 0u);
+  EXPECT_GT(stats.refit_matches, 0u);
+  EXPECT_GT(stats.hits_post_refit, 0u);
+  EXPECT_EQ(stats.hits, stats.hits_post_refit);  // no same-query consumes
 }
 
 TEST(PrefetchTest, DeviatingFeedbackInvalidatesSpeculation) {
@@ -145,30 +133,14 @@ TEST(PrefetchTest, DeviatingFeedbackInvalidatesSpeculation) {
   baseline.set_thread_pool(&pool);
   speculating.set_thread_pool(&pool);
 
-  auto surprise = [&](SeeSawSearcher& s) {
-    auto batch = s.NextBatch(6);
-    // Label the batch plus one unshown image (e.g. found via another tool).
-    std::set<uint32_t> in_batch;
-    for (const auto& hit : batch) in_batch.insert(hit.image_idx);
-    uint32_t outside = 0;
-    while (s.IsSeen(outside) || in_batch.count(outside) != 0) ++outside;
-    ImageFeedback fb;
-    fb.image_idx = outside;
-    fb.relevant = false;
-    s.AddFeedback(fb);
-    for (const auto& hit : batch) {
-      ImageFeedback in;
-      in.image_idx = hit.image_idx;
-      in.relevant = false;
-      s.AddFeedback(in);
-    }
-    EXPECT_TRUE(s.Refit().ok());
-  };
-  surprise(baseline);
-  surprise(speculating);
+  ScriptedUser user(*f.dataset, 1);
+  RoundScript surprise;
+  surprise.label_unshown_image = true;
+  user.DriveRound(baseline, 6, surprise);
+  user.DriveRound(speculating, 6, surprise);
   auto expected = baseline.NextBatch(6);
   auto got = speculating.NextBatch(6);
-  ExpectSameBatch(expected, got, /*round=*/1);
+  ExpectSameImageBatch(got, expected, /*round=*/1);
   EXPECT_GT(speculating.prefetch_stats().invalidated +
                 speculating.prefetch_stats().misses,
             0u);
@@ -188,7 +160,7 @@ TEST(PrefetchTest, RepeatedNextBatchWithoutFeedbackMatchesSyncSemantics) {
   searcher.set_thread_pool(&pool);
   auto first = searcher.NextBatch(5);
   auto second = searcher.NextBatch(5);
-  ExpectSameBatch(first, second, /*round=*/0);
+  ExpectSameImageBatch(second, first, /*round=*/0);
   EXPECT_EQ(searcher.prefetch_stats().hits, 0u);
   EXPECT_GT(searcher.prefetch_stats().misses, 0u);
 }
@@ -201,6 +173,7 @@ TEST(PrefetchTest, DestructionDrainsInvalidatedSpeculations) {
   auto f = MakeFixture(StoreBackend::kExact);
   SeeSawOptions zero;
   zero.update_query = false;
+  ScriptedUser user(*f.dataset, 0);
   for (int i = 0; i < 20; ++i) {
     ThreadPool pool(2);
     auto searcher = std::make_unique<SeeSawSearcher>(
@@ -208,18 +181,22 @@ TEST(PrefetchTest, DestructionDrainsInvalidatedSpeculations) {
     searcher->set_thread_pool(&pool);
     auto batch = searcher->NextBatch(6);  // schedules a speculation
     ASSERT_FALSE(batch.empty());
-    std::set<uint32_t> in_batch;
-    for (const auto& hit : batch) in_batch.insert(hit.image_idx);
+    // Label one unshown image: invalidates while the task may be running.
     uint32_t outside = 0;
-    while (searcher->IsSeen(outside) || in_batch.count(outside) != 0) {
-      ++outside;
+    while (searcher->IsSeen(outside)) ++outside;
+    bool in_batch = true;
+    while (in_batch) {
+      in_batch = false;
+      for (const auto& hit : batch) {
+        if (hit.image_idx == outside) {
+          ++outside;
+          in_batch = true;
+        }
+      }
     }
-    ImageFeedback fb;
-    fb.image_idx = outside;
-    fb.relevant = false;
-    searcher->AddFeedback(fb);  // invalidates while the task may be running
-    searcher.reset();           // must drain the stale task
-  }                             // pool shutdown must see no new submissions
+    searcher->AddFeedback(user.GroundTruthFeedback(outside));
+    searcher.reset();  // must drain the stale task
+  }                    // pool shutdown must see no new submissions
 }
 
 TEST(PrefetchTest, BudgetCapsAcquisitions) {
@@ -280,6 +257,7 @@ TEST(PrefetchTest, ManagedSessionsWithPrefetchMatchBaseline) {
     EXPECT_DOUBLE_EQ(run_off.results[i].ap, run_on.results[i].ap);
   }
   EXPECT_EQ(on->sessions().prefetches_in_flight(), 0u);
+  EXPECT_EQ(on->sessions().prefetch_policy().max_in_flight, 2u);
 }
 
 }  // namespace

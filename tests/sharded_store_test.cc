@@ -457,6 +457,104 @@ TEST(InScanCancellationTest, IvfIndexStopsBetweenProbedLists) {
   EXPECT_TRUE(out[0].empty());
 }
 
+// The scalar TopK path checkpoints at the same granularity as the batched
+// one (ROADMAP leftover closed by the refit-speculation PR): per row block
+// for the exact scan, per shard dispatch for ShardedStore, per probed list
+// for IVF. Same deterministic semaphore-parked schedule as above.
+
+TEST(InScanCancellationTest, ExactStoreScalarTopKStopsMidScan) {
+  // 2048 rows = 64 row-block checkpoints, exactly like the batched scan.
+  auto store = ExactStore::Create(RandomTable(2048, 8, 81));
+  ASSERT_TRUE(store.ok());
+  auto queries = RandomQueries(1, 8, 82);
+
+  int total_blocks = 0;
+  {
+    ScanControl control;
+    control.checkpoint = [&] { ++total_blocks; };
+    auto out = store->TopK(queries[0], 10, EmptySeenSet(), control);
+    EXPECT_EQ(out.size(), 10u);
+    // The checkpoints must not change the result: bitwise equal to the
+    // control-free scalar scan.
+    ExpectIdenticalResults(out, store->TopK(queries[0], 10));
+  }
+  EXPECT_EQ(total_blocks, 64);
+
+  CancellationToken token;
+  ScanControl control;
+  control.cancel = &token;
+  std::vector<SearchResult> out;
+  int hit = RunBlockThenCancel(token, control, [&] {
+    out = store->TopK(queries[0], 10, EmptySeenSet(), control);
+  });
+  EXPECT_EQ(hit, 1) << "the scalar scan must stop at the checkpoint that "
+                       "observed the cancel, not finish the table";
+  EXPECT_TRUE(out.empty());  // nothing scanned before the cancel
+}
+
+TEST(InScanCancellationTest, ShardedStoreScalarTopKStopsAndSkipsShards) {
+  // Serial sharded scalar scan: 8 shard-dispatch checkpoints + 8 child
+  // blocks each (2048 rows / 8 shards / 32-row blocks) = 72 uncancelled;
+  // cancelled at the first checkpoint: the parked shard is skipped and the
+  // remaining 7 dispatches short-circuit — 8 hook hits, no block scored.
+  MatrixF table = RandomTable(2048, 8, 83);
+  ShardedOptions options;
+  options.num_shards = 8;
+  auto store = ShardedStore::Create(table, options);
+  ASSERT_TRUE(store.ok());
+  auto queries = RandomQueries(1, 8, 84);
+
+  int total = 0;
+  {
+    ScanControl control;
+    control.checkpoint = [&] { ++total; };
+    auto out = store->TopK(queries[0], 10, EmptySeenSet(), control);
+    EXPECT_EQ(out.size(), 10u);
+    ExpectIdenticalResults(out, store->TopK(queries[0], 10));
+  }
+  EXPECT_EQ(total, 72);
+
+  CancellationToken token;
+  ScanControl control;
+  control.cancel = &token;
+  std::vector<SearchResult> out;
+  int hit = RunBlockThenCancel(token, control, [&] {
+    out = store->TopK(queries[0], 10, EmptySeenSet(), control);
+  });
+  EXPECT_EQ(hit, 8);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(InScanCancellationTest, IvfScalarTopKStopsBetweenProbedLists) {
+  // nprobe = num_lists makes every probed list a checkpoint.
+  IvfOptions ivf;
+  ivf.num_lists = 16;
+  ivf.nprobe = 16;
+  auto store = IvfFlatIndex::Build(ivf, RandomTable(512, 8, 85));
+  ASSERT_TRUE(store.ok());
+  auto queries = RandomQueries(1, 8, 86);
+
+  int total = 0;
+  {
+    ScanControl control;
+    control.checkpoint = [&] { ++total; };
+    auto out = store->TopK(queries[0], 10, EmptySeenSet(), control);
+    EXPECT_EQ(out.size(), 10u);
+    ExpectIdenticalResults(out, store->TopK(queries[0], 10));
+  }
+  EXPECT_EQ(total, static_cast<int>(store->num_lists()));
+
+  CancellationToken token;
+  ScanControl control;
+  control.cancel = &token;
+  std::vector<SearchResult> out;
+  int hit = RunBlockThenCancel(token, control, [&] {
+    out = store->TopK(queries[0], 10, EmptySeenSet(), control);
+  });
+  EXPECT_EQ(hit, 1);
+  EXPECT_TRUE(out.empty());
+}
+
 // ------------------------------------------------- service-layer wiring --
 
 TEST(ShardedServiceTest, ManagedSessionsMatchExactBackendBitwise) {

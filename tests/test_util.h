@@ -1,18 +1,24 @@
 // Shared fixture builders for the test suites: random embedding-like
-// tables, query sets, seen sets, and the embedded-dataset fixture — the
-// builders that used to be duplicated across store_test, topk_batch_test,
-// and prefetch_test. Header-only; every test binary links the full library.
+// tables, query sets, seen sets, the embedded-dataset fixture, and the
+// deterministic scripted user driving interaction-loop tests — the builders
+// that used to be duplicated across store_test, topk_batch_test, and
+// prefetch_test. Header-only; every test binary links the full library.
 #ifndef SEESAW_TESTS_TEST_UTIL_H_
 #define SEESAW_TESTS_TEST_UTIL_H_
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "clip/concept_space.h"
 #include "common/rng.h"
 #include "core/embedded_dataset.h"
+#include "core/searcher_base.h"
 #include "data/profiles.h"
 #include "linalg/matrix.h"
 #include "linalg/vector_ops.h"
@@ -126,6 +132,110 @@ inline EmbeddedFixture MakeEmbeddedFixture(core::StoreBackend backend,
   f.embedded = std::make_unique<core::EmbeddedDataset>(std::move(*ed));
   return f;
 }
+
+/// Asserts two image batches are bitwise identical: same length, and the
+/// same image index and score bits at every rank.
+inline void ExpectSameImageBatch(const std::vector<core::ScoredImage>& got,
+                                 const std::vector<core::ScoredImage>& want,
+                                 int round) {
+  ASSERT_EQ(got.size(), want.size()) << "round " << round;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].image_idx, want[i].image_idx) << "round " << round;
+    EXPECT_EQ(got[i].score, want[i].score) << "round " << round;  // bitwise
+  }
+}
+
+/// How one interaction round deviates from the canonical "label the whole
+/// batch in shown order, then refit" loop. The speculation suites use these
+/// knobs to drive every consume/invalidate branch of the refit-speculation
+/// state machine.
+struct RoundScript {
+  /// Label the batch back to front instead of in shown order.
+  bool reverse_order = false;
+  /// Label only the first `max_labels` images of the (possibly reversed)
+  /// batch — a user who turns the page early (partial labels).
+  size_t max_labels = static_cast<size_t>(-1);
+  /// Additionally label one never-shown image (found via some other tool),
+  /// interleaved after the first in-batch label — feedback outside the
+  /// predicted batch.
+  bool label_unshown_image = false;
+  /// Call Refit() at the end of the round.
+  bool refit = true;
+};
+
+/// Deterministic scripted user: fetches a batch, labels it from dataset
+/// ground truth (region boxes included), optionally sleeps a fixed think
+/// time after each label (mirroring eval::RunSearchTask's timing model, the
+/// window speculative prefetch overlaps), and refits. One place for the
+/// drive loops the prefetch/speculation suites used to hand-roll.
+class ScriptedUser {
+ public:
+  ScriptedUser(const data::Dataset& dataset, size_t concept_id,
+               double think_seconds = 0.0)
+      : dataset_(&dataset),
+        concept_id_(concept_id),
+        think_seconds_(think_seconds) {}
+
+  /// Ground-truth feedback for one image (relevance + concept boxes).
+  core::ImageFeedback GroundTruthFeedback(uint32_t image_idx) const {
+    core::ImageFeedback fb;
+    fb.image_idx = image_idx;
+    fb.relevant = dataset_->IsPositive(image_idx, concept_id_);
+    if (fb.relevant) {
+      fb.boxes = dataset_->ConceptBoxes(image_idx, concept_id_);
+    }
+    return fb;
+  }
+
+  /// One interaction round: fetch a batch of `n`, label it per `script`,
+  /// refit (unless the script skips it). Returns the batch as fetched.
+  std::vector<core::ScoredImage> DriveRound(core::SearcherBase& searcher,
+                                            size_t n,
+                                            const RoundScript& script = {}) {
+    std::vector<core::ScoredImage> batch = searcher.NextBatch(n);
+    std::vector<core::ScoredImage> order = batch;
+    if (script.reverse_order) std::reverse(order.begin(), order.end());
+    if (order.size() > script.max_labels) order.resize(script.max_labels);
+    for (size_t i = 0; i < order.size(); ++i) {
+      Label(searcher, order[i].image_idx);
+      if (i == 0 && script.label_unshown_image) {
+        Label(searcher, FindUnshownImage(searcher, batch));
+      }
+    }
+    if (script.label_unshown_image && order.empty()) {
+      Label(searcher, FindUnshownImage(searcher, batch));
+    }
+    if (script.refit) EXPECT_TRUE(searcher.Refit().ok());
+    return batch;
+  }
+
+ private:
+  void Label(core::SearcherBase& searcher, uint32_t image_idx) {
+    searcher.AddFeedback(GroundTruthFeedback(image_idx));
+    if (think_seconds_ > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(think_seconds_));
+    }
+  }
+
+  /// Lowest-index image that is neither seen nor part of `batch`.
+  static uint32_t FindUnshownImage(const core::SearcherBase& searcher,
+                                   const std::vector<core::ScoredImage>& batch) {
+    auto in_batch = [&](uint32_t idx) {
+      for (const core::ScoredImage& hit : batch) {
+        if (hit.image_idx == idx) return true;
+      }
+      return false;
+    };
+    uint32_t idx = 0;
+    while (searcher.IsSeen(idx) || in_batch(idx)) ++idx;
+    return idx;
+  }
+
+  const data::Dataset* dataset_;
+  size_t concept_id_;
+  double think_seconds_;
+};
 
 }  // namespace seesaw::test_util
 

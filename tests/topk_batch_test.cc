@@ -92,8 +92,9 @@ TEST_F(TopKBatchParityTest, BaseClassSerialFallbackMatches) {
     size_t size() const override { return inner_.size(); }
     size_t dim() const override { return inner_.dim(); }
     std::vector<SearchResult> TopK(VecSpan query, size_t k,
-                                   const SeenSet& seen) const override {
-      return inner_.TopK(query, k, seen);
+                                   const SeenSet& seen,
+                                   const ScanControl& control) const override {
+      return inner_.TopK(query, k, seen, control);
     }
     using VectorStore::TopK;
     VecSpan GetVector(uint32_t id) const override {
