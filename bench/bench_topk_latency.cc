@@ -10,14 +10,24 @@
 //   ./bench_topk_latency [--n=20000] [--dim=128] [--k=100] [--warmup=1]
 //                        [--iters=5] [--threads=0] [--seen=0.1]
 //                        [--batches=1,4,8,16] [--shards=1,2,4,8]
-//                        [--csv] [--json]
+//                        [--min-shard-rows=4096] [--csv] [--json]
 //
 // Every (backend, batch) cell also verifies batched == scalar results, so
 // the bench doubles as a parity check at scale. --shards adds one
 // "sharded" backend row per shard count (a ShardedStore over the same
 // table, verified bitwise against the exact store before timing), recording
-// the shard-scaling curve. With --csv, one
-//   backend,shards,batch_size,scalar_ms,batched_ms,speedup,batched_qps
+// the shard-scaling curve. Requested shard counts pass through the
+// min_rows_per_shard floor (--min-shard-rows, default 4096): small tables
+// fall back to fewer shards, because below a few thousand rows per shard
+// the fixed per-shard costs make sharding a slowdown — rows record both the
+// requested and the effective count. Timing rows report the historical
+// means plus p50/p95/p99 over the timed iterations (tail latency is what
+// the interactive loop actually exposes to the user).
+//
+// With --csv, one
+//   backend,shards,requested_shards,batch_size,scalar_ms,batched_ms,
+//   speedup,batched_qps,scalar_p50_ms,batched_p50_ms,batched_p95_ms,
+//   batched_p99_ms
 // row per cell goes to stdout (after a header; shards is 0 for the
 // unsharded backends) and the table is skipped. With --json, each cell is
 // one JSON object per line (no header), which
@@ -29,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -51,6 +62,7 @@ struct LatencyArgs {
   double seen_fraction = 0.1;
   std::vector<size_t> batches = {1, 4, 8, 16};
   std::vector<size_t> shards;  // empty = no sharded rows
+  size_t min_shard_rows = 4096;  // rows-per-shard floor (auto-fallback)
   bool csv = false;
   bool json = false;
 
@@ -99,6 +111,9 @@ struct LatencyArgs {
           std::exit(2);
         }
       }
+      if (std::strncmp(a, "--min-shard-rows=", 17) == 0) {
+        args.min_shard_rows = std::strtoul(a + 17, nullptr, 10);
+      }
       if (std::strcmp(a, "--csv") == 0) args.csv = true;
       if (std::strcmp(a, "--json") == 0) args.json = true;
     }
@@ -127,8 +142,12 @@ bool SameResults(const std::vector<store::SearchResult>& a,
 }
 
 struct Cell {
+  // Historical mean fields (continuity with older committed baselines).
   double scalar_ms = 0;
   double batched_ms = 0;
+  // Per-iteration latency distributions.
+  LatencyStats scalar;
+  LatencyStats batched;
   double Speedup() const {
     return batched_ms > 0 ? scalar_ms / batched_ms : 0.0;
   }
@@ -151,24 +170,27 @@ Cell MeasureBackend(const store::VectorStore& store,
   // Keep the optimizer honest without asserting non-empty results: a fully
   // seen store (--seen=1.0) legitimately returns nothing.
   volatile size_t sink = 0;
-  Cell cell;
+  std::vector<double> scalar_samples, batched_samples;
   for (int it = -args.warmup; it < args.iters; ++it) {
     Stopwatch sw;
     for (linalg::VecSpan q : spans) {
       auto hits = store.TopK(q, args.k, seen);
       sink = sink + hits.size();
     }
-    if (it >= 0) cell.scalar_ms += sw.ElapsedSeconds() * 1e3;
+    if (it >= 0) scalar_samples.push_back(sw.ElapsedSeconds() * 1e3);
   }
   for (int it = -args.warmup; it < args.iters; ++it) {
     Stopwatch sw;
     auto hits = store.TopKBatch(queries_span, args.k, seen, pool);
     SEESAW_CHECK_EQ(hits.size(), spans.size());
     sink = sink + hits.front().size();
-    if (it >= 0) cell.batched_ms += sw.ElapsedSeconds() * 1e3;
+    if (it >= 0) batched_samples.push_back(sw.ElapsedSeconds() * 1e3);
   }
-  cell.scalar_ms /= args.iters;
-  cell.batched_ms /= args.iters;
+  Cell cell;
+  cell.scalar = SummarizeLatencies(std::move(scalar_samples));
+  cell.batched = SummarizeLatencies(std::move(batched_samples));
+  cell.scalar_ms = cell.scalar.mean_ms;
+  cell.batched_ms = cell.batched.mean_ms;
   return cell;
 }
 
@@ -209,17 +231,21 @@ int Run(int argc, char** argv) {
   struct Backend {
     const char* name;
     const store::VectorStore* store;
-    size_t shards = 0;  // 0 = not a sharded backend
+    size_t shards = 0;            // effective count; 0 = not sharded
+    size_t requested_shards = 0;  // what the flag asked for
   };
   std::vector<Backend> backends = {
       {"exact", &*exact}, {"ivf", &*ivf}, {"annoy", &*annoy}};
 
   // The --shards axis: one ShardedStore per count over the same table,
-  // verified bitwise against the exact store before any timing.
+  // verified bitwise against the exact store before any timing. The
+  // min_rows_per_shard floor may fall back to fewer effective shards on
+  // small tables; rows record both counts.
   std::vector<std::unique_ptr<store::ShardedStore>> sharded_stores;
   for (size_t count : args.shards) {
     store::ShardedOptions sharded_options;
     sharded_options.num_shards = count;
+    sharded_options.min_rows_per_shard = args.min_shard_rows;
     auto sharded = store::ShardedStore::Create(table, sharded_options);
     SEESAW_CHECK(sharded.ok());
     // Parity probes draw from their own stream so the measured query
@@ -241,23 +267,26 @@ int Run(int argc, char** argv) {
     sharded_stores.push_back(
         std::make_unique<store::ShardedStore>(std::move(*sharded)));
     // Record the effective count: Create clamps num_shards to the row
-    // count, and the committed baseline must describe what actually ran.
+    // count and the per-shard floor, and the committed baseline must
+    // describe what actually ran.
     backends.push_back({"sharded", sharded_stores.back().get(),
-                        sharded_stores.back()->num_shards()});
+                        sharded_stores.back()->num_shards(), count});
   }
 
   if (args.csv) {
-    std::printf("backend,shards,batch_size,scalar_ms,batched_ms,speedup,"
-                "batched_qps\n");
+    std::printf("backend,shards,requested_shards,batch_size,scalar_ms,"
+                "batched_ms,speedup,batched_qps,scalar_p50_ms,"
+                "batched_p50_ms,batched_p95_ms,batched_p99_ms\n");
   } else if (args.json) {
     // One object per line; the suite script wraps them into a document.
   } else {
     std::printf("TopK latency: n=%zu dim=%zu k=%zu seen=%.2f threads=%zu "
-                "(ms per batch, mean of %d iters)\n",
+                "(ms per batch over %d iters)\n",
                 args.n, args.dim, args.k, args.seen_fraction,
                 pool.num_threads(), args.iters);
-    std::printf("%-8s %6s %6s %12s %12s %9s %12s\n", "backend", "shards",
-                "batch", "scalar_ms", "batched_ms", "speedup", "batched_qps");
+    std::printf("%-8s %6s %6s %12s %12s %9s %12s %10s %10s %10s\n", "backend",
+                "shards", "batch", "scalar_ms", "batched_ms", "speedup",
+                "batched_qps", "b_p50", "b_p95", "b_p99");
   }
 
   for (const Backend& backend : backends) {
@@ -268,21 +297,33 @@ int Run(int argc, char** argv) {
                        ? static_cast<double>(batch) / (cell.batched_ms / 1e3)
                        : 0.0;
       if (args.csv) {
-        std::printf("%s,%zu,%zu,%.4f,%.4f,%.3f,%.1f\n", backend.name,
-                    backend.shards, batch, cell.scalar_ms, cell.batched_ms,
-                    cell.Speedup(), qps);
+        std::printf("%s,%zu,%zu,%zu,%.4f,%.4f,%.3f,%.1f,%.4f,%.4f,%.4f,"
+                    "%.4f\n",
+                    backend.name, backend.shards, backend.requested_shards,
+                    batch, cell.scalar_ms, cell.batched_ms, cell.Speedup(),
+                    qps, cell.scalar.p50_ms, cell.batched.p50_ms,
+                    cell.batched.p95_ms, cell.batched.p99_ms);
       } else if (args.json) {
         std::printf("{\"backend\":\"%s\",\"n\":%zu,\"dim\":%zu,"
-                    "\"k\":%zu,\"shards\":%zu,\"batch\":%zu,"
+                    "\"k\":%zu,\"shards\":%zu,\"requested_shards\":%zu,"
+                    "\"batch\":%zu,"
                     "\"scalar_ms\":%.4f,\"batched_ms\":%.4f,"
-                    "\"speedup\":%.3f,\"batched_qps\":%.1f}\n",
+                    "\"speedup\":%.3f,\"batched_qps\":%.1f,"
+                    "\"scalar_p50_ms\":%.4f,\"scalar_p95_ms\":%.4f,"
+                    "\"scalar_p99_ms\":%.4f,\"batched_p50_ms\":%.4f,"
+                    "\"batched_p95_ms\":%.4f,\"batched_p99_ms\":%.4f}\n",
                     backend.name, args.n, args.dim, args.k, backend.shards,
-                    batch, cell.scalar_ms, cell.batched_ms, cell.Speedup(),
-                    qps);
+                    backend.requested_shards, batch, cell.scalar_ms,
+                    cell.batched_ms, cell.Speedup(), qps, cell.scalar.p50_ms,
+                    cell.scalar.p95_ms, cell.scalar.p99_ms,
+                    cell.batched.p50_ms, cell.batched.p95_ms,
+                    cell.batched.p99_ms);
       } else {
-        std::printf("%-8s %6zu %6zu %12.4f %12.4f %8.2fx %12.1f\n",
+        std::printf("%-8s %6zu %6zu %12.4f %12.4f %8.2fx %12.1f %10.4f "
+                    "%10.4f %10.4f\n",
                     backend.name, backend.shards, batch, cell.scalar_ms,
-                    cell.batched_ms, cell.Speedup(), qps);
+                    cell.batched_ms, cell.Speedup(), qps, cell.batched.p50_ms,
+                    cell.batched.p95_ms, cell.batched.p99_ms);
       }
     }
   }

@@ -13,6 +13,8 @@
 #ifndef SEESAW_BENCH_BENCH_UTIL_H_
 #define SEESAW_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +34,39 @@
 #include "eval/task_runner.h"
 
 namespace seesaw::bench {
+
+/// Latency distribution over repeated timed runs. Means hide tail latency —
+/// the paper's interactivity argument is about the *worst* rounds a user
+/// sits through — so the latency benches report p50/p95/p99 alongside the
+/// historical mean.
+struct LatencyStats {
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+};
+
+/// Nearest-rank percentiles over the recorded samples. With few iterations
+/// p95/p99 degenerate to the max — the honest tail estimate a small sample
+/// supports (the committed baselines run enough iters to separate them).
+inline LatencyStats SummarizeLatencies(std::vector<double> samples_ms) {
+  LatencyStats s;
+  if (samples_ms.empty()) return s;
+  std::sort(samples_ms.begin(), samples_ms.end());
+  double total = 0;
+  for (double v : samples_ms) total += v;
+  s.mean_ms = total / static_cast<double>(samples_ms.size());
+  auto rank = [&](double p) {
+    size_t idx = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(samples_ms.size())));
+    if (idx > 0) --idx;
+    return samples_ms[std::min(idx, samples_ms.size() - 1)];
+  };
+  s.p50_ms = rank(50);
+  s.p95_ms = rank(95);
+  s.p99_ms = rank(99);
+  return s;
+}
 
 /// Command-line options shared by all bench binaries.
 struct BenchArgs {

@@ -15,11 +15,12 @@
 # --json writes BENCH_simd.json (bench_simd_kernels: scalar vs dispatched
 # kernel throughput across dims x batches), BENCH_topk.json
 # (bench_topk_latency rows across --sizes, including one "sharded" row per
-# --shards count — the shard-scaling curve) and BENCH_prefetch.json
+# --shards count — the shard-scaling curve), BENCH_prefetch.json
 # (bench_prefetch_latency: per-backend/variant speculation hit rates —
 # zero-shot and post-refit — plus perceived NextBatch latency, prefetch off
-# vs on, parity-checked) into --out-dir (default: repo root) instead of
-# emitting CSV.
+# vs on, parity-checked) and BENCH_scale.json (via run_scale_suite.sh at
+# SCALE_SIZES, default 1M: fp32 vs int8 scan latency percentiles at scale)
+# into --out-dir (default: repo root) instead of emitting CSV.
 set -euo pipefail
 
 SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
@@ -183,6 +184,14 @@ emit_json() {
         "$PREFETCH_THINK_MS" "$THREADS" "$prows" \
         > "$prefetch_out"
     echo "prefetch JSON written to $prefetch_out" >&2
+
+    # Scale baseline (BENCH_scale.json) delegates to run_scale_suite.sh.
+    # SCALE_SIZES defaults to 1M here so the combined suite stays tractable;
+    # run run_scale_suite.sh directly for the full 1M/4M/16M sweep.
+    echo "== run_scale_suite.sh sizes=${SCALE_SIZES:-1M} ==" >&2
+    "$SCRIPT_DIR/run_scale_suite.sh" --sizes "${SCALE_SIZES:-1M}" \
+        --warmup "$WARMUP" --iters "$ITERS" --threads "$THREADS" \
+        --out "$OUT_DIR/BENCH_scale.json"
 }
 
 if [[ "$JSON" == 1 ]]; then

@@ -36,8 +36,9 @@ StatusOr<std::unique_ptr<store::VectorStore>> BuildStore(
       break;
     }
     case StoreBackend::kExact: {
-      SEESAW_ASSIGN_OR_RETURN(store::ExactStore index,
-                              store::ExactStore::Create(std::move(table_copy)));
+      SEESAW_ASSIGN_OR_RETURN(
+          store::ExactStore index,
+          store::ExactStore::Create(std::move(table_copy), options.exact));
       out = std::make_unique<store::ExactStore>(std::move(index));
       break;
     }

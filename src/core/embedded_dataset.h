@@ -50,8 +50,11 @@ struct PreprocessOptions {
   /// Compute M_D (needed by DB alignment; skip for baseline-only runs).
   bool build_md = true;
   graph::MdOptions md;
-  /// Index backend and its tuning knobs.
+  /// Index backend and its tuning knobs. Scan precision lives on the
+  /// backend options: `exact.precision` for kExact, `sharded.precision`
+  /// for kSharded (the fp32 master table is retained either way).
   StoreBackend backend = StoreBackend::kExact;
+  store::ExactStoreOptions exact;
   store::AnnoyOptions annoy;
   store::IvfOptions ivf;
   store::ShardedOptions sharded;

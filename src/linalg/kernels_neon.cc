@@ -118,6 +118,45 @@ void ScoreBlockNeon(const float* rows, size_t num_rows, size_t dim,
   }
 }
 
+// ------------------------------------------------------------- int8 family --
+// Widening-multiply path (baseline NEON, no +dotprod feature probe needed):
+// vmull_s8 widens 8 products to int16, vpadalq_s16 pairwise-accumulates them
+// into int32 lanes. Integer sums are exact, so this matches the scalar
+// reference bitwise regardless of chunking; an sdot fast path can drop in
+// later behind a runtime feature check without changing results.
+
+int32_t DotI8Neon(const int8_t* a, const int8_t* b, size_t n) {
+  int32x4_t acc = vdupq_n_s32(0);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const int8x16_t va = vld1q_s8(a + i);
+    const int8x16_t vb = vld1q_s8(b + i);
+    const int16x8_t lo = vmull_s8(vget_low_s8(va), vget_low_s8(vb));
+    const int16x8_t hi = vmull_s8(vget_high_s8(va), vget_high_s8(vb));
+    acc = vpadalq_s16(acc, lo);
+    acc = vpadalq_s16(acc, hi);
+  }
+  int32_t r = vaddvq_s32(acc);
+  for (; i < n; ++i) {
+    r += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return r;
+}
+
+void ScoreBlockI8Neon(const int8_t* rows, const float* row_scales,
+                      size_t num_rows, size_t dim, const int8_t* queries,
+                      const float* query_scales, size_t num_queries,
+                      float* out) {
+  for (size_t r = 0; r < num_rows; ++r) {
+    const int8_t* row = rows + r * dim;
+    for (size_t q = 0; q < num_queries; ++q) {
+      const int32_t s = DotI8Neon(row, queries + q * dim, dim);
+      out[r * num_queries + q] =
+          static_cast<float>(s) * (row_scales[r] * query_scales[q]);
+    }
+  }
+}
+
 }  // namespace
 
 namespace internal {
@@ -128,6 +167,12 @@ const KernelTable* NeonKernelsOrNull() {
   return &kTable;
 }
 
+const Int8KernelTable* NeonInt8KernelsOrNull() {
+  static constexpr Int8KernelTable kTable = {"neon", DotI8Neon,
+                                             ScoreBlockI8Neon};
+  return &kTable;
+}
+
 }  // namespace internal
 }  // namespace seesaw::linalg
 
@@ -135,6 +180,7 @@ const KernelTable* NeonKernelsOrNull() {
 
 namespace seesaw::linalg::internal {
 const KernelTable* NeonKernelsOrNull() { return nullptr; }
+const Int8KernelTable* NeonInt8KernelsOrNull() { return nullptr; }
 }  // namespace seesaw::linalg::internal
 
 #endif

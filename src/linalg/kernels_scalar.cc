@@ -61,11 +61,45 @@ void ScoreBlockScalar(const float* rows, size_t num_rows, size_t dim,
   }
 }
 
+// ------------------------------------------------------------- int8 family --
+// The int32 accumulation is exact (|q| <= 127, so dims up to 2^17 cannot
+// overflow), which makes the scalar loop the full spec: vector kernels may
+// reorder the integer sums freely and still match bitwise. The only float
+// ops are the two fixed-order scale multiplies in ScoreBlockI8Scalar.
+
+int32_t DotI8Scalar(const int8_t* a, const int8_t* b, size_t n) {
+  int32_t acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return acc;
+}
+
+void ScoreBlockI8Scalar(const int8_t* rows, const float* row_scales,
+                        size_t num_rows, size_t dim, const int8_t* queries,
+                        const float* query_scales, size_t num_queries,
+                        float* out) {
+  for (size_t r = 0; r < num_rows; ++r) {
+    const int8_t* row = rows + r * dim;
+    for (size_t q = 0; q < num_queries; ++q) {
+      const int32_t acc = DotI8Scalar(row, queries + q * dim, dim);
+      const float combined = row_scales[r] * query_scales[q];
+      out[r * num_queries + q] = static_cast<float>(acc) * combined;
+    }
+  }
+}
+
 }  // namespace
 
 const KernelTable& ScalarKernels() {
   static constexpr KernelTable kTable = {"scalar", DotScalar, DotBatchScalar,
                                          ScoreBlockScalar};
+  return kTable;
+}
+
+const Int8KernelTable& ScalarInt8Kernels() {
+  static constexpr Int8KernelTable kTable = {"scalar", DotI8Scalar,
+                                             ScoreBlockI8Scalar};
   return kTable;
 }
 

@@ -30,13 +30,14 @@
 // batched query engine's parity guarantees are built on.
 //
 // Selection: the first call resolves SEESAW_FORCE_KERNEL
-// ("scalar" | "avx2" | "neon" | "auto"; unknown or unsupported values
-// abort), else picks the best kernel the CPU supports. Tests switch kernels
-// programmatically via ForceKernels().
+// ("scalar" | "avx2" | "avx512vnni" | "neon" | "auto"; unknown or
+// unsupported values abort), else picks the best kernel the CPU supports.
+// Tests switch kernels programmatically via ForceKernels().
 #ifndef SEESAW_LINALG_SIMD_H_
 #define SEESAW_LINALG_SIMD_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -64,19 +65,60 @@ struct KernelTable {
                       const VecSpan* queries, size_t num_queries, float* out);
 };
 
+/// The int8 kernel family: scoring over symmetric per-row-quantized tables
+/// (linalg/quantize.h). A separate *family* from the fp32 kernels — scores
+/// are not bitwise comparable across families (the cross-family gate is
+/// recall@k vs the fp32 scan) — but *within* the family every kernel is
+/// bitwise identical by construction: the int32 accumulation is exact, and
+/// the only float operations are the two scale multiplies below, performed
+/// in one fixed order:
+///
+///   combined = row_scale * query_scale;          // one rounding
+///   out      = float(int32_sum) * combined;      // one rounding
+///
+/// Dispatch follows the fp32 table: the same SEESAW_FORCE_KERNEL /
+/// ForceKernels() name selects both families together, so a forced-scalar CI
+/// leg pins every scoring path at once.
+struct Int8KernelTable {
+  /// Stable name; matches the fp32 table resolved under the same name.
+  const char* name;
+
+  /// Exact int32 inner product of two int8 vectors.
+  int32_t (*dot_i32)(const int8_t* a, const int8_t* b, size_t n);
+
+  /// out[r * num_queries + q] =
+  ///   float(<rows[r], queries[q]>_i32) * (row_scales[r] * query_scales[q])
+  /// for num_rows contiguous int8 rows of `dim` entries (row stride == dim);
+  /// queries are likewise contiguous int8 vectors of `dim` entries (query
+  /// stride == dim).
+  void (*score_block)(const int8_t* rows, const float* row_scales,
+                      size_t num_rows, size_t dim, const int8_t* queries,
+                      const float* query_scales, size_t num_queries,
+                      float* out);
+};
+
 /// The portable reference implementation; always available, and the
 /// ground truth the vector kernels are parity-tested against.
 const KernelTable& ScalarKernels();
+
+/// The portable int8 reference implementation; always available.
+const Int8KernelTable& ScalarInt8Kernels();
 
 /// The active table. First call resolves SEESAW_FORCE_KERNEL (aborting on an
 /// unknown or unsupported name), else auto-detects. Thread-safe; the result
 /// is cached in an atomic so steady-state dispatch is one load.
 const KernelTable& ActiveKernels();
 
-/// Forces the active table by name ("scalar", "avx2", "neon"), or back to
-/// CPU auto-detection with "auto". Returns false (and leaves the active
-/// table unchanged) if the name is unknown or unsupported on this CPU.
-/// Intended for tests and benchmarks; not synchronized with in-flight scans.
+/// The active int8 table; resolves by the same name (and the same
+/// SEESAW_FORCE_KERNEL / ForceKernels state) as ActiveKernels().
+const Int8KernelTable& ActiveInt8Kernels();
+
+/// Forces the active tables (both families) by name ("scalar", "avx2",
+/// "avx512vnni", "neon"), or back to CPU auto-detection with "auto".
+/// Returns false (and
+/// leaves the active tables unchanged) if the name is unknown or unsupported
+/// on this CPU. Intended for tests and benchmarks; not synchronized with
+/// in-flight scans.
 bool ForceKernels(std::string_view name);
 
 /// Kernel names usable on this CPU, best first. Always contains "scalar".
@@ -86,12 +128,23 @@ std::vector<std::string> SupportedKernels();
 /// detection); nullptr if unknown or unsupported on this CPU.
 const KernelTable* FindKernels(std::string_view name);
 
+/// Int8 counterpart of FindKernels; the same names resolve (every supported
+/// fp32 table ships an int8 sibling).
+const Int8KernelTable* FindInt8Kernels(std::string_view name);
+
 namespace internal {
 /// Arch-specific tables, nullptr when the CPU (or the build architecture)
 /// lacks the feature. Defined unconditionally so the dispatcher links on
 /// every platform.
 const KernelTable* Avx2KernelsOrNull();
 const KernelTable* NeonKernelsOrNull();
+const Int8KernelTable* Avx2Int8KernelsOrNull();
+const Int8KernelTable* NeonInt8KernelsOrNull();
+/// AVX512-VNNI configuration: vpdpbusd int8 scoring paired with the AVX2
+/// fp32 members (the fp32 accumulation spec is contract-pinned, and the
+/// fp32 scan is DRAM-bound — wider fp32 vectors buy nothing).
+const KernelTable* Avx512VnniKernelsOrNull();
+const Int8KernelTable* Avx512VnniInt8KernelsOrNull();
 
 /// Drops the cached active table so the next ActiveKernels() call re-reads
 /// SEESAW_FORCE_KERNEL. Test-only.

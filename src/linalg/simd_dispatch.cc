@@ -1,5 +1,7 @@
 // Kernel selection: CPU-feature detection, SEESAW_FORCE_KERNEL, and the
-// cached active-table pointer.
+// cached active-table pointers. The fp32 and int8 families resolve by the
+// same name in lockstep: every supported fp32 table ships an int8 sibling,
+// so one forced name (or one CPU detection) pins every scoring path.
 #include <atomic>
 #include <cstdlib>
 
@@ -11,6 +13,7 @@ namespace {
 
 /// Best table the CPU supports, in preference order.
 const KernelTable* DetectKernels() {
+  if (const KernelTable* t = internal::Avx512VnniKernelsOrNull()) return t;
   if (const KernelTable* t = internal::Avx2KernelsOrNull()) return t;
   if (const KernelTable* t = internal::NeonKernelsOrNull()) return t;
   return &ScalarKernels();
@@ -21,11 +24,32 @@ const KernelTable* ResolveName(std::string_view name) {
   if (name == "auto") return DetectKernels();
   if (name == "scalar") return &ScalarKernels();
   if (name == "avx2") return internal::Avx2KernelsOrNull();
+  if (name == "avx512vnni") return internal::Avx512VnniKernelsOrNull();
   if (name == "neon") return internal::NeonKernelsOrNull();
   return nullptr;
 }
 
+/// The int8 sibling of the table ResolveName would pick for `name`. Kept as
+/// a separate lookup (not a field of KernelTable) so each family's table
+/// stays a flat constexpr function-pointer struct.
+const Int8KernelTable* ResolveInt8Name(std::string_view name) {
+  if (name == "auto") {
+    if (const Int8KernelTable* t = internal::Avx512VnniInt8KernelsOrNull()) {
+      return t;
+    }
+    if (const Int8KernelTable* t = internal::Avx2Int8KernelsOrNull()) return t;
+    if (const Int8KernelTable* t = internal::NeonInt8KernelsOrNull()) return t;
+    return &ScalarInt8Kernels();
+  }
+  if (name == "scalar") return &ScalarInt8Kernels();
+  if (name == "avx2") return internal::Avx2Int8KernelsOrNull();
+  if (name == "avx512vnni") return internal::Avx512VnniInt8KernelsOrNull();
+  if (name == "neon") return internal::NeonInt8KernelsOrNull();
+  return nullptr;
+}
+
 std::atomic<const KernelTable*> g_active{nullptr};
+std::atomic<const Int8KernelTable*> g_active_i8{nullptr};
 
 /// First-use resolution: honor SEESAW_FORCE_KERNEL, else detect. A forced
 /// kernel that is unknown or unsupported on this CPU aborts — CI legs that
@@ -39,6 +63,7 @@ const KernelTable* ResolveInitial() {
       << " is unknown or unsupported on this CPU (supported: scalar"
 #if defined(__x86_64__) || defined(__i386__)
       << (internal::Avx2KernelsOrNull() != nullptr ? ", avx2" : "")
+      << (internal::Avx512VnniKernelsOrNull() != nullptr ? ", avx512vnni" : "")
 #endif
 #if defined(__aarch64__)
       << ", neon"
@@ -60,15 +85,31 @@ const KernelTable& ActiveKernels() {
   return *t;
 }
 
+const Int8KernelTable& ActiveInt8Kernels() {
+  const Int8KernelTable* t = g_active_i8.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    // Resolve the fp32 table first (honoring SEESAW_FORCE_KERNEL / abort
+    // semantics), then pick the sibling by its name. Same benign race.
+    t = ResolveInt8Name(ActiveKernels().name);
+    g_active_i8.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
 bool ForceKernels(std::string_view name) {
   const KernelTable* t = ResolveName(name);
-  if (t == nullptr) return false;
+  const Int8KernelTable* t8 = ResolveInt8Name(name);
+  if (t == nullptr || t8 == nullptr) return false;
   g_active.store(t, std::memory_order_release);
+  g_active_i8.store(t8, std::memory_order_release);
   return true;
 }
 
 std::vector<std::string> SupportedKernels() {
   std::vector<std::string> names;
+  if (const KernelTable* t = internal::Avx512VnniKernelsOrNull()) {
+    names.emplace_back(t->name);
+  }
   if (const KernelTable* t = internal::Avx2KernelsOrNull()) {
     names.emplace_back(t->name);
   }
@@ -83,9 +124,14 @@ const KernelTable* FindKernels(std::string_view name) {
   return ResolveName(name);
 }
 
+const Int8KernelTable* FindInt8Kernels(std::string_view name) {
+  return ResolveInt8Name(name);
+}
+
 namespace internal {
 void ResetKernelsForTest() {
   g_active.store(nullptr, std::memory_order_release);
+  g_active_i8.store(nullptr, std::memory_order_release);
 }
 }  // namespace internal
 

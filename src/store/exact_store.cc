@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "linalg/simd.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 namespace seesaw::store {
 
@@ -14,13 +20,44 @@ namespace {
 /// block (kRowBlock x dim floats) plus the queries stay cache-resident.
 constexpr size_t kRowBlock = 32;
 
+/// True if any of scores[0..num) might be admitted against thresholds[0..num)
+/// — i.e. NOT (score < threshold) for some lane. The negated-compare keeps
+/// NaN scores on the "might admit" side, so the caller's scalar admit path
+/// (and with it the scan's exact result semantics, ties and NaN included)
+/// stays the single source of truth; this is purely a fast reject for the
+/// overwhelmingly common all-below-threshold row.
+inline bool AnyCandidate(const float* scores, const float* thresholds,
+                         size_t num) {
+  size_t q = 0;
+#if defined(__SSE2__)
+  for (; q + 4 <= num; q += 4) {
+    const __m128 s = _mm_loadu_ps(scores + q);
+    const __m128 t = _mm_loadu_ps(thresholds + q);
+    if (_mm_movemask_ps(_mm_cmpnlt_ps(s, t)) != 0) return true;
+  }
+#endif
+  for (; q < num; ++q) {
+    if (!(scores[q] < thresholds[q])) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 StatusOr<ExactStore> ExactStore::Create(linalg::MatrixF vectors) {
+  return Create(std::move(vectors), ExactStoreOptions{});
+}
+
+StatusOr<ExactStore> ExactStore::Create(linalg::MatrixF vectors,
+                                        const ExactStoreOptions& options) {
   if (vectors.rows() == 0 || vectors.cols() == 0) {
     return Status::InvalidArgument("ExactStore: empty vector table");
   }
-  return ExactStore(std::move(vectors));
+  ExactStore store(std::move(vectors), options);
+  if (options.precision == ScanPrecision::kInt8) {
+    store.quantized_ = linalg::QuantizeRows(store.vectors_);
+  }
+  return store;
 }
 
 std::vector<SearchResult> ExactStore::TopK(linalg::VecSpan query, size_t k,
@@ -29,10 +66,31 @@ std::vector<SearchResult> ExactStore::TopK(linalg::VecSpan query, size_t k,
   SEESAW_CHECK_EQ(query.size(), vectors_.cols());
   TopKHeap heap(k);
   const size_t n = vectors_.rows();
+  const size_t dim = vectors_.cols();
   // Checkpoint every kRowBlock rows — the same stride the batched scan
   // checkpoints at — so a cancelled speculative lookup on the scalar path
   // stops mid-table too. The checkpoints do not affect scoring or order:
   // an uncancelled scan returns exactly the pre-control result.
+  if (options_.precision == ScanPrecision::kInt8) {
+    // Quantize the query once; per-pair scoring follows the int8 family's
+    // fixed spec (combined = row_scale * query_scale, then one multiply), so
+    // the scalar lookup is bitwise equal to the batched int8 scan.
+    const linalg::QuantizedVector q = linalg::QuantizeQuery(query);
+    const linalg::Int8KernelTable& kernels = linalg::ActiveInt8Kernels();
+    for (size_t block = 0; block < n; block += kRowBlock) {
+      if (control.ShouldStop()) break;
+      const size_t block_end = std::min(n, block + kRowBlock);
+      for (size_t i = block; i < block_end; ++i) {
+        uint32_t id = static_cast<uint32_t>(i);
+        if (seen.Test(id)) continue;
+        const int32_t acc =
+            kernels.dot_i32(quantized_.Row(i), q.data.data(), dim);
+        const float combined = quantized_.scale(i) * q.scale;
+        heap.Push(id, static_cast<float>(acc) * combined);
+      }
+    }
+    return heap.TakeSorted();
+  }
   for (size_t block = 0; block < n; block += kRowBlock) {
     if (control.ShouldStop()) break;
     const size_t block_end = std::min(n, block + kRowBlock);
@@ -56,6 +114,34 @@ std::vector<std::vector<SearchResult>> ExactStore::TopKBatch(
   if (k == 0) return std::vector<std::vector<SearchResult>>(num_queries);
 
   const size_t n = vectors_.rows();
+  const size_t dim = vectors_.cols();
+  const bool int8 = options_.precision == ScanPrecision::kInt8;
+
+  // Int8 scans quantize the query batch once, into one contiguous block
+  // matching the Int8KernelTable::score_block layout.
+  std::vector<int8_t> qdata;
+  std::vector<float> qscales;
+  const linalg::Int8KernelTable* int8_kernels = nullptr;
+  if (int8) {
+    int8_kernels = &linalg::ActiveInt8Kernels();
+    qdata.resize(num_queries * dim);
+    qscales.resize(num_queries);
+    std::vector<int8_t> tmp;
+    for (size_t q = 0; q < num_queries; ++q) {
+      qscales[q] = linalg::QuantizeVector(queries[q], &tmp);
+      std::copy(tmp.begin(), tmp.end(), qdata.begin() + q * dim);
+    }
+  }
+
+  // Scan policy: once most rows are seen, enumerating the unseen set as
+  // run-length compacted intervals beats testing every row bit-by-bit. The
+  // intervals are exactly the blocks the skip-test loop produces, so both
+  // policies score the same blocks in the same order (bitwise-identical
+  // results, same cancellation checkpoints — one per scored block).
+  const bool compact_scan =
+      static_cast<double>(seen.count()) >=
+      options_.compact_seen_fraction * static_cast<double>(n);
+
   size_t num_shards = 1;
   if (pool != nullptr && pool->num_threads() > 1) {
     // A couple of shards per worker evens out stragglers; never fewer rows
@@ -94,10 +180,44 @@ std::vector<std::vector<SearchResult>> ExactStore::TopKBatch(
         worst_id[q] = heap.Worst().id;
       }
     };
+    // Scores rows [r, run_end) against every query and feeds the heaps.
+    auto score_run = [&](size_t r, size_t run_end) {
+      if (int8) {
+        int8_kernels->score_block(quantized_.Row(r),
+                                  quantized_.scales.data() + r, run_end - r,
+                                  dim, qdata.data(), qscales.data(),
+                                  num_queries, scores.data());
+      } else {
+        vectors_.ScoreBlock(
+            r, run_end, queries,
+            linalg::MutVecSpan(scores.data(), (run_end - r) * num_queries));
+      }
+      for (size_t row = r; row < run_end; ++row) {
+        const float* row_scores = scores.data() + (row - r) * num_queries;
+        // Fast reject: until every heap is full the thresholds are -inf and
+        // the filter always passes through to admit().
+        if (!AnyCandidate(row_scores, worst_score.data(), num_queries)) {
+          continue;
+        }
+        for (size_t q = 0; q < num_queries; ++q) {
+          admit(q, static_cast<uint32_t>(row), row_scores[q]);
+        }
+      }
+    };
     // Seen rows are skipped before scoring (exactly like the scalar scan):
-    // ScoreBlock runs over maximal unseen runs, capped at kRowBlock rows.
-    // Each block is a cancellation checkpoint: a cancelled scan abandons the
-    // rest of this shard's rows (partial heaps; the caller discards them).
+    // blocks are maximal unseen runs, capped at kRowBlock rows. Each block
+    // is a cancellation checkpoint: a cancelled scan abandons the rest of
+    // this shard's rows (partial heaps; the caller discards them).
+    if (compact_scan) {
+      std::vector<std::pair<uint32_t, uint32_t>> runs;
+      seen.AppendUnseenRuns(static_cast<uint32_t>(begin),
+                            static_cast<uint32_t>(end), kRowBlock, &runs);
+      for (const auto& [run_begin, run_end] : runs) {
+        if (control.ShouldStop()) return;
+        score_run(run_begin, run_end);
+      }
+      return;
+    }
     size_t r = begin;
     while (r < end) {
       if (seen.Test(static_cast<uint32_t>(r))) {
@@ -110,15 +230,7 @@ std::vector<std::vector<SearchResult>> ExactStore::TopKBatch(
              !seen.Test(static_cast<uint32_t>(run_end))) {
         ++run_end;
       }
-      vectors_.ScoreBlock(
-          r, run_end, queries,
-          linalg::MutVecSpan(scores.data(), (run_end - r) * num_queries));
-      for (size_t row = r; row < run_end; ++row) {
-        const float* row_scores = scores.data() + (row - r) * num_queries;
-        for (size_t q = 0; q < num_queries; ++q) {
-          admit(q, static_cast<uint32_t>(row), row_scores[q]);
-        }
-      }
+      score_run(r, run_end);
       r = run_end;
     }
   };

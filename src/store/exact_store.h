@@ -6,9 +6,28 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "linalg/quantize.h"
 #include "store/vector_store.h"
 
 namespace seesaw::store {
+
+/// Build/scan knobs for ExactStore.
+struct ExactStoreOptions {
+  /// Scan representation. kInt8 builds a quantized copy of the table at
+  /// Create (the fp32 master is retained — GetVector()/vectors() always
+  /// serve full precision) and scores TopK/TopKBatch through the int8
+  /// kernel family. See ScanPrecision for the cross-family contract.
+  ScanPrecision precision = ScanPrecision::kFloat32;
+
+  /// Batched scans switch from per-row seen tests to the run-length
+  /// compacted unseen enumeration (SeenSet::AppendUnseenRuns) once
+  /// seen.count() >= compact_seen_fraction * rows. Both enumerations score
+  /// the same blocks in the same order, so results are bitwise identical —
+  /// this is purely a scan-policy knob (the compacted walk skips long seen
+  /// stretches word-at-a-time instead of bit-by-bit). Values > 1.0 disable
+  /// compaction; 0.0 always compacts.
+  double compact_seen_fraction = 0.5;
+};
 
 /// Exact top-k scan over a dense row-major table.
 class ExactStore : public VectorStore {
@@ -16,6 +35,10 @@ class ExactStore : public VectorStore {
   /// Takes ownership of `vectors` (rows are the stored vectors). Rows need
   /// not be unit-norm, but SeeSaw always stores unit vectors.
   static StatusOr<ExactStore> Create(linalg::MatrixF vectors);
+
+  /// Same, with explicit scan options (kInt8 quantizes the table here).
+  static StatusOr<ExactStore> Create(linalg::MatrixF vectors,
+                                     const ExactStoreOptions& options);
 
   size_t size() const override { return vectors_.rows(); }
   size_t dim() const override { return vectors_.cols(); }
@@ -41,13 +64,22 @@ class ExactStore : public VectorStore {
     return vectors_.Row(id);
   }
 
-  /// The underlying table (used to build graphs over the same vectors).
+  /// The underlying fp32 table (used to build graphs over the same
+  /// vectors); always retained regardless of scan precision.
   const linalg::MatrixF& vectors() const { return vectors_; }
 
+  const ExactStoreOptions& options() const { return options_; }
+
+  /// The quantized scan copy; empty() unless precision == kInt8.
+  const linalg::QuantizedTable& quantized() const { return quantized_; }
+
  private:
-  explicit ExactStore(linalg::MatrixF vectors) : vectors_(std::move(vectors)) {}
+  ExactStore(linalg::MatrixF vectors, const ExactStoreOptions& options)
+      : vectors_(std::move(vectors)), options_(options) {}
 
   linalg::MatrixF vectors_;
+  ExactStoreOptions options_;
+  linalg::QuantizedTable quantized_;  // only populated for kInt8
 };
 
 }  // namespace seesaw::store

@@ -10,10 +10,14 @@ namespace seesaw::store {
 
 StatusOr<ShardedStore> ShardedStore::Create(linalg::MatrixF vectors,
                                             const ShardedOptions& options) {
+  ExactStoreOptions child_options;
+  child_options.precision = options.precision;
   return Create(std::move(vectors), options,
-                [](linalg::MatrixF part) -> StatusOr<std::unique_ptr<VectorStore>> {
-                  SEESAW_ASSIGN_OR_RETURN(ExactStore child,
-                                          ExactStore::Create(std::move(part)));
+                [child_options](linalg::MatrixF part)
+                    -> StatusOr<std::unique_ptr<VectorStore>> {
+                  SEESAW_ASSIGN_OR_RETURN(
+                      ExactStore child,
+                      ExactStore::Create(std::move(part), child_options));
                   return std::unique_ptr<VectorStore>(
                       std::make_unique<ExactStore>(std::move(child)));
                 });
@@ -30,8 +34,12 @@ StatusOr<ShardedStore> ShardedStore::Create(linalg::MatrixF vectors,
   }
   const size_t n = vectors.rows();
   const size_t d = vectors.cols();
-  // Near-equal contiguous ranges; clamping keeps every shard non-empty.
-  const size_t num_shards = std::min(options.num_shards, n);
+  // Near-equal contiguous ranges; clamping keeps every shard non-empty and
+  // at least min_rows_per_shard rows wide (small tables automatically fall
+  // back to fewer shards — see ShardedOptions).
+  const size_t floor_rows = std::max<size_t>(1, options.min_rows_per_shard);
+  const size_t max_shards = std::max<size_t>(1, n / floor_rows);
+  const size_t num_shards = std::min({options.num_shards, n, max_shards});
   const size_t base = n / num_shards;
   const size_t extra = n % num_shards;
 

@@ -49,6 +49,19 @@ struct ShardedOptions {
   /// Number of child stores the table is partitioned into. Clamped to the
   /// row count (a shard always owns at least one row).
   size_t num_shards = 1;
+
+  /// Floor on rows per shard: the effective shard count is additionally
+  /// clamped so every shard owns at least this many rows. Small tables fall
+  /// back to fewer shards automatically — below a few thousand rows the
+  /// per-shard fixed costs (heap setup, slice, merge) outweigh the scan
+  /// split, and the sharded store would run *slower* than a single exact
+  /// scan. 1 (the default) preserves the historical clamp-to-row-count
+  /// behavior; benchmarks use 4096.
+  size_t min_rows_per_shard = 1;
+
+  /// Scan precision forwarded to the default ExactStore children. Callers
+  /// supplying their own ChildFactory configure children themselves.
+  ScanPrecision precision = ScanPrecision::kFloat32;
 };
 
 /// Row-range-partitioned store over N child VectorStores.

@@ -32,6 +32,18 @@ class ThreadPool;
 
 namespace seesaw::store {
 
+/// Numeric representation a store scans in. Stores always retain the fp32
+/// master table (GetVector serves fp32 either way — the refit/aligner math
+/// needs full precision); kInt8 additionally builds a symmetric per-row
+/// quantized copy (linalg/quantize.h) and scores scans through the int8
+/// kernel family. Int8 scores are not bitwise comparable to fp32 scores —
+/// the cross-family contract is recall@k (>= 0.99 recall@100 on clustered
+/// data, gated in tests/quantized_kernel_test.cc and bench_scale).
+enum class ScanPrecision {
+  kFloat32,  ///< scan the fp32 master table (bitwise-reproducible reference)
+  kInt8,     ///< scan a per-row-quantized int8 copy (~4x less bandwidth)
+};
+
 /// In-scan control for batched lookups: cooperative cancellation plus a
 /// test-only checkpoint hook.
 ///

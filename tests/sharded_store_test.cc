@@ -142,6 +142,13 @@ TEST(ShardedStoreTest, RandomizedParitySweep) {
     MatrixF table = RandomTable(c.n, c.d, c.seed);
     auto exact = ExactStore::Create(table);
     ASSERT_TRUE(exact.ok());
+    // Quantized rows ride the same sweep: a sharded int8 store must be
+    // bitwise equal to a single int8 ExactStore (within-family parity; the
+    // int32 accumulation is exact, so partitioning cannot perturb scores).
+    ExactStoreOptions int8_options;
+    int8_options.precision = ScanPrecision::kInt8;
+    auto exact8 = ExactStore::Create(table, int8_options);
+    ASSERT_TRUE(exact8.ok());
     auto queries = RandomQueries(4, c.d, c.seed + 100);
     for (size_t shards : kShardCounts) {
       ShardedOptions options;
@@ -154,8 +161,40 @@ TEST(ShardedStoreTest, RandomizedParitySweep) {
       }
       // An empty (capacity-0) global seen set must slice cleanly too.
       CheckShardedParity(*exact, *sharded, queries, EmptySeenSet(), &pool);
+
+      options.precision = ScanPrecision::kInt8;
+      auto sharded8 = ShardedStore::Create(table, options);
+      ASSERT_TRUE(sharded8.ok());
+      for (double fraction : {0.0, 0.5, 0.99}) {
+        SeenSet seen = RandomSeenSet(c.n, fraction, c.seed + 7);
+        CheckShardedParity(*exact8, *sharded8, queries, seen, &pool);
+      }
     }
   }
+}
+
+TEST(ShardedStoreTest, MinRowsPerShardFallsBackToFewerShards) {
+  // Small tables auto-fall back: requesting 16 shards of a 300-row table
+  // with a 100-row floor yields 3 shards — and stays bitwise equal to the
+  // unsharded scan (the floor only changes the partition, never results).
+  MatrixF table = RandomTable(300, 8, 31);
+  auto exact = ExactStore::Create(table);
+  ASSERT_TRUE(exact.ok());
+  ShardedOptions options;
+  options.num_shards = 16;
+  options.min_rows_per_shard = 100;
+  auto sharded = ShardedStore::Create(table, options);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded->num_shards(), 3u);
+  auto queries = RandomQueries(3, 8, 32);
+  SeenSet seen = RandomSeenSet(300, 0.4, 33);
+  CheckShardedParity(*exact, *sharded, queries, seen, /*pool=*/nullptr);
+
+  // A floor larger than the table collapses to one shard.
+  options.min_rows_per_shard = 1000;
+  auto single = ShardedStore::Create(table, options);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->num_shards(), 1u);
 }
 
 TEST(ShardedStoreTest, DuplicateScoresTieBreakAcrossShardBoundaries) {
