@@ -1,0 +1,365 @@
+#!/usr/bin/env python3
+"""check_invariants.py — custom linter for SeeSaw-specific contracts.
+
+These are repo invariants no off-the-shelf tool knows about; each one
+encodes a rule a past PR established and a future refactor could silently
+break. Run from anywhere (the repo root is derived from this file's
+location); exits 0 when clean, 1 with one line per violation otherwise.
+
+Rules
+  scan-control      Every TopK/TopKBatch override in src/store must thread
+                    store::ScanControl — the in-scan cancellation seam (PR 4)
+                    that a new backend could quietly drop, turning cancelled
+                    speculations back into run-to-completion scans.
+  raw-threading     No raw std::thread / std::mutex / std::condition_variable
+                    / lock_guard / unique_lock / scoped_lock / detach() in
+                    src outside common/ (and none anywhere in bench/ or
+                    examples/). Everything must go through the annotated
+                    seesaw::Mutex / MutexLock / CondVar / ThreadPool wrappers
+                    so the Clang -Wthread-safety analysis can see every
+                    acquire. (tests/ may drive raw std::thread — their gate
+                    is the concurrency-tests rule below.)
+  kernel-libm       Kernel implementation files (src/linalg/kernels_*.cc)
+                    must not call libm reductions outside the fixed
+                    accumulation spec: std::fmaf is the spec's only sanctioned
+                    libm call (single rounding, bitwise-pinned); exp/log/pow/
+                    sqrt/tanh or std::accumulate/std::reduce would break the
+                    cross-kernel bitwise-parity contract (PR 3).
+  concurrency-tests Every test file using ThreadPool must be registered in
+                    SEESAW_CONCURRENCY_TESTS (CMakeLists.txt) so the TSan CI
+                    leg runs it — an unregistered suite is concurrency code
+                    TSan never sees.
+  bench-json        Committed BENCH_*.json baselines must parse, carry
+                    non-empty "rows", and (for the latency benches
+                    BENCH_scale.json / BENCH_topk.json) every row must carry
+                    p50/p95/p99 latency keys — the percentile contract the
+                    scale work (PR 6) established for anything claiming a
+                    latency number.
+
+Self-test: --self-test seeds one violation per rule into a scratch tree and
+asserts the rule catches it (and that a clean miniature tree passes), so the
+linter cannot rot into a silent no-op.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _strip_comments(text: str) -> str:
+    """Removes // and /* */ comments (so commented-out code can't trip rules)."""
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+# --------------------------------------------------------------- scan-control
+# Matches a TopK/TopKBatch member declaration/definition up to its parameter
+# list, tolerating multi-line parameter lists.
+_TOPK_SIG = re.compile(
+    r"\b(TopK|TopKBatch)\s*\(([^;{]*?)\)\s*(?:const\s*)?override", re.DOTALL
+)
+
+
+def check_scan_control(root: Path) -> list[str]:
+    errors = []
+    for path in sorted((root / "src" / "store").glob("*.h")):
+        text = _strip_comments(path.read_text())
+        for m in _TOPK_SIG.finditer(text):
+            name, params = m.group(1), m.group(2)
+            if "ScanControl" not in params:
+                line = text[: m.start()].count("\n") + 1
+                errors.append(
+                    f"{path.relative_to(root)}:{line}: [scan-control] "
+                    f"{name} override does not take a store::ScanControl — "
+                    "in-scan cancellation would be dropped for this backend"
+                )
+    return errors
+
+
+# -------------------------------------------------------------- raw-threading
+_RAW_THREADING = [
+    (re.compile(r"std::thread\b(?!\s*::)"), "std::thread"),
+    (re.compile(r"std::jthread\b"), "std::jthread"),
+    (re.compile(r"std::(?:timed_|recursive_|shared_)?mutex\b"), "std::mutex"),
+    (re.compile(r"std::condition_variable(?:_any)?\b"), "std::condition_variable"),
+    (re.compile(r"std::lock_guard\b"), "std::lock_guard"),
+    (re.compile(r"std::unique_lock\b"), "std::unique_lock"),
+    (re.compile(r"std::scoped_lock\b"), "std::scoped_lock"),
+    (re.compile(r"\.detach\s*\(\s*\)"), ".detach()"),
+]
+
+
+def check_raw_threading(root: Path) -> list[str]:
+    errors = []
+    scan_dirs = [root / "src", root / "bench", root / "examples"]
+    for base in scan_dirs:
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".h", ".cc", ".cpp"):
+                continue
+            rel = path.relative_to(root)
+            # common/ owns the annotated wrappers and the pool's workers.
+            if rel.parts[:2] == ("src", "common"):
+                continue
+            text = _strip_comments(path.read_text())
+            for pattern, label in _RAW_THREADING:
+                for m in pattern.finditer(text):
+                    line = text[: m.start()].count("\n") + 1
+                    errors.append(
+                        f"{rel}:{line}: [raw-threading] {label} outside "
+                        "src/common — use seesaw::Mutex/MutexLock/CondVar/"
+                        "ThreadPool (common/mutex.h) so -Wthread-safety can "
+                        "see the acquire"
+                    )
+    return errors
+
+
+# ---------------------------------------------------------------- kernel-libm
+# The fixed accumulation spec (linalg/simd.h) pins every float operation in
+# the scoring kernels; std::fmaf is its one sanctioned libm call. Anything
+# else from libm — or a std::accumulate/std::reduce whose association order
+# the implementation may choose — would break cross-kernel bitwise parity.
+_KERNEL_FORBIDDEN = re.compile(
+    r"\bstd::(?:exp|exp2|expm1|log|log2|log10|log1p|pow|sqrt|cbrt|hypot|"
+    r"sin|cos|tan|tanh|erf|tgamma|lgamma|accumulate|reduce)\b"
+    r"|\b(?:expf|logf|powf|sqrtf|tanhf|hypotf)\s*\("
+)
+
+
+def check_kernel_libm(root: Path) -> list[str]:
+    errors = []
+    for path in sorted((root / "src" / "linalg").glob("kernels_*.cc")):
+        text = _strip_comments(path.read_text())
+        for m in _KERNEL_FORBIDDEN.finditer(text):
+            line = text[: m.start()].count("\n") + 1
+            errors.append(
+                f"{path.relative_to(root)}:{line}: [kernel-libm] "
+                f"'{m.group(0).strip('(').strip()}' in a kernel file — only "
+                "std::fmaf is inside the fixed accumulation spec; other libm "
+                "reductions break cross-kernel bitwise parity"
+            )
+    return errors
+
+
+# ---------------------------------------------------------- concurrency-tests
+_CMAKE_LIST = re.compile(
+    r"set\(SEESAW_CONCURRENCY_TESTS\s+(.*?)\)", re.DOTALL
+)
+
+
+def check_concurrency_tests(root: Path) -> list[str]:
+    cmake = root / "CMakeLists.txt"
+    if not cmake.is_file():
+        return [f"CMakeLists.txt: [concurrency-tests] file missing"]
+    m = _CMAKE_LIST.search(cmake.read_text())
+    if m is None:
+        return [
+            "CMakeLists.txt: [concurrency-tests] no "
+            "set(SEESAW_CONCURRENCY_TESTS ...) block found"
+        ]
+    registered = set(m.group(1).split())
+    errors = []
+    tests_dir = root / "tests"
+    if not tests_dir.is_dir():
+        return errors
+    for path in sorted(tests_dir.glob("*.cc")):
+        text = _strip_comments(path.read_text())
+        if re.search(r"\bThreadPool\b", text) and path.stem not in registered:
+            errors.append(
+                f"{path.relative_to(root)}:1: [concurrency-tests] uses "
+                "ThreadPool but is not in SEESAW_CONCURRENCY_TESTS "
+                "(CMakeLists.txt) — the TSan CI leg will never run it"
+            )
+    return errors
+
+
+# ----------------------------------------------------------------- bench-json
+# Latency benches must commit percentiles, not just means (PR 6's contract).
+# Keyed by filename; other BENCH files need only parse and carry rows. Every
+# row needs p50/p95; p99 is additionally required except on kind=="policy"
+# rows (A/B comparison rows commit a p50/p95 pair per arm — p99 is noise at
+# the per-arm sample counts those sweeps use).
+_PERCENTILE_FILES = {
+    "BENCH_scale.json": ("p50_ms", "p95_ms", "p99_ms"),
+    "BENCH_topk.json": ("p50_ms", "p95_ms", "p99_ms"),
+}
+_P99_EXEMPT_KINDS = {"policy"}
+
+
+def check_bench_json(root: Path) -> list[str]:
+    errors = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        rel = path.relative_to(root)
+        try:
+            doc = json.loads(path.read_text())
+        except json.JSONDecodeError as e:
+            errors.append(f"{rel}:1: [bench-json] does not parse: {e}")
+            continue
+        rows = doc.get("rows")
+        if not isinstance(rows, list) or not rows:
+            errors.append(f"{rel}:1: [bench-json] missing or empty 'rows'")
+            continue
+        suffixes = _PERCENTILE_FILES.get(path.name)
+        if suffixes is None:
+            continue
+        for i, row in enumerate(rows):
+            keys = set(row)
+            exempt_p99 = row.get("kind") in _P99_EXEMPT_KINDS
+            for wanted in suffixes:
+                if wanted == "p99_ms" and exempt_p99:
+                    continue
+                if not any(k.endswith(wanted) for k in keys):
+                    errors.append(
+                        f"{rel}:1: [bench-json] rows[{i}] carries no "
+                        f"*{wanted} key — latency baselines must commit "
+                        "p50/p95/p99, not just means"
+                    )
+                    break
+    return errors
+
+
+RULES = [
+    check_scan_control,
+    check_raw_threading,
+    check_kernel_libm,
+    check_concurrency_tests,
+    check_bench_json,
+]
+
+
+def run_all(root: Path) -> list[str]:
+    errors = []
+    for rule in RULES:
+        errors.extend(rule(root))
+    return errors
+
+
+# ------------------------------------------------------------------ self-test
+def _write(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+
+
+def self_test() -> int:
+    """Seeds one violation per rule and asserts each is caught."""
+    failures = []
+
+    def expect(name: str, errors: list[str], tag: str, want: bool) -> None:
+        hit = any(tag in e for e in errors)
+        if hit != want:
+            failures.append(
+                f"self-test '{name}': expected {tag} "
+                f"{'violation' if want else 'clean'}, got: {errors or '[]'}"
+            )
+
+    with tempfile.TemporaryDirectory(prefix="seesaw-lint-selftest-") as td:
+        root = Path(td)
+        # A miniature clean tree: every rule must pass on it.
+        _write(
+            root / "src/store/good_store.h",
+            "std::vector<SearchResult> TopK(linalg::VecSpan q, size_t k,\n"
+            "    const SeenSet& seen, const ScanControl& control)\n"
+            "    const override;\n",
+        )
+        _write(root / "src/core/clean.cc", "int x = 0;  // std::mutex in comment\n")
+        _write(
+            root / "src/linalg/kernels_scalar.cc",
+            "float f() { return std::fmaf(1.f, 2.f, 3.f); }\n",
+        )
+        _write(
+            root / "CMakeLists.txt",
+            "set(SEESAW_CONCURRENCY_TESTS\n    pool_test)\n",
+        )
+        _write(root / "tests/pool_test.cc", "ThreadPool pool(2);\n")
+        _write(
+            root / "BENCH_scale.json",
+            json.dumps(
+                {"bench": "scale", "rows": [
+                    {"p50_ms": 1.0, "p95_ms": 2.0, "p99_ms": 3.0},
+                    # policy A/B rows commit p50/p95 per arm, no p99.
+                    {"kind": "policy", "skip_p50_ms": 1.0,
+                     "skip_p95_ms": 2.0}]}
+            ),
+        )
+        clean = run_all(root)
+        if clean:
+            failures.append(f"self-test clean tree not clean: {clean}")
+
+        # scan-control: an override that drops ScanControl.
+        _write(
+            root / "src/store/bad_store.h",
+            "std::vector<SearchResult> TopK(linalg::VecSpan q, size_t k,\n"
+            "    const SeenSet& seen) const override;\n",
+        )
+        expect("scan-control", check_scan_control(root), "[scan-control]", True)
+
+        # raw-threading: a std::mutex outside common/.
+        _write(root / "src/core/bad_mutex.cc", "static std::mutex mu;\n")
+        expect("raw-threading", check_raw_threading(root), "[raw-threading]", True)
+
+        # kernel-libm: a std::sqrt in a kernel file.
+        _write(
+            root / "src/linalg/kernels_avx2.cc",
+            "float n(float x) { return std::sqrt(x); }\n",
+        )
+        expect("kernel-libm", check_kernel_libm(root), "[kernel-libm]", True)
+
+        # concurrency-tests: a ThreadPool test not registered in CMake.
+        _write(root / "tests/rogue_test.cc", "ThreadPool pool(2);\n")
+        expect(
+            "concurrency-tests",
+            check_concurrency_tests(root),
+            "[concurrency-tests]",
+            True,
+        )
+
+        # bench-json: a latency baseline without percentiles, and junk JSON.
+        _write(
+            root / "BENCH_topk.json",
+            json.dumps({"bench": "topk_latency", "rows": [{"mean_ms": 1.0}]}),
+        )
+        _write(root / "BENCH_broken.json", "{not json")
+        expect("bench-json", check_bench_json(root), "[bench-json]", True)
+
+    if failures:
+        for f in failures:
+            print(f, file=sys.stderr)
+        print("self-test FAILED", file=sys.stderr)
+        return 1
+    print("self-test OK: every rule catches its seeded violation")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", type=Path, default=REPO_ROOT,
+        help="repo root to lint (default: this script's repo)",
+    )
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="seed violations into a scratch tree and assert they are caught",
+    )
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    errors = run_all(args.root)
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"check_invariants: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print("check_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

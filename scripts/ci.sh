@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # ci.sh — configure, build, and test exactly as the tier-1 verify does.
 #
-# Usage: ./scripts/ci.sh [--native] [--tsan] [--asan] [--skip-base]
+# Usage: ./scripts/ci.sh [--native] [--tsan] [--asan] [--lint] [--skip-base]
 #
 # Base pass (default): generic Release configure + build + full ctest, plus a
 # SEESAW_FORCE_KERNEL=scalar re-run of the kernel-sensitive suites so the
@@ -17,6 +17,10 @@
 # --asan     additionally builds CMAKE_BUILD_TYPE=Asan (AddressSanitizer +
 #            UBSan) in build-asan and runs the full suite — remainder-lane
 #            intrinsics bugs are exactly what this leg catches.
+# --lint     runs scripts/run_lint.sh: the SeeSaw invariant linter, a clang
+#            -Wthread-safety -Werror build of src/, and clang-tidy. Fails
+#            fast with an install hint if clang/clang-tidy are missing
+#            (run_lint.sh --invariants-only covers clang-less hosts).
 # --skip-base  skip the base pass (for CI matrix legs that only want one of
 #            the configurations above).
 set -euo pipefail
@@ -29,15 +33,22 @@ RUN_BASE=1
 RUN_NATIVE=0
 RUN_TSAN=0
 RUN_ASAN=0
+RUN_LINT=0
 for arg in "$@"; do
   case "$arg" in
     --native) RUN_NATIVE=1 ;;
     --tsan) RUN_TSAN=1 ;;
     --asan) RUN_ASAN=1 ;;
+    --lint) RUN_LINT=1 ;;
     --skip-base) RUN_BASE=0 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
+
+if [[ "$RUN_LINT" == 1 ]]; then
+  echo "=== Lint pass (invariants + thread-safety + clang-tidy) ==="
+  ./scripts/run_lint.sh
+fi
 
 if [[ "$RUN_BASE" == 1 ]]; then
   echo "=== Base pass (Release, generic) ==="

@@ -1,0 +1,94 @@
+// seesaw::Mutex / MutexLock / CondVar: thin std::mutex wrappers carrying the
+// Clang thread-safety capability annotations (common/thread_annotations.h).
+//
+// std::mutex is attribute-free, so code locking it is invisible to the
+// -Wthread-safety analysis; these wrappers make every acquire/release an
+// analyzable event. All concurrency-bearing code outside common/ must use
+// them — scripts/check_invariants.py enforces the ban on raw std::mutex /
+// std::thread outside this directory.
+//
+// House rules:
+//  - Guard fields with SEESAW_GUARDED_BY(mu_) and lock with MutexLock (RAII)
+//    rather than manual Lock/Unlock pairs.
+//  - Annotate public entry points that lock internally with
+//    SEESAW_EXCLUDES(mu_) so re-entry deadlocks are compile errors.
+//  - CondVar waits take the Mutex explicitly (annotated SEESAW_REQUIRES), so
+//    a wait without the lock held is a compile error too. Re-check the
+//    predicate in a while loop around Wait, in the waiting function itself —
+//    not in a lambda — so the guarded reads stay visible to the analysis.
+#ifndef SEESAW_COMMON_MUTEX_H_
+#define SEESAW_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace seesaw {
+
+class CondVar;
+
+/// An annotated exclusive mutex (wraps std::mutex; same cost).
+class SEESAW_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SEESAW_ACQUIRE() { mu_.lock(); }
+  void Unlock() SEESAW_RELEASE() { mu_.unlock(); }
+  bool TryLock() SEESAW_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // CondVar::Wait parks on the wrapped handle
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex (the only sanctioned way to hold one).
+class SEESAW_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SEESAW_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() SEESAW_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable for Mutex. Wait requires the lock to be held, which
+/// the annotation enforces at compile time; like std::condition_variable,
+/// spurious wakeups are allowed and callers must re-check their predicate in
+/// a loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, parks until notified, and re-acquires `mu`
+  /// before returning. `mu` must be the mutex guarding the awaited state and
+  /// must be held by the caller.
+  void Wait(Mutex& mu) SEESAW_REQUIRES(mu) {
+    // Adopt the caller's hold for the duration of the park only: wait()
+    // needs a unique_lock, but ownership stays with the caller's MutexLock
+    // (release() hands the still-locked mutex back without unlocking).
+    std::unique_lock<std::mutex> park(mu.mu_, std::adopt_lock);
+    cv_.wait(park);
+    park.release();
+  }
+
+  /// Wakes one / all waiters. May be called with or without the mutex held;
+  /// to avoid lost wakeups, the awaited state must be changed while holding
+  /// the mutex (or the notify itself must happen under it).
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace seesaw
+
+#endif  // SEESAW_COMMON_MUTEX_H_

@@ -8,21 +8,21 @@ namespace seesaw {
 
 bool TaskHandle::done() const {
   SEESAW_CHECK(state_ != nullptr) << "done() on an empty TaskHandle";
-  std::lock_guard<std::mutex> lock(state_->mu);
-  return state_->done;
+  return state_->done.load(std::memory_order_acquire);
 }
 
 void TaskHandle::Wait() {
   SEESAW_CHECK(state_ != nullptr) << "Wait() on an empty TaskHandle";
   State& state = *state_;
-  {
-    // Fast path that never touches the pool: a finished task's handle must
-    // stay waitable even after the pool is destroyed (pool destruction
-    // drains the queue, so an unfinished task implies a live pool).
-    std::unique_lock<std::mutex> lock(state.mu);
-    if (state.done) return;
-  }
-  pool_->HelpUntil(state.mu, state.cv, [&state] { return state.done; });
+  // Fast path that never touches the pool or the lock: a finished task's
+  // handle must stay waitable even after the pool is destroyed (pool
+  // destruction drains the queue, so an unfinished task implies a live
+  // pool). The acquire load pairs with the worker's release store, ordering
+  // this thread after the task's side effects.
+  if (state.done.load(std::memory_order_acquire)) return;
+  pool_->HelpUntil(state.mu, state.cv, [&state] {
+    return state.done.load(std::memory_order_acquire);
+  });
 }
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -35,34 +35,39 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     SEESAW_CHECK(!shutting_down_) << "Submit after shutdown";
     queue_.push(std::move(task));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 TaskHandle ThreadPool::SubmitWithResult(std::function<void()> task) {
   auto state = std::make_shared<TaskHandle::State>();
   Submit([state, task = std::move(task)] {
     task();
-    std::lock_guard<std::mutex> lock(state->mu);
-    state->done = true;
-    state->cv.notify_all();
+    // Publish completion under the state lock *and* notify under it: a
+    // waiter that checked `done` false cannot park before we flip it (the
+    // check-then-park is atomic under state->mu inside HelpUntil), so the
+    // notify cannot be lost. The release store publishes the task's writes
+    // to lock-free done()/Wait() fast paths.
+    MutexLock lock(state->mu);
+    state->done.store(true, std::memory_order_release);
+    state->cv.NotifyAll();
   });
   return TaskHandle(std::move(state), this);
 }
 
-void ThreadPool::HelpUntil(std::mutex& mu, std::condition_variable& cv,
+void ThreadPool::HelpUntil(Mutex& mu, CondVar& cv,
                            const std::function<bool()>& done) {
   // Caller-runs: while the waited-on work is outstanding, execute queued
   // tasks (the waiter's own or anyone else's) on the calling thread. Park
@@ -71,13 +76,13 @@ void ThreadPool::HelpUntil(std::mutex& mu, std::condition_variable& cv,
   // even when the caller is itself a pool worker (nested ParallelFor /
   // TaskHandle::Wait on the same pool).
   for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(mu);
-      if (done()) return;
-    }
+    if (done()) return;
     if (!TryRunOneTask()) {
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, done);
+      MutexLock lock(mu);
+      // Re-check under the lock, then park: the completer flips the
+      // predicate and notifies while holding `mu`, so a waiter cannot slip
+      // between the check and the wait.
+      while (!done()) cv.Wait(mu);
       return;
     }
   }
@@ -86,7 +91,7 @@ void ThreadPool::HelpUntil(std::mutex& mu, std::condition_variable& cv,
 bool ThreadPool::TryRunOneTask() {
   std::function<void()> task;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop();
@@ -99,13 +104,9 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (shutting_down_) return;
-        continue;
-      }
+      MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(mu_);
+      if (queue_.empty()) return;  // shutting down and fully drained
       task = std::move(queue_.front());
       queue_.pop();
     }
@@ -120,24 +121,33 @@ void ThreadPool::ParallelFor(size_t n,
   size_t chunk_size = (n + chunks - 1) / chunks;
   // Per-call completion latch rather than any pool-wide state: many sessions
   // share one pool, and a caller must only block on its own chunks, not on
-  // whatever other sessions have queued.
+  // whatever other sessions have queued. `remaining` is atomic for the same
+  // reason TaskHandle::State::done is: the HelpUntil predicate reads it
+  // lock-free, and workers decrement it without taking the latch lock; only
+  // the final decrement touches `mu`, to pair with the waiter's
+  // check-then-park (an empty critical section is enough — the waiter either
+  // sees 0 before parking or is parked and gets the notify).
   struct Latch {
-    std::mutex mu;
-    std::condition_variable done;
-    size_t remaining = 0;
+    Mutex mu;
+    CondVar done;
+    std::atomic<size_t> remaining{0};
   };
   auto latch = std::make_shared<Latch>();
-  latch->remaining = (n + chunk_size - 1) / chunk_size;
+  latch->remaining.store((n + chunk_size - 1) / chunk_size,
+                         std::memory_order_relaxed);
   for (size_t begin = 0; begin < n; begin += chunk_size) {
     size_t end = std::min(begin + chunk_size, n);
     Submit([&fn, latch, begin, end] {
       fn(begin, end);
-      std::unique_lock<std::mutex> lock(latch->mu);
-      if (--latch->remaining == 0) latch->done.notify_all();
+      if (latch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        MutexLock lock(latch->mu);
+        latch->done.NotifyAll();
+      }
     });
   }
-  HelpUntil(latch->mu, latch->done,
-            [&latch] { return latch->remaining == 0; });
+  HelpUntil(latch->mu, latch->done, [&latch] {
+    return latch->remaining.load(std::memory_order_acquire) == 0;
+  });
 }
 
 size_t ThreadPool::DefaultThreads() {

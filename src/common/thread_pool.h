@@ -4,16 +4,17 @@
 #ifndef SEESAW_COMMON_THREAD_POOL_H_
 #define SEESAW_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace seesaw {
 
@@ -33,7 +34,7 @@ class TaskHandle {
 
   bool valid() const { return state_ != nullptr; }
 
-  /// Whether the task has finished running (non-blocking).
+  /// Whether the task has finished running (non-blocking, lock-free).
   bool done() const;
 
   /// Blocks until the task finishes. While the task is still queued behind
@@ -47,9 +48,18 @@ class TaskHandle {
   friend class ThreadPool;
 
   struct State {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
+    Mutex mu;
+    CondVar cv;
+    /// Completion flag. Deliberately an atomic rather than a bool guarded by
+    /// `mu`: done() and Wait()'s fast path stay lock-free, and the generic
+    /// HelpUntil predicate can read it without holding the lock (which also
+    /// keeps guarded state out of lambdas, where the thread-safety analysis
+    /// cannot see the caller's lock — see common/thread_annotations.h).
+    /// Ordering contract: the worker publishes the task's side effects with
+    /// store(release) while holding `mu` (then notifies under it, closing
+    /// the check-then-park race); any load(acquire) that observes true
+    /// therefore also observes everything the task wrote.
+    std::atomic<bool> done{false};
   };
 
   TaskHandle(std::shared_ptr<State> state, ThreadPool* pool)
@@ -88,19 +98,20 @@ class ThreadPool {
   ~ThreadPool();
 
   /// Enqueues a task for asynchronous execution (fire and forget).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) SEESAW_EXCLUDES(mu_);
 
   /// Enqueues a task and returns a handle that waits on exactly that task.
   /// Pair with a CancellationToken captured by the task for cancellable
   /// background work (e.g. speculative prefetch).
-  TaskHandle SubmitWithResult(std::function<void()> task);
+  TaskHandle SubmitWithResult(std::function<void()> task) SEESAW_EXCLUDES(mu_);
 
   /// Runs one queued task on the calling thread if any is queued. Returns
   /// false when the queue was empty. This is the helping primitive behind
   /// nested waits; exposed for tests and custom wait loops.
-  bool TryRunOneTask();
+  bool TryRunOneTask() SEESAW_EXCLUDES(mu_);
 
-  /// Number of worker threads.
+  /// Number of worker threads. (workers_ is immutable after construction,
+  /// so this needs no lock.)
   size_t num_threads() const { return workers_.size(); }
 
   /// Splits [0, n) into roughly equal chunks and runs `fn(begin, end)` on
@@ -109,7 +120,8 @@ class ThreadPool {
   /// chunks, and the calling thread helps run queued work while it waits —
   /// so concurrent sessions may ParallelFor on one shared pool, and a pool
   /// task may itself ParallelFor on the same pool without deadlocking.
-  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn)
+      SEESAW_EXCLUDES(mu_);
 
   /// A sensible default worker count for this machine.
   static size_t DefaultThreads();
@@ -118,19 +130,23 @@ class ThreadPool {
   friend class TaskHandle;
 
   /// The shared help-then-park wait loop behind ParallelFor and
-  /// TaskHandle::Wait: runs queued tasks until `done()` (checked under `mu`)
-  /// holds, parking on `cv` once the queue is empty. `cv` must be notified
-  /// under `mu` whenever `done()` may flip.
-  void HelpUntil(std::mutex& mu, std::condition_variable& cv,
-                 const std::function<bool()>& done);
+  /// TaskHandle::Wait: runs queued tasks until `done()` holds, parking on
+  /// `cv` under `mu` once the queue is empty. The predicate must read only
+  /// lock-free state (an atomic flag/counter): it is invoked both with and
+  /// without `mu` held, and keeping guarded state out of it is what lets the
+  /// thread-safety analysis check this file without escape hatches. The
+  /// waited-on completion must flip the predicate and notify `cv` while
+  /// holding `mu` (see TaskHandle::State::done for the ordering contract).
+  void HelpUntil(Mutex& mu, CondVar& cv, const std::function<bool()>& done)
+      SEESAW_EXCLUDES(mu, mu_);
 
-  void WorkerLoop();
+  void WorkerLoop() SEESAW_EXCLUDES(mu_);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;  // construction-immutable
+  Mutex mu_;
+  CondVar work_available_;
+  std::queue<std::function<void()>> queue_ SEESAW_GUARDED_BY(mu_);
+  bool shutting_down_ SEESAW_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace seesaw

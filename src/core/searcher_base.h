@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/thread_pool.h"
 #include "core/embedded_dataset.h"
 #include "core/searcher.h"
@@ -61,6 +62,14 @@ struct PrefetchPolicy {
 
 /// Shared in-flight speculation counter for the sessions of one manager.
 /// Thread-safe; sessions without a budget speculate without a cap.
+///
+/// Accounting is a single atomic, exempt from GUARDED_BY (see
+/// common/thread_annotations.h): the counter is a pure admission throttle,
+/// no data is ever published through it — slot holders synchronize their
+/// results via TaskHandle completion — so every access is
+/// memory_order_relaxed, and a momentarily stale in_flight() is fine (the
+/// CAS in TryAcquire still makes each admission decision against a value
+/// that was true at some instant, which is all a cap needs).
 class PrefetchBudget {
  public:
   /// `max_in_flight` = 0 means unlimited.
@@ -78,14 +87,24 @@ class PrefetchBudget {
     }
   }
 
-  void Release() { in_flight_.fetch_sub(1, std::memory_order_relaxed); }
+  /// Returns a slot. Every Release must pair with exactly one successful
+  /// TryAcquire (SpecTask::ReleaseBudgetOnce is the callers' single-release
+  /// gate). An unmatched Release would wrap the unsigned counter to
+  /// SIZE_MAX and silently disable speculation manager-wide (in_flight >=
+  /// max forever, every future TryAcquire refused) — a negative balance is
+  /// a programming error worth an abort, not a quiet throttle.
+  void Release() {
+    size_t prev = in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    SEESAW_CHECK_GT(prev, 0u)
+        << "PrefetchBudget::Release without a matching TryAcquire";
+  }
 
   size_t in_flight() const {
     return in_flight_.load(std::memory_order_relaxed);
   }
 
  private:
-  size_t max_;
+  const size_t max_;  // immutable after construction; read without a lock
   std::atomic<size_t> in_flight_{0};
 };
 
@@ -250,6 +269,22 @@ class SearcherBase : public Searcher {
   /// Everything a speculative task reads or writes, shared between the
   /// searcher and the pool tasks so the tasks never dereference the searcher
   /// (which may be mutated or destroyed while they run).
+  ///
+  /// Threading contract (no mutex, by design — so no GUARDED_BY): each
+  /// non-atomic field has exactly one writer phase, and every cross-thread
+  /// read is ordered after that writer by a TaskHandle wait (whose
+  /// completion is published under the handle's mutex with release/acquire
+  /// semantics — see TaskHandle::State::done). Concretely:
+  ///  - query/n/seen_patches: written on the searcher's thread before the
+  ///    task is submitted (Submit's queue mutex orders the hand-off); for a
+  ///    kFitScan speculation, `query` is re-written by the fit task and only
+  ///    read after fit_handle.Wait().
+  ///  - fit_ok: written by the fit task, read after fit_handle.Wait().
+  ///  - result: written by the scan task, read after handle.Wait().
+  ///  - cancel / budget_released: atomics; safe from any thread at any time.
+  /// The thread-safety analysis cannot check handle-ordered hand-offs (it
+  /// only knows capabilities), which is exactly why this struct keeps the
+  /// explicit per-field contract above and the TSan leg keeps running.
   struct SpecTask {
     linalg::VectorF query;        // lookup query: snapshotted at schedule for
                                   // kScan; written by the fit task for
@@ -277,6 +312,13 @@ class SearcherBase : public Searcher {
     std::atomic<bool> budget_released{false};
   };
 
+  /// The searcher-side view of the single speculation slot. Every field is
+  /// read and written on the searcher's thread only (one user drives one
+  /// session — the class contract); pool tasks see none of this, only the
+  /// shared SpecTask above. Stage transitions (kScan / kAwaitLabels →
+  /// kFitScan → blessed) therefore need no lock: they are ordinary
+  /// single-threaded writes, and the cross-thread edges all run through
+  /// `task` and the two handles.
   struct Speculation {
     std::shared_ptr<SpecTask> task;
     store::SeenSet seen_images;  // predicted image-level seen set

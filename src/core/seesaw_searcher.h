@@ -36,6 +36,15 @@ struct SeeSawOptions {
 };
 
 /// The user-facing search session state for one text query.
+///
+/// Threading contract: a searcher is confined to one user thread — the
+/// public API (NextBatch/AddFeedback/Refit) is never called concurrently,
+/// which is why none of its members carry a SEESAW_GUARDED_BY. Concurrency
+/// enters only through the speculation machinery it inherits from
+/// SearcherBase: background work runs as pool tasks that communicate back
+/// exclusively via TaskHandle completion and the CancellationToken (see the
+/// SpecTask/Speculation contracts in searcher_base.h). SessionManager
+/// serializes cross-thread access to the sessions themselves.
 class SeeSawSearcher : public SearcherBase {
  public:
   /// `q_text` is the embedded text query (q0). The embedded dataset must

@@ -11,7 +11,7 @@ SeeSawService::SeeSawService(const data::Dataset* dataset,
                              ServiceOptions options)
     : dataset_(dataset),
       options_(std::move(options)),
-      sessions_mu_(std::make_unique<std::mutex>()) {}
+      sessions_mu_(std::make_unique<Mutex>()) {}
 
 SeeSawService::SeeSawService(SeeSawService&& other) noexcept
     : dataset_(other.dataset_),
@@ -87,7 +87,7 @@ StatusOr<std::unique_ptr<SeeSawSearcher>> SeeSawService::StartSession(
 }
 
 SessionManager& SeeSawService::sessions() {
-  std::lock_guard<std::mutex> lock(*sessions_mu_);
+  MutexLock lock(*sessions_mu_);
   if (!sessions_) {
     sessions_ = std::make_unique<SessionManager>(
         *this, options_.session_threads, options_.search.prefetch);

@@ -12,9 +12,10 @@
 #define SEESAW_CORE_SERVICE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/embedded_dataset.h"
 #include "core/seesaw_searcher.h"
 
@@ -47,9 +48,13 @@ struct ServiceOptions {
 /// individual session is single-threaded either way.
 class SeeSawService {
  public:
-  // Out of line: SessionManager is only forward-declared here.
+  // Out of line: SessionManager is only forward-declared here. Moves are not
+  // thread-safe — they relocate the registry mutex itself — and must be
+  // externally serialized against sessions() (in practice they happen during
+  // single-threaded setup, before any session exists).
   SeeSawService(SeeSawService&&) noexcept;
-  SeeSawService& operator=(SeeSawService&&) noexcept;
+  SeeSawService& operator=(SeeSawService&&) noexcept
+      SEESAW_NO_THREAD_SAFETY_ANALYSIS;
   ~SeeSawService();
 
   /// Runs (or loads) preprocessing. `dataset` must outlive the service.
@@ -69,7 +74,7 @@ class SeeSawService {
   /// The session registry for concurrent serving (created on first use and
   /// sized by ServiceOptions::session_threads). Safe to call from multiple
   /// threads; the manager follows the service if it is moved.
-  SessionManager& sessions();
+  SessionManager& sessions() SEESAW_EXCLUDES(*sessions_mu_);
 
   const EmbeddedDataset& embedded() const { return *embedded_; }
 
@@ -81,9 +86,10 @@ class SeeSawService {
   std::unique_ptr<EmbeddedDataset> embedded_;
   // Behind unique_ptrs so the service stays movable: the mutex guards the
   // lazy creation below, and the manager is re-pointed at the service's new
-  // address by the move operations.
-  std::unique_ptr<std::mutex> sessions_mu_;
-  std::unique_ptr<SessionManager> sessions_;
+  // address by the move operations (which are externally serialized — see
+  // above — hence the escape hatch on the move assignment).
+  std::unique_ptr<Mutex> sessions_mu_;
+  std::unique_ptr<SessionManager> sessions_ SEESAW_GUARDED_BY(*sessions_mu_);
 };
 
 }  // namespace seesaw::core

@@ -28,14 +28,14 @@ StatusOr<SessionId> SessionManager::Register(
     std::unique_ptr<SeeSawSearcher> session) {
   session->set_thread_pool(&pool_);
   session->set_prefetch_budget(&budget_);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SessionId id = next_id_++;
   sessions_.emplace(id, std::shared_ptr<SeeSawSearcher>(session.release()));
   return id;
 }
 
 std::shared_ptr<SeeSawSearcher> SessionManager::Find(SessionId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : it->second;
 }
@@ -43,7 +43,7 @@ std::shared_ptr<SeeSawSearcher> SessionManager::Find(SessionId id) const {
 Status SessionManager::Close(SessionId id) {
   std::shared_ptr<SeeSawSearcher> doomed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = sessions_.find(id);
     if (it == sessions_.end()) {
       return Status::NotFound("no such session");
@@ -56,7 +56,7 @@ Status SessionManager::Close(SessionId id) {
 }
 
 std::vector<SessionId> SessionManager::LiveSessions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<SessionId> ids;
   ids.reserve(sessions_.size());
   for (const auto& [id, _] : sessions_) ids.push_back(id);
@@ -64,7 +64,7 @@ std::vector<SessionId> SessionManager::LiveSessions() const {
 }
 
 size_t SessionManager::num_sessions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sessions_.size();
 }
 

@@ -21,11 +21,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/seesaw_searcher.h"
 #include "core/service.h"
@@ -55,25 +56,28 @@ class SessionManager {
   SessionManager& operator=(const SessionManager&) = delete;
 
   /// Opens a session from a category-name text query.
-  StatusOr<SessionId> CreateSession(const std::string& text_query);
+  StatusOr<SessionId> CreateSession(const std::string& text_query)
+      SEESAW_EXCLUDES(mu_);
 
   /// Opens a session from a unit-norm query vector.
-  StatusOr<SessionId> CreateSession(linalg::VectorF query_vector);
+  StatusOr<SessionId> CreateSession(linalg::VectorF query_vector)
+      SEESAW_EXCLUDES(mu_);
 
   /// The session for `id`, or nullptr when the id is unknown or closed. The
   /// returned shared_ptr keeps the session alive even if another thread
   /// closes it mid-use.
-  std::shared_ptr<SeeSawSearcher> Find(SessionId id) const;
+  std::shared_ptr<SeeSawSearcher> Find(SessionId id) const
+      SEESAW_EXCLUDES(mu_);
 
   /// Closes (unregisters) a session. NotFound for unknown or already-closed
   /// ids. In-flight shared_ptrs stay valid; the state is freed when the last
   /// one drops.
-  Status Close(SessionId id);
+  Status Close(SessionId id) SEESAW_EXCLUDES(mu_);
 
   /// Ids of all live sessions (snapshot, unordered).
-  std::vector<SessionId> LiveSessions() const;
+  std::vector<SessionId> LiveSessions() const SEESAW_EXCLUDES(mu_);
 
-  size_t num_sessions() const;
+  size_t num_sessions() const SEESAW_EXCLUDES(mu_);
 
   /// The lookup pool shared by every session of this manager.
   ThreadPool& pool() { return pool_; }
@@ -88,7 +92,8 @@ class SessionManager {
  private:
   friend class SeeSawService;
 
-  StatusOr<SessionId> Register(std::unique_ptr<SeeSawSearcher> session);
+  StatusOr<SessionId> Register(std::unique_ptr<SeeSawSearcher> session)
+      SEESAW_EXCLUDES(mu_);
 
   /// Called by the owning service's move operations so the back-pointer
   /// tracks the service's address.
@@ -100,9 +105,10 @@ class SessionManager {
   // speculations, which release budget slots, so the budget must die last.
   PrefetchBudget budget_;
   ThreadPool pool_;
-  mutable std::mutex mu_;
-  SessionId next_id_ = 1;
-  std::unordered_map<SessionId, std::shared_ptr<SeeSawSearcher>> sessions_;
+  mutable Mutex mu_;
+  SessionId next_id_ SEESAW_GUARDED_BY(mu_) = 1;
+  std::unordered_map<SessionId, std::shared_ptr<SeeSawSearcher>> sessions_
+      SEESAW_GUARDED_BY(mu_);
 };
 
 }  // namespace seesaw::core

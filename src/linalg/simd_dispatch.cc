@@ -55,7 +55,10 @@ std::atomic<const Int8KernelTable*> g_active_i8{nullptr};
 /// kernel that is unknown or unsupported on this CPU aborts — CI legs that
 /// pin a kernel must fail loudly, not silently fall back to another path.
 const KernelTable* ResolveInitial() {
-  const char* forced = std::getenv("SEESAW_FORCE_KERNEL");
+  // getenv is not MT-safe against setenv, but this runs once (first-use
+  // resolution behind the atomic table pointer) and nothing in seesaw calls
+  // setenv; the environment is effectively immutable by then.
+  const char* forced = std::getenv("SEESAW_FORCE_KERNEL");  // NOLINT(concurrency-mt-unsafe)
   if (forced == nullptr || forced[0] == '\0') return DetectKernels();
   const KernelTable* t = ResolveName(forced);
   SEESAW_CHECK(t != nullptr)

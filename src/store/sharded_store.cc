@@ -97,6 +97,11 @@ std::vector<SearchResult> ShardedStore::TopK(linalg::VecSpan query, size_t k,
                                              const ScanControl& control) const {
   SEESAW_CHECK_EQ(query.size(), dim_);
   const size_t num_shards = shards_.size();
+  // Merge state is per-call and lock-free by partitioning: worker s writes
+  // only per_shard[s] (disjoint slots of a pre-sized vector), and the merge
+  // below reads them only after ParallelFor's latch — whose completion is
+  // mutex-published — so there is no concurrent access to annotate. The
+  // store object itself stays const throughout (scans share it freely).
   std::vector<std::vector<SearchResult>> per_shard(num_shards);
   auto scan_shard = [&](size_t s) {
     // Checkpoint before the dispatch (shards not yet started are skipped
@@ -131,7 +136,9 @@ std::vector<std::vector<SearchResult>> ShardedStore::TopKBatch(
 
   const size_t num_shards = shards_.size();
   // per_shard[s][q]: local hits remapped to global ids. A shard skipped by
-  // cancellation leaves its slot empty (size() != num_queries).
+  // cancellation leaves its slot empty (size() != num_queries). Same
+  // lock-free-by-partitioning merge state as TopK above: worker s owns slot
+  // s exclusively, readers run strictly after the ParallelFor latch.
   std::vector<std::vector<std::vector<SearchResult>>> per_shard(num_shards);
   auto scan_shard = [&](size_t s) {
     // Checkpoint before the dispatch so shards not yet started are skipped

@@ -134,6 +134,14 @@ class TopKHeap {
 };
 
 /// Interface for max-inner-product stores.
+///
+/// Contract for implementers: every TopK/TopKBatch override must take (and
+/// poll) the ScanControl — it is the only seam through which a cancelled
+/// speculation can stop a scan mid-flight. scripts/check_invariants.py
+/// enforces this shape on the overrides in src/store, so dropping the
+/// parameter in a new backend is a lint failure, not a silent regression.
+/// Stores are immutable after Create and safe for concurrent scans; any
+/// internal scratch must be per-call.
 class VectorStore {
  public:
   virtual ~VectorStore() = default;

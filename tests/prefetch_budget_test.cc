@@ -1,0 +1,89 @@
+// PrefetchBudget under contention: the shared in-flight cap must never
+// over-admit past max, never leak slots, and treat a negative balance
+// (Release without a matching TryAcquire) as a programming error worth an
+// abort — an unmatched Release used to wrap the unsigned counter to
+// SIZE_MAX, which read as "budget exhausted" forever and silently disabled
+// speculation for every session of the manager.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/thread_pool.h"
+#include "core/searcher_base.h"
+
+namespace seesaw::core {
+namespace {
+
+TEST(PrefetchBudgetDeathTest, ReleaseWithoutAcquireAborts) {
+  PrefetchBudget budget(/*max_in_flight=*/2);
+  EXPECT_DEATH(budget.Release(), "without a matching TryAcquire");
+}
+
+TEST(PrefetchBudgetDeathTest, DoubleReleaseAborts) {
+  PrefetchBudget budget(/*max_in_flight=*/2);
+  ASSERT_TRUE(budget.TryAcquire());
+  budget.Release();  // balanced — fine
+  EXPECT_DEATH(budget.Release(), "without a matching TryAcquire");
+}
+
+TEST(PrefetchBudgetTest, CapAdmitsExactlyMax) {
+  PrefetchBudget budget(/*max_in_flight=*/2);
+  EXPECT_TRUE(budget.TryAcquire());
+  EXPECT_TRUE(budget.TryAcquire());
+  EXPECT_FALSE(budget.TryAcquire());  // exhausted
+  EXPECT_EQ(budget.in_flight(), 2u);
+  budget.Release();
+  EXPECT_TRUE(budget.TryAcquire());  // a freed slot is reusable
+  budget.Release();
+  budget.Release();
+  EXPECT_EQ(budget.in_flight(), 0u);
+}
+
+TEST(PrefetchBudgetTest, ZeroMeansUnlimited) {
+  PrefetchBudget budget(/*max_in_flight=*/0);
+  for (size_t i = 0; i < 100; ++i) EXPECT_TRUE(budget.TryAcquire());
+  EXPECT_EQ(budget.in_flight(), 100u);
+  for (size_t i = 0; i < 100; ++i) budget.Release();
+  EXPECT_EQ(budget.in_flight(), 0u);
+}
+
+// Hammer one budget from every pool worker: admissions must never exceed the
+// cap at any instant, every admission must be released, and the counter must
+// come back to zero. Run under the TSan leg (SEESAW_CONCURRENCY_TESTS) this
+// also proves the relaxed-CAS accounting is race-free.
+TEST(PrefetchBudgetTest, ConcurrentAcquireReleaseStaysWithinCap) {
+  constexpr size_t kMax = 4;
+  constexpr size_t kWorkers = 16;
+  constexpr size_t kItersPerWorker = 20000;
+
+  PrefetchBudget budget(kMax);
+  ThreadPool pool(8);
+  std::atomic<size_t> admitted{0};
+  std::atomic<size_t> over_cap{0};
+
+  pool.ParallelFor(kWorkers, [&](size_t begin, size_t end) {
+    for (size_t w = begin; w < end; ++w) {
+      for (size_t i = 0; i < kItersPerWorker; ++i) {
+        if (!budget.TryAcquire()) continue;
+        admitted.fetch_add(1, std::memory_order_relaxed);
+        // While holding a slot, the observable in-flight count can never
+        // exceed the cap (TryAcquire's CAS refuses at max).
+        if (budget.in_flight() > kMax) {
+          over_cap.fetch_add(1, std::memory_order_relaxed);
+        }
+        budget.Release();
+      }
+    }
+  });
+
+  EXPECT_EQ(over_cap.load(), 0u);
+  EXPECT_EQ(budget.in_flight(), 0u);
+  // With 8 threads fighting for 4 slots, admissions happen constantly; if
+  // this is ever zero the cap is stuck (the pre-fix symptom of a wrapped
+  // counter was exactly "every TryAcquire refused forever").
+  EXPECT_GT(admitted.load(), 0u);
+}
+
+}  // namespace
+}  // namespace seesaw::core
