@@ -25,16 +25,25 @@ Rules
                     libm call (single rounding, bitwise-pinned); exp/log/pow/
                     sqrt/tanh or std::accumulate/std::reduce would break the
                     cross-kernel bitwise-parity contract (PR 3).
-  concurrency-tests Every test file using ThreadPool must be registered in
+  concurrency-tests Every test file using ThreadPool — or including the
+                    serving/session headers (net/server.h, net/client.h,
+                    core/session_manager.h), whose objects spin up pool
+                    threads internally — must be registered in
                     SEESAW_CONCURRENCY_TESTS (CMakeLists.txt) so the TSan CI
                     leg runs it — an unregistered suite is concurrency code
                     TSan never sees.
+  net-sockets       Raw socket/poll syscalls and their headers are confined
+                    to src/net/ (PR 8): everything else goes through the
+                    SeeSawClient/SeeSawServer seam, so there is exactly one
+                    place that owns fd lifetimes, EINTR loops, and SIGPIPE
+                    suppression. Scans src/ (minus src/net), bench/, tools/
+                    and examples/.
   bench-json        Committed BENCH_*.json baselines must parse, carry
                     non-empty "rows", and (for the latency benches
-                    BENCH_scale.json / BENCH_topk.json) every row must carry
-                    p50/p95/p99 latency keys — the percentile contract the
-                    scale work (PR 6) established for anything claiming a
-                    latency number.
+                    BENCH_scale.json / BENCH_topk.json / BENCH_serving.json)
+                    every row must carry p50/p95/p99 latency keys — the
+                    percentile contract the scale work (PR 6) established for
+                    anything claiming a latency number.
 
 Self-test: --self-test seeds one violation per rule into a scratch tree and
 asserts the rule catches it (and that a clean miniature tree passes), so the
@@ -149,9 +158,63 @@ def check_kernel_libm(root: Path) -> list[str]:
     return errors
 
 
+# ---------------------------------------------------------------- net-sockets
+# The serving front end (src/net) is the single owner of raw sockets: fd
+# RAII, EINTR loops, MSG_NOSIGNAL, non-blocking setup. A bench, tool, or
+# other src/ layer reaching for the syscalls directly would fork that
+# ownership — it must go through net::SeeSawClient / net::SeeSawServer (or
+# the net/socket.h helpers) instead.
+_SOCKET_HEADER = re.compile(
+    r"#\s*include\s*<(?:sys/socket\.h|sys/epoll\.h|sys/select\.h|poll\.h|"
+    r"netinet/[^>]+|arpa/inet\.h)>"
+)
+_SOCKET_CALL = re.compile(
+    r"::(?:socket|bind|listen|accept4?|connect|recv(?:from|msg)?|"
+    r"send(?:to|msg)?|poll|epoll_(?:create1?|ctl|wait)|select|shutdown|"
+    r"(?:get|set)sockopt|getsockname|getpeername)\s*\("
+    r"|\bsockaddr_in\b"
+)
+
+
+def check_net_sockets(root: Path) -> list[str]:
+    errors = []
+    scan_dirs = [root / "src", root / "bench", root / "tools", root / "examples"]
+    for base in scan_dirs:
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".h", ".cc", ".cpp"):
+                continue
+            rel = path.relative_to(root)
+            # src/net owns the syscall layer.
+            if rel.parts[:2] == ("src", "net"):
+                continue
+            text = _strip_comments(path.read_text())
+            for pattern, label in (
+                (_SOCKET_HEADER, "socket header"),
+                (_SOCKET_CALL, "raw socket syscall"),
+            ):
+                for m in pattern.finditer(text):
+                    line = text[: m.start()].count("\n") + 1
+                    errors.append(
+                        f"{rel}:{line}: [net-sockets] {label} "
+                        f"'{m.group(0).strip()}' outside src/net — go through "
+                        "net::SeeSawClient/SeeSawServer or net/socket.h so fd "
+                        "ownership stays in one place"
+                    )
+    return errors
+
+
 # ---------------------------------------------------------- concurrency-tests
 _CMAKE_LIST = re.compile(
     r"set\(SEESAW_CONCURRENCY_TESTS\s+(.*?)\)", re.DOTALL
+)
+
+# Including any of these makes a test a concurrency suite even if it never
+# names ThreadPool: a SeeSawServer runs its own event-loop thread plus
+# handler-pool dispatch, and a SessionManager owns a shared lookup pool.
+_CONCURRENCY_HEADERS = re.compile(
+    r'#\s*include\s*"(?:net/server\.h|net/client\.h|core/session_manager\.h)"'
 )
 
 
@@ -172,10 +235,19 @@ def check_concurrency_tests(root: Path) -> list[str]:
         return errors
     for path in sorted(tests_dir.glob("*.cc")):
         text = _strip_comments(path.read_text())
-        if re.search(r"\bThreadPool\b", text) and path.stem not in registered:
+        if path.stem in registered:
+            continue
+        if re.search(r"\bThreadPool\b", text):
             errors.append(
                 f"{path.relative_to(root)}:1: [concurrency-tests] uses "
                 "ThreadPool but is not in SEESAW_CONCURRENCY_TESTS "
+                "(CMakeLists.txt) — the TSan CI leg will never run it"
+            )
+        elif _CONCURRENCY_HEADERS.search(text):
+            errors.append(
+                f"{path.relative_to(root)}:1: [concurrency-tests] includes a "
+                "serving/session header (its objects run pool threads "
+                "internally) but is not in SEESAW_CONCURRENCY_TESTS "
                 "(CMakeLists.txt) — the TSan CI leg will never run it"
             )
     return errors
@@ -190,6 +262,7 @@ def check_concurrency_tests(root: Path) -> list[str]:
 _PERCENTILE_FILES = {
     "BENCH_scale.json": ("p50_ms", "p95_ms", "p99_ms"),
     "BENCH_topk.json": ("p50_ms", "p95_ms", "p99_ms"),
+    "BENCH_serving.json": ("p50_ms", "p95_ms", "p99_ms"),
 }
 _P99_EXEMPT_KINDS = {"policy"}
 
@@ -230,6 +303,7 @@ RULES = [
     check_scan_control,
     check_raw_threading,
     check_kernel_libm,
+    check_net_sockets,
     check_concurrency_tests,
     check_bench_json,
 ]
@@ -276,9 +350,19 @@ def self_test() -> int:
         )
         _write(
             root / "CMakeLists.txt",
-            "set(SEESAW_CONCURRENCY_TESTS\n    pool_test)\n",
+            "set(SEESAW_CONCURRENCY_TESTS\n    pool_test\n    wire_test)\n",
         )
         _write(root / "tests/pool_test.cc", "ThreadPool pool(2);\n")
+        # Registered serving suite + the one directory allowed raw sockets.
+        _write(
+            root / "tests/wire_test.cc",
+            '#include "net/client.h"\nint wire = 1;\n',
+        )
+        _write(
+            root / "src/net/socket.cc",
+            "#include <sys/socket.h>\n"
+            "int Open() { return ::socket(AF_INET, SOCK_STREAM, 0); }\n",
+        )
         _write(
             root / "BENCH_scale.json",
             json.dumps(
@@ -312,22 +396,55 @@ def self_test() -> int:
         )
         expect("kernel-libm", check_kernel_libm(root), "[kernel-libm]", True)
 
-        # concurrency-tests: a ThreadPool test not registered in CMake.
-        _write(root / "tests/rogue_test.cc", "ThreadPool pool(2);\n")
-        expect(
-            "concurrency-tests",
-            check_concurrency_tests(root),
-            "[concurrency-tests]",
-            True,
+        # net-sockets: a bench reaching for the syscalls directly, and a
+        # tool including a socket header.
+        _write(
+            root / "bench/bad_bench.cc",
+            "int n = ::send(3, \"x\", 1, 0);\n",
         )
+        _write(root / "tools/bad_tool.cc", "#include <netinet/tcp.h>\n")
+        net_errors = check_net_sockets(root)
+        expect("net-sockets", net_errors, "[net-sockets]", True)
+        if sum("[net-sockets]" in e for e in net_errors) != 2:
+            failures.append(
+                f"self-test 'net-sockets': expected exactly the 2 seeded "
+                f"violations (src/net must stay exempt), got: {net_errors}"
+            )
 
-        # bench-json: a latency baseline without percentiles, and junk JSON.
+        # concurrency-tests: a ThreadPool test not registered in CMake, and
+        # an unregistered test that includes a serving header.
+        _write(root / "tests/rogue_test.cc", "ThreadPool pool(2);\n")
+        _write(
+            root / "tests/rogue_server_test.cc",
+            '#include "net/server.h"\nint s = 1;\n',
+        )
+        conc_errors = check_concurrency_tests(root)
+        expect("concurrency-tests", conc_errors, "[concurrency-tests]", True)
+        if sum("[concurrency-tests]" in e for e in conc_errors) != 2:
+            failures.append(
+                f"self-test 'concurrency-tests': expected 2 violations "
+                f"(ThreadPool use and serving-header include), got: "
+                f"{conc_errors}"
+            )
+
+        # bench-json: a latency baseline without percentiles, junk JSON, and
+        # a serving baseline that only committed means.
         _write(
             root / "BENCH_topk.json",
             json.dumps({"bench": "topk_latency", "rows": [{"mean_ms": 1.0}]}),
         )
         _write(root / "BENCH_broken.json", "{not json")
-        expect("bench-json", check_bench_json(root), "[bench-json]", True)
+        _write(
+            root / "BENCH_serving.json",
+            json.dumps({"bench": "serving", "rows": [{"mean_ms": 2.0}]}),
+        )
+        bench_errors = check_bench_json(root)
+        expect("bench-json", bench_errors, "[bench-json]", True)
+        if not any("BENCH_serving.json" in e for e in bench_errors):
+            failures.append(
+                "self-test 'bench-json': BENCH_serving.json without "
+                f"percentiles not caught: {bench_errors}"
+            )
 
     if failures:
         for f in failures:

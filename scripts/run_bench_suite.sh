@@ -18,9 +18,12 @@
 # --shards count — the shard-scaling curve), BENCH_prefetch.json
 # (bench_prefetch_latency: per-backend/variant speculation hit rates —
 # zero-shot and post-refit — plus perceived NextBatch latency, prefetch off
-# vs on, parity-checked) and BENCH_scale.json (via run_scale_suite.sh at
-# SCALE_SIZES, default 1M: fp32 vs int8 scan latency percentiles at scale)
-# into --out-dir (default: repo root) instead of emitting CSV.
+# vs on, parity-checked), BENCH_serving.json (bench_serving: open-loop TCP
+# serving load — perceived latency percentiles, shed rate, and session churn
+# at SERVING_SESSIONS concurrent think-time sessions) and BENCH_scale.json
+# (via run_scale_suite.sh at SCALE_SIZES, default 1M: fp32 vs int8 scan
+# latency percentiles at scale) into --out-dir (default: repo root) instead
+# of emitting CSV.
 set -euo pipefail
 
 SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
@@ -29,6 +32,14 @@ BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
 BENCH="$BUILD_DIR/bench_topk_latency"
 BENCH_SIMD="$BUILD_DIR/bench_simd_kernels"
 BENCH_PREFETCH="$BUILD_DIR/bench_prefetch_latency"
+BENCH_SERVING="$BUILD_DIR/bench_serving"
+
+# bench_serving knobs for the --json baseline: the open-loop TCP load run
+# (BENCH_serving.json) at its committed shape — 1000 concurrent think-time
+# sessions against a self-hosted SeeSawServer on loopback.
+SERVING_SESSIONS="${SERVING_SESSIONS:-1000}"
+SERVING_ROUNDS="${SERVING_ROUNDS:-3}"
+SERVING_THINK_MS="${SERVING_THINK_MS:-50}"
 
 # bench_prefetch_latency knobs for the --json baseline (kept modest: the
 # bench sleeps real think time per inspected image).
@@ -184,6 +195,18 @@ emit_json() {
         "$PREFETCH_THINK_MS" "$THREADS" "$prows" \
         > "$prefetch_out"
     echo "prefetch JSON written to $prefetch_out" >&2
+
+    # Serving baseline (BENCH_serving.json): bench_serving emits the whole
+    # JSON document itself, so this is a plain redirect — and the binary
+    # exits nonzero on any protocol error or failed session, which under
+    # set -e fails the suite instead of committing a broken baseline.
+    [[ -x "$BENCH_SERVING" ]] || build_target bench_serving
+    local serving_out="$OUT_DIR/BENCH_serving.json"
+    echo "== bench_serving sessions=$SERVING_SESSIONS rounds=$SERVING_ROUNDS think_ms=$SERVING_THINK_MS ==" >&2
+    "$BENCH_SERVING" --json --sessions="$SERVING_SESSIONS" \
+                     --rounds="$SERVING_ROUNDS" \
+                     --think_ms="$SERVING_THINK_MS" > "$serving_out"
+    echo "serving JSON written to $serving_out" >&2
 
     # Scale baseline (BENCH_scale.json) delegates to run_scale_suite.sh.
     # SCALE_SIZES defaults to 1M here so the combined suite stays tractable;

@@ -23,6 +23,24 @@ namespace seesaw::core {
 
 class SessionManager;
 
+/// Session lifecycle and admission limits for one SessionManager. Zero
+/// always means "unlimited / disabled", so the default is the pre-serving
+/// behaviour (no quotas, no eviction, no in-flight cap). Lives here (not in
+/// session_manager.h) so ServiceOptions can embed it; the semantics are
+/// documented on the SessionManager methods that enforce each limit.
+struct SessionLimits {
+  /// Live sessions one user key may hold at once (CreateSession beyond the
+  /// quota is a typed ResourceExhausted). 0 = unlimited.
+  size_t max_sessions_per_user = 0;
+  /// Sessions idle (no Acquire/Touch) longer than this are evicted by the
+  /// next SweepIdle(). 0 = never evict.
+  double idle_ttl_seconds = 0.0;
+  /// Concurrent SessionLeases per session; Acquire beyond the cap is a
+  /// typed ResourceExhausted ("busy"). 0 = unlimited. Serving front ends
+  /// set 1, which also enforces the searcher's single-threaded contract.
+  size_t max_inflight_per_session = 0;
+};
+
 /// Service configuration: preprocessing plus per-session search options.
 /// `search.prefetch` doubles as the manager-wide speculation policy: its
 /// max_in_flight caps think-time prefetches across all managed sessions.
@@ -39,6 +57,9 @@ struct ServiceOptions {
   std::string cache_path;
   /// Worker threads of the shared session pool (0 = hardware default).
   size_t session_threads = 0;
+  /// Lifecycle/admission policy for sessions(): per-user quotas, idle-TTL
+  /// eviction, per-session in-flight caps. Defaults are all "unlimited".
+  SessionLimits session_limits;
 };
 
 /// Owns the embedded dataset and creates per-query search sessions.

@@ -1,0 +1,158 @@
+#include "net/client.h"
+
+#include <utility>
+
+namespace seesaw::net {
+
+namespace {
+
+/// The Status a wire error surfaces as. Both shedding codes map to
+/// ResourceExhausted — the same code the in-process manager returns for
+/// quota/busy — so drivers written against the manager behave identically
+/// against the wire; last_wire_error() disambiguates when it matters.
+Status StatusForWire(WireError code, const std::string& message) {
+  std::string text =
+      std::string(WireErrorName(code)) + ": " + message;
+  switch (code) {
+    case WireError::kRetryLater:
+    case WireError::kQuotaExceeded:
+      return Status::ResourceExhausted(std::move(text));
+    case WireError::kNotFound:
+      return Status::NotFound(std::move(text));
+    case WireError::kInvalidArgument:
+    case WireError::kMalformedFrame:
+      return Status::InvalidArgument(std::move(text));
+    case WireError::kUnsupportedVersion:
+      return Status::FailedPrecondition(std::move(text));
+    case WireError::kUnknownType:
+      return Status::Unimplemented(std::move(text));
+    case WireError::kShuttingDown:
+      return Status::IoError(std::move(text));
+    default:
+      return Status::Internal(std::move(text));
+  }
+}
+
+}  // namespace
+
+StatusOr<SeeSawClient> SeeSawClient::Connect(const std::string& host,
+                                             uint16_t port) {
+  SEESAW_ASSIGN_OR_RETURN(Fd fd, ConnectTcp(host, port));
+  return SeeSawClient(std::move(fd));
+}
+
+StatusOr<std::string> SeeSawClient::RoundTrip(FrameType request,
+                                              std::string payload) {
+  const uint64_t id = next_request_id_++;
+  SEESAW_RETURN_IF_ERROR(
+      WriteAll(fd_.get(), EncodeFrame(request, id, payload)));
+
+  std::string header_bytes;
+  SEESAW_RETURN_IF_ERROR(ReadExactly(fd_.get(), kHeaderBytes, &header_bytes));
+  FrameHeader header;
+  if (!DecodeHeader(header_bytes, &header)) {
+    last_wire_error_ = WireError::kMalformedFrame;
+    return Status::IoError("reply frame has bad magic");
+  }
+  std::string reply_payload;
+  if (header.payload_len > 0) {
+    SEESAW_RETURN_IF_ERROR(
+        ReadExactly(fd_.get(), header.payload_len, &reply_payload));
+  }
+  if (header.request_id != id) {
+    last_wire_error_ = WireError::kInternal;
+    return Status::IoError("reply carries a foreign request id");
+  }
+  if (header.type == FrameType::kError) {
+    ErrorReply error;
+    if (!DecodeErrorReply(reply_payload, &error)) {
+      last_wire_error_ = WireError::kMalformedFrame;
+      return Status::IoError("error reply payload malformed");
+    }
+    last_wire_error_ = error.code;
+    return StatusForWire(error.code, error.message);
+  }
+  const auto expected = static_cast<FrameType>(
+      static_cast<uint16_t>(request) | kReplyBit);
+  if (header.type != expected) {
+    last_wire_error_ = WireError::kInternal;
+    return Status::IoError("reply type does not match the request");
+  }
+  last_wire_error_ = WireError::kNone;
+  return reply_payload;
+}
+
+StatusOr<uint64_t> SeeSawClient::CreateSession(const std::string& text_query,
+                                               const std::string& user) {
+  CreateSessionRequest req;
+  req.user = user;
+  req.by_vector = false;
+  req.text_query = text_query;
+  SEESAW_ASSIGN_OR_RETURN(
+      std::string payload,
+      RoundTrip(FrameType::kCreateSession, EncodeCreateSessionRequest(req)));
+  CreateSessionReply reply;
+  if (!DecodeCreateSessionReply(payload, &reply)) {
+    return Status::IoError("CreateSession reply malformed");
+  }
+  return reply.session_id;
+}
+
+StatusOr<uint64_t> SeeSawClient::CreateSessionFromVector(
+    linalg::VectorF query_vector, const std::string& user) {
+  CreateSessionRequest req;
+  req.user = user;
+  req.by_vector = true;
+  req.query_vector = std::move(query_vector);
+  SEESAW_ASSIGN_OR_RETURN(
+      std::string payload,
+      RoundTrip(FrameType::kCreateSession, EncodeCreateSessionRequest(req)));
+  CreateSessionReply reply;
+  if (!DecodeCreateSessionReply(payload, &reply)) {
+    return Status::IoError("CreateSession reply malformed");
+  }
+  return reply.session_id;
+}
+
+StatusOr<std::vector<core::ScoredImage>> SeeSawClient::NextBatch(
+    uint64_t session_id, size_t n) {
+  NextBatchRequest req;
+  req.session_id = session_id;
+  req.n = static_cast<uint32_t>(n);
+  SEESAW_ASSIGN_OR_RETURN(
+      std::string payload,
+      RoundTrip(FrameType::kNextBatch, EncodeNextBatchRequest(req)));
+  NextBatchReply reply;
+  if (!DecodeNextBatchReply(payload, &reply)) {
+    return Status::IoError("NextBatch reply malformed");
+  }
+  return std::move(reply.batch);
+}
+
+Status SeeSawClient::AddFeedback(uint64_t session_id,
+                                 const core::ImageFeedback& feedback) {
+  AddFeedbackRequest req;
+  req.session_id = session_id;
+  req.feedback = feedback;
+  return RoundTrip(FrameType::kAddFeedback, EncodeAddFeedbackRequest(req))
+      .status();
+}
+
+Status SeeSawClient::Refit(uint64_t session_id) {
+  SessionRequest req;
+  req.session_id = session_id;
+  return RoundTrip(FrameType::kRefit, EncodeSessionRequest(req)).status();
+}
+
+Status SeeSawClient::CloseSession(uint64_t session_id) {
+  SessionRequest req;
+  req.session_id = session_id;
+  return RoundTrip(FrameType::kCloseSession, EncodeSessionRequest(req))
+      .status();
+}
+
+Status SeeSawClient::Ping() {
+  return RoundTrip(FrameType::kPing, "").status();
+}
+
+}  // namespace seesaw::net

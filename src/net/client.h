@@ -1,0 +1,68 @@
+// SeeSawClient: a blocking, synchronous client for the SeeSaw wire protocol
+// — one TCP connection, one request in flight at a time. This is the
+// session-API surface (CreateSession / NextBatch / AddFeedback / Refit /
+// CloseSession) a remote driver uses exactly like an in-process
+// SeeSawSearcher; the load generator and the serving smoke test both drive
+// it.
+//
+// Error surface: every call returns the repo's Status, and the wire-level
+// error code of the last failed call stays readable via last_wire_error()
+// so callers can distinguish graceful shedding (RETRY_LATER — back off and
+// resend, nothing changed) from real failures. A client instance is NOT
+// thread-safe; give each concurrent session its own connection (that is the
+// serving model: one user, one connection).
+#ifndef SEESAW_NET_CLIENT_H_
+#define SEESAW_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/searcher.h"
+#include "linalg/vector_ops.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace seesaw::net {
+
+class SeeSawClient {
+ public:
+  /// Blocking TCP connect (IPv4 dotted quad).
+  static StatusOr<SeeSawClient> Connect(const std::string& host,
+                                        uint16_t port);
+
+  SeeSawClient(SeeSawClient&&) = default;
+  SeeSawClient& operator=(SeeSawClient&&) = default;
+
+  StatusOr<uint64_t> CreateSession(const std::string& text_query,
+                                   const std::string& user = "");
+  StatusOr<uint64_t> CreateSessionFromVector(linalg::VectorF query_vector,
+                                             const std::string& user = "");
+  StatusOr<std::vector<core::ScoredImage>> NextBatch(uint64_t session_id,
+                                                     size_t n);
+  Status AddFeedback(uint64_t session_id,
+                     const core::ImageFeedback& feedback);
+  Status Refit(uint64_t session_id);
+  Status CloseSession(uint64_t session_id);
+  Status Ping();
+
+  /// The wire error code of the most recent failed call (kNone after a
+  /// success). kRetryLater (see IsRetriable) is the server shedding load:
+  /// wait and resend the same call.
+  WireError last_wire_error() const { return last_wire_error_; }
+
+ private:
+  explicit SeeSawClient(Fd fd) : fd_(std::move(fd)) {}
+
+  /// Sends one frame and blocks for its reply. Returns the reply payload on
+  /// success; on a kError reply records the code and maps it to a Status.
+  StatusOr<std::string> RoundTrip(FrameType request, std::string payload);
+
+  Fd fd_;
+  uint64_t next_request_id_ = 1;
+  WireError last_wire_error_ = WireError::kNone;
+};
+
+}  // namespace seesaw::net
+
+#endif  // SEESAW_NET_CLIENT_H_

@@ -1,0 +1,295 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace seesaw::net {
+
+namespace {
+
+// Sanity caps on variable-length payload fields, separate from the frame-
+// level max_payload_bytes cap: a frame whose *length fields* promise more
+// than the frame can physically carry is malformed, and bounding them here
+// keeps a hostile length from triggering a huge speculative reserve().
+constexpr uint32_t kMaxStringBytes = 1u << 20;   // 1 MiB text / user key
+constexpr uint32_t kMaxVectorDims = 1u << 20;    // 1M floats
+constexpr uint32_t kMaxBatchEntries = 1u << 20;  // 1M results
+constexpr uint32_t kMaxBoxes = 1u << 16;         // 64K region boxes
+
+}  // namespace
+
+std::string_view WireErrorName(WireError code) {
+  switch (code) {
+    case WireError::kNone: return "NONE";
+    case WireError::kRetryLater: return "RETRY_LATER";
+    case WireError::kMalformedFrame: return "MALFORMED_FRAME";
+    case WireError::kUnsupportedVersion: return "UNSUPPORTED_VERSION";
+    case WireError::kUnknownType: return "UNKNOWN_TYPE";
+    case WireError::kNotFound: return "NOT_FOUND";
+    case WireError::kInvalidArgument: return "INVALID_ARGUMENT";
+    case WireError::kQuotaExceeded: return "QUOTA_EXCEEDED";
+    case WireError::kInternal: return "INTERNAL";
+    case WireError::kShuttingDown: return "SHUTTING_DOWN";
+  }
+  return "UNKNOWN";
+}
+
+// ------------------------------------------------------------ WireWriter --
+
+void WireWriter::U16(uint16_t v) {
+  U8(static_cast<uint8_t>(v));
+  U8(static_cast<uint8_t>(v >> 8));
+}
+
+void WireWriter::U32(uint32_t v) {
+  U16(static_cast<uint16_t>(v));
+  U16(static_cast<uint16_t>(v >> 16));
+}
+
+void WireWriter::U64(uint64_t v) {
+  U32(static_cast<uint32_t>(v));
+  U32(static_cast<uint32_t>(v >> 32));
+}
+
+void WireWriter::F32(float v) {
+  uint32_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  U32(bits);
+}
+
+void WireWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+// ------------------------------------------------------------ WireReader --
+
+bool WireReader::Take(void* dst, size_t n) {
+  if (!ok_ || bytes_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  std::memcpy(dst, bytes_.data() + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool WireReader::U8(uint8_t* v) { return Take(v, 1); }
+
+bool WireReader::U16(uint16_t* v) {
+  uint8_t b[2];
+  if (!Take(b, 2)) return false;
+  *v = static_cast<uint16_t>(b[0] | (b[1] << 8));
+  return true;
+}
+
+bool WireReader::U32(uint32_t* v) {
+  uint8_t b[4];
+  if (!Take(b, 4)) return false;
+  *v = static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+       (static_cast<uint32_t>(b[2]) << 16) |
+       (static_cast<uint32_t>(b[3]) << 24);
+  return true;
+}
+
+bool WireReader::U64(uint64_t* v) {
+  uint32_t lo, hi;
+  if (!U32(&lo) || !U32(&hi)) return false;
+  *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return true;
+}
+
+bool WireReader::F32(float* v) {
+  uint32_t bits;
+  if (!U32(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+bool WireReader::Str(std::string* s) {
+  uint32_t len;
+  if (!U32(&len)) return false;
+  if (len > kMaxStringBytes || bytes_.size() - pos_ < len) {
+    ok_ = false;
+    return false;
+  }
+  s->assign(bytes_.data() + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+// -------------------------------------------------------- frame assembly --
+
+std::string EncodeFrame(FrameType type, uint64_t request_id,
+                        std::string_view payload) {
+  WireWriter w;
+  w.U32(kMagic);
+  w.U16(kProtocolVersion);
+  w.U16(static_cast<uint16_t>(type));
+  w.U64(request_id);
+  w.U32(static_cast<uint32_t>(payload.size()));
+  std::string frame = w.Take();
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+bool DecodeHeader(std::string_view bytes, FrameHeader* header) {
+  if (bytes.size() < kHeaderBytes) return false;
+  WireReader r(bytes.substr(0, kHeaderBytes));
+  uint32_t magic;
+  uint16_t type;
+  if (!r.U32(&magic) || magic != kMagic) return false;
+  if (!r.U16(&header->version) || !r.U16(&type) ||
+      !r.U64(&header->request_id) || !r.U32(&header->payload_len)) {
+    return false;
+  }
+  header->type = static_cast<FrameType>(type);
+  return true;
+}
+
+// ------------------------------------------------------ message codecs --
+
+std::string EncodeCreateSessionRequest(const CreateSessionRequest& msg) {
+  WireWriter w;
+  w.Str(msg.user);
+  w.U8(msg.by_vector ? 1 : 0);
+  if (msg.by_vector) {
+    w.U32(static_cast<uint32_t>(msg.query_vector.size()));
+    for (float v : msg.query_vector) w.F32(v);
+  } else {
+    w.Str(msg.text_query);
+  }
+  return w.Take();
+}
+
+bool DecodeCreateSessionRequest(std::string_view payload,
+                                CreateSessionRequest* msg) {
+  WireReader r(payload);
+  uint8_t by_vector;
+  if (!r.Str(&msg->user) || !r.U8(&by_vector)) return false;
+  msg->by_vector = by_vector != 0;
+  if (by_vector > 1) return false;
+  if (msg->by_vector) {
+    uint32_t dim;
+    if (!r.U32(&dim) || dim > kMaxVectorDims) return false;
+    msg->query_vector.resize(dim);
+    for (uint32_t i = 0; i < dim; ++i) {
+      if (!r.F32(&msg->query_vector[i])) return false;
+    }
+  } else if (!r.Str(&msg->text_query)) {
+    return false;
+  }
+  return r.Exhausted();
+}
+
+std::string EncodeCreateSessionReply(const CreateSessionReply& msg) {
+  WireWriter w;
+  w.U64(msg.session_id);
+  return w.Take();
+}
+
+bool DecodeCreateSessionReply(std::string_view payload,
+                              CreateSessionReply* msg) {
+  WireReader r(payload);
+  return r.U64(&msg->session_id) && r.Exhausted();
+}
+
+std::string EncodeNextBatchRequest(const NextBatchRequest& msg) {
+  WireWriter w;
+  w.U64(msg.session_id);
+  w.U32(msg.n);
+  return w.Take();
+}
+
+bool DecodeNextBatchRequest(std::string_view payload, NextBatchRequest* msg) {
+  WireReader r(payload);
+  return r.U64(&msg->session_id) && r.U32(&msg->n) && r.Exhausted();
+}
+
+std::string EncodeNextBatchReply(const NextBatchReply& msg) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(msg.batch.size()));
+  for (const core::ScoredImage& hit : msg.batch) {
+    w.U32(hit.image_idx);
+    w.F32(hit.score);
+  }
+  return w.Take();
+}
+
+bool DecodeNextBatchReply(std::string_view payload, NextBatchReply* msg) {
+  WireReader r(payload);
+  uint32_t count;
+  if (!r.U32(&count) || count > kMaxBatchEntries) return false;
+  msg->batch.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!r.U32(&msg->batch[i].image_idx) || !r.F32(&msg->batch[i].score)) {
+      return false;
+    }
+  }
+  return r.Exhausted();
+}
+
+std::string EncodeAddFeedbackRequest(const AddFeedbackRequest& msg) {
+  WireWriter w;
+  w.U64(msg.session_id);
+  w.U32(msg.feedback.image_idx);
+  w.U8(msg.feedback.relevant ? 1 : 0);
+  w.U32(static_cast<uint32_t>(msg.feedback.boxes.size()));
+  for (const data::Box& box : msg.feedback.boxes) {
+    w.F32(box.x0);
+    w.F32(box.y0);
+    w.F32(box.x1);
+    w.F32(box.y1);
+  }
+  return w.Take();
+}
+
+bool DecodeAddFeedbackRequest(std::string_view payload,
+                              AddFeedbackRequest* msg) {
+  WireReader r(payload);
+  uint8_t relevant;
+  uint32_t num_boxes;
+  if (!r.U64(&msg->session_id) || !r.U32(&msg->feedback.image_idx) ||
+      !r.U8(&relevant) || !r.U32(&num_boxes)) {
+    return false;
+  }
+  if (relevant > 1 || num_boxes > kMaxBoxes) return false;
+  msg->feedback.relevant = relevant != 0;
+  msg->feedback.boxes.resize(num_boxes);
+  for (uint32_t i = 0; i < num_boxes; ++i) {
+    data::Box& box = msg->feedback.boxes[i];
+    if (!r.F32(&box.x0) || !r.F32(&box.y0) || !r.F32(&box.x1) ||
+        !r.F32(&box.y1)) {
+      return false;
+    }
+  }
+  return r.Exhausted();
+}
+
+std::string EncodeSessionRequest(const SessionRequest& msg) {
+  WireWriter w;
+  w.U64(msg.session_id);
+  return w.Take();
+}
+
+bool DecodeSessionRequest(std::string_view payload, SessionRequest* msg) {
+  WireReader r(payload);
+  return r.U64(&msg->session_id) && r.Exhausted();
+}
+
+std::string EncodeErrorReply(const ErrorReply& msg) {
+  WireWriter w;
+  w.U16(static_cast<uint16_t>(msg.code));
+  w.Str(msg.message);
+  return w.Take();
+}
+
+bool DecodeErrorReply(std::string_view payload, ErrorReply* msg) {
+  WireReader r(payload);
+  uint16_t code;
+  if (!r.U16(&code) || !r.Str(&msg->message)) return false;
+  msg->code = static_cast<WireError>(code);
+  return r.Exhausted();
+}
+
+}  // namespace seesaw::net
