@@ -36,6 +36,14 @@
 //   kind=policy: per (n) the seen-aware scan policy at --policy-seen seen
 //                fraction: compacted unseen-run enumeration vs per-row
 //                skip tests (bitwise-verified equal before timing).
+//   kind=memory: per (n) the NUMA-placement A/B (PR 9): int8 sharded scan
+//                with numa_placement off vs on, bitwise-verified equal
+//                before timing, plus per-scan hardware counters
+//                (perf_event cache misses where the host exposes a PMU,
+//                getrusage minor faults everywhere — see common/hw_counters).
+//                On single-node hosts `placed` is false and the arms are the
+//                same configuration by construction; the row still documents
+//                the fallback engaged and parity held.
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -46,6 +54,8 @@
 #include "bench/bench_util.h"
 #include "common/binary_io.h"
 #include "common/check.h"
+#include "common/hw_counters.h"
+#include "common/numa.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -453,6 +463,78 @@ int Run(int argc, char** argv) {
                     "compact_p50=%.2fms speedup=%.2fx\n",
                     n, args.policy_seen, skip.stats.p50_ms,
                     compact.stats.p50_ms, policy_speedup);
+      }
+    }
+
+    // --- memory rows: NUMA placement A/B with per-scan counters. ---
+    {
+      // The placed arm needs a pool with worker->node affinity; scoped here
+      // so the sweep rows above keep their historical pool configuration.
+      // Single-node hosts: affinity and placement both degrade to no-ops
+      // and the two arms are identical configurations — the row then
+      // documents the fallback path at full scale.
+      ThreadPoolOptions affinity_options;
+      affinity_options.numa_affinity = true;
+      ThreadPool numa_pool(pool.num_threads(), affinity_options);
+
+      store::ShardedOptions unplaced_options;
+      unplaced_options.num_shards = 8;
+      for (size_t requested : args.shards) {
+        if (requested > 0) unplaced_options.num_shards = requested;
+      }
+      unplaced_options.min_rows_per_shard = args.min_shard_rows;
+      unplaced_options.precision = store::ScanPrecision::kInt8;
+      store::ShardedOptions placed_options = unplaced_options;
+      placed_options.numa_placement = true;
+
+      auto unplaced = store::ShardedStore::Create(table, unplaced_options);
+      auto placed = store::ShardedStore::Create(table, placed_options);
+      SEESAW_CHECK(unplaced.ok() && placed.ok());
+      // Placement must never change results (the fallback contract).
+      SEESAW_CHECK(SameResults(unplaced->TopK(spans[0], args.k),
+                               placed->TopK(spans[0], args.k)))
+          << "NUMA-placed scan diverged from unplaced at n=" << n;
+
+      Measurement un_m = MeasureScan(*unplaced, spans, n, args.dim, args,
+                                     no_seen, &numa_pool);
+      Measurement pl_m = MeasureScan(*placed, spans, n, args.dim, args,
+                                     no_seen, &numa_pool);
+      // Counters over one representative placed scan (the caller's share of
+      // a helped scan — self-profiling counters are per-thread).
+      hw::CounterScope scope;
+      scope.Start();
+      auto hits = placed->TopKBatch(std::span<const linalg::VecSpan>(spans),
+                                    args.k, no_seen, &numa_pool);
+      hw::CounterDeltas counters = scope.Read();
+      SEESAW_CHECK_EQ(hits.size(), spans.size());
+
+      const double placed_speedup =
+          pl_m.stats.p50_ms > 0 ? un_m.stats.p50_ms / pl_m.stats.p50_ms : 0.0;
+      if (args.json) {
+        std::printf(
+            "{\"kind\":\"memory\",\"n\":%zu,\"dim\":%zu,\"k\":%zu,"
+            "\"batch\":%zu,\"shards\":%zu,\"numa_available\":%s,"
+            "\"placed\":%s,\"unplaced_p50_ms\":%.3f,\"unplaced_p95_ms\":%.3f,"
+            "\"unplaced_p99_ms\":%.3f,\"placed_p50_ms\":%.3f,"
+            "\"placed_p95_ms\":%.3f,\"placed_p99_ms\":%.3f,"
+            "\"placed_speedup_p50\":%.3f,\"hw_counters\":%s,"
+            "\"scan_cache_misses\":%lld,\"scan_minor_faults\":%lld}\n",
+            n, args.dim, args.k, args.batch, placed->num_shards(),
+            numa::Available() ? "true" : "false",
+            placed->numa_placed() ? "true" : "false", un_m.stats.p50_ms,
+            un_m.stats.p95_ms, un_m.stats.p99_ms, pl_m.stats.p50_ms,
+            pl_m.stats.p95_ms, pl_m.stats.p99_ms, placed_speedup,
+            scope.hardware_available() ? "true" : "false",
+            static_cast<long long>(counters.cache_misses),
+            static_cast<long long>(counters.minor_faults));
+      } else {
+        std::printf("%-9zu memory numa=%d placed=%d: unplaced_p50=%.2fms "
+                    "placed_p50=%.2fms speedup=%.2fx cache_misses=%lld "
+                    "minor_faults=%lld\n",
+                    n, numa::Available(), placed->numa_placed(),
+                    un_m.stats.p50_ms, pl_m.stats.p50_ms, placed_speedup,
+                    static_cast<long long>(counters.cache_misses),
+                    static_cast<long long>(counters.minor_faults));
       }
     }
   }

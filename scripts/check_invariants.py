@@ -38,6 +38,17 @@ Rules
                     place that owns fd lifetimes, EINTR loops, and SIGPIPE
                     suppression. Scans src/ (minus src/net), bench/, tools/
                     and examples/.
+  atomic-layout     Structs/classes in src/ that pack multiple raw
+                    std::atomic members together, or mix a Mutex with a raw
+                    atomic, are false-sharing hazards (PR 9): contended
+                    writers ping-pong the shared cache line, and a mutex's
+                    futex word next to a spinning reader's flag degrades
+                    both. Such a type must either pad the atomics
+                    (CacheAligned<...> / alignas) or carry a
+                    "layout-audited:" comment inside the type body
+                    documenting why packing is the right call (e.g. cold
+                    monotone stat counters). Wrapped/alignas'd atomics don't
+                    count as raw; the exemption token is per-type.
   bench-json        Committed BENCH_*.json baselines must parse, carry
                     non-empty "rows", and (for the latency benches
                     BENCH_scale.json / BENCH_topk.json / BENCH_serving.json)
@@ -253,6 +264,73 @@ def check_concurrency_tests(root: Path) -> list[str]:
     return errors
 
 
+# -------------------------------------------------------------- atomic-layout
+# A raw (unpadded) atomic member declaration: `std::atomic<T> name...;` not
+# wrapped in CacheAligned<> (the wrapper puts `>>` right after the inner
+# atomic, so `\s+` fails to match) and not alignas'd on the same line.
+_ATOMIC_DECL = re.compile(
+    r"^\s*(?:mutable\s+)?std::atomic<[^<>]*>\s+\w+", re.MULTILINE
+)
+_MUTEX_DECL = re.compile(r"^\s*(?:mutable\s+)?Mutex\s+\w+", re.MULTILINE)
+_TYPE_OPEN = re.compile(r"\b(?:struct|class)\s+(\w+)[^;{()]*\{")
+_LAYOUT_TOKEN = "layout-audited:"
+
+
+def _type_bodies(text: str):
+    """Yields (name, start_offset, body_text) for each struct/class body,
+    including nested types (outer bodies contain inner ones)."""
+    for m in _TYPE_OPEN.finditer(text):
+        depth = 1
+        i = m.end()
+        while i < len(text) and depth > 0:
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+            i += 1
+        if depth == 0:
+            yield m.group(1), m.start(), text[m.end() : i - 1]
+
+
+def check_atomic_layout(root: Path) -> list[str]:
+    errors = []
+    src = root / "src"
+    if not src.is_dir():
+        return errors
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".h", ".cc", ".cpp"):
+            continue
+        raw = path.read_text()
+        for name, start, body in _type_bodies(raw):
+            if _LAYOUT_TOKEN in body:
+                continue  # documented exemption, audited by a human
+            stripped = _strip_comments(body)
+            raw_atomics = [
+                m for m in _ATOMIC_DECL.finditer(stripped)
+                if "alignas" not in
+                stripped[stripped.rfind("\n", 0, m.start()) + 1 : m.end()]
+            ]
+            if not raw_atomics:
+                continue
+            has_mutex = _MUTEX_DECL.search(stripped) is not None
+            if len(raw_atomics) < 2 and not has_mutex:
+                continue
+            line = raw[:start].count("\n") + 1
+            hazard = (
+                "mixes a Mutex with a raw std::atomic"
+                if has_mutex
+                else f"packs {len(raw_atomics)} raw std::atomic members"
+            )
+            errors.append(
+                f"{path.relative_to(root)}:{line}: [atomic-layout] "
+                f"'{name}' {hazard} — contended neighbors on one cache "
+                "line false-share; pad with CacheAligned/alignas "
+                "(common/aligned.h) or add a 'layout-audited:' comment in "
+                "the type body documenting why packing is correct"
+            )
+    return errors
+
+
 # ----------------------------------------------------------------- bench-json
 # Latency benches must commit percentiles, not just means (PR 6's contract).
 # Keyed by filename; other BENCH files need only parse and carry rows. Every
@@ -305,6 +383,7 @@ RULES = [
     check_kernel_libm,
     check_net_sockets,
     check_concurrency_tests,
+    check_atomic_layout,
     check_bench_json,
 ]
 
@@ -362,6 +441,25 @@ def self_test() -> int:
             root / "src/net/socket.cc",
             "#include <sys/socket.h>\n"
             "int Open() { return ::socket(AF_INET, SOCK_STREAM, 0); }\n",
+        )
+        # Layout-clean types: padded atomics, a documented packed block, a
+        # lone atomic, and a mutex-only type must all pass.
+        _write(
+            root / "src/net/clean_layout.h",
+            "class PaddedHot {\n"
+            "  CacheAligned<std::atomic<bool>> stop_;\n"
+            "  CacheAligned<std::atomic<size_t>> queued_;\n"
+            "};\n"
+            "struct AuditedStats {\n"
+            "  // layout-audited: cold monotone counters, packing is fine.\n"
+            "  std::atomic<size_t> ok_{0};\n"
+            "  std::atomic<size_t> shed_{0};\n"
+            "};\n"
+            "struct LoneFlag { std::atomic<bool> done{false}; };\n"
+            "class Guarded {\n"
+            "  mutable Mutex mu_;\n"
+            "  size_t count_ = 0;\n"
+            "};\n",
         )
         _write(
             root / "BENCH_scale.json",
@@ -425,6 +523,28 @@ def self_test() -> int:
                 f"self-test 'concurrency-tests': expected 2 violations "
                 f"(ThreadPool use and serving-header include), got: "
                 f"{conc_errors}"
+            )
+
+        # atomic-layout: adjacent raw atomics without padding or exemption,
+        # and a Mutex packed next to a raw atomic.
+        _write(
+            root / "src/core/bad_layout.h",
+            "struct HotCounters {\n"
+            "  std::atomic<size_t> queued_{0};\n"
+            "  std::atomic<size_t> inflight_{0};\n"
+            "};\n"
+            "class MixedGuard {\n"
+            "  mutable Mutex mu_;\n"
+            "  std::atomic<bool> dead_{false};\n"
+            "};\n",
+        )
+        layout_errors = check_atomic_layout(root)
+        expect("atomic-layout", layout_errors, "[atomic-layout]", True)
+        if sum("[atomic-layout]" in e for e in layout_errors) != 2:
+            failures.append(
+                f"self-test 'atomic-layout': expected exactly the 2 seeded "
+                f"violations (padded/audited/lone/mutex-only types must stay "
+                f"clean), got: {layout_errors}"
             )
 
         # bench-json: a latency baseline without percentiles, junk JSON, and

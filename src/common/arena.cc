@@ -1,0 +1,117 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace seesaw {
+
+namespace {
+
+/// Floor for fresh blocks: one page. Most scans want tens of KiB; starting
+/// at a page keeps the first warm-up growth chain short without committing
+/// every arena to a large footprint.
+constexpr size_t kMinBlockBytes = 4096;
+
+size_t RoundUpToLine(size_t bytes) {
+  return (bytes + kCacheLineSize - 1) & ~(kCacheLineSize - 1);
+}
+
+}  // namespace
+
+ScratchArena::Block ScratchArena::NewBlock(size_t capacity) {
+  Block block;
+  // Over-allocate one line so the base can be rounded up to an aligned
+  // address (operator new[] only guarantees alignof(max_align_t)).
+  block.storage = std::make_unique<std::byte[]>(capacity + kCacheLineSize);
+  auto raw = reinterpret_cast<uintptr_t>(block.storage.get());
+  block.base = block.storage.get() +
+               (RoundUpToLine(raw) - raw);
+  block.capacity = capacity;
+  block.used = 0;
+  return block;
+}
+
+void* ScratchArena::AllocBytes(size_t bytes) {
+  bytes = RoundUpToLine(bytes);
+  if (current_.used + bytes > current_.capacity) {
+    // Outgrown: retire the current block (its spans must stay valid until
+    // Reset) and continue bumping in a bigger one. Doubling keeps warm-up
+    // to O(log total) mallocs; Reset coalesces so this happens once.
+    const size_t grown = std::max(
+        {kMinBlockBytes, bytes, current_.capacity * 2});
+    if (current_.capacity > 0) retired_.push_back(std::move(current_));
+    current_ = NewBlock(grown);
+  }
+  void* out = current_.base + current_.used;
+  current_.used += bytes;
+  return out;
+}
+
+void ScratchArena::Reset() {
+  if (!retired_.empty()) {
+    // The cycle outgrew the block layout: replace everything with one block
+    // sized to the true high-water use, so the next same-shaped cycle fits
+    // without growing. (Freeing the old blocks here is the last allocator
+    // traffic this arena generates for that shape.)
+    size_t total = current_.used;
+    for (const Block& b : retired_) total += b.used;
+    retired_.clear();
+    current_ = NewBlock(std::max(kMinBlockBytes, RoundUpToLine(total)));
+  }
+  current_.used = 0;
+}
+
+size_t ScratchArena::capacity_bytes() const {
+  size_t total = current_.capacity;
+  for (const Block& b : retired_) total += b.capacity;
+  return total;
+}
+
+ScratchPool::Lease ScratchPool::Acquire() {
+  std::unique_ptr<ScratchArena> arena;
+  {
+    MutexLock lock(mu_);
+    if (!idle_.empty()) {
+      arena = std::move(idle_.back());
+      idle_.pop_back();
+    } else {
+      arena = std::make_unique<ScratchArena>();
+      ++created_;
+    }
+    ++outstanding_;
+  }
+  return Lease(this, std::move(arena));
+}
+
+void ScratchPool::Return(std::unique_ptr<ScratchArena> arena) {
+  MutexLock lock(mu_);
+  SEESAW_CHECK_GT(outstanding_, 0u);
+  --outstanding_;
+  idle_.push_back(std::move(arena));
+}
+
+size_t ScratchPool::created() const {
+  MutexLock lock(mu_);
+  return created_;
+}
+
+size_t ScratchPool::outstanding() const {
+  MutexLock lock(mu_);
+  return outstanding_;
+}
+
+void ScratchPool::Lease::Release() {
+  if (pool_ == nullptr) return;
+  // Reset outside the pool lock (it may free retired blocks), then return.
+  arena_->Reset();
+  pool_->Return(std::move(arena_));
+  pool_ = nullptr;
+}
+
+ScratchPool& GlobalScanScratch() {
+  static ScratchPool* pool = new ScratchPool;  // leaked; see header
+  return *pool;
+}
+
+}  // namespace seesaw

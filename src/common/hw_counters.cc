@@ -1,0 +1,114 @@
+#include "common/hw_counters.h"
+
+#include <cstring>
+
+#if defined(__linux__)
+#include <sys/ioctl.h>
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+#if __has_include(<linux/perf_event.h>)
+#include <linux/hw_breakpoint.h>  // IWYU pragma: keep (perf_event_attr bp fields)
+#include <linux/perf_event.h>
+#define SEESAW_HAVE_PERF_EVENT 1
+#endif
+#endif
+
+namespace seesaw::hw {
+
+#if defined(__linux__)
+
+namespace {
+
+#if defined(SEESAW_HAVE_PERF_EVENT)
+int OpenHardwareCounter(uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;  // self-profiling: paranoid<=2 allows user-only
+  attr.exclude_hv = 1;
+  // pid=0, cpu=-1: this thread, wherever it runs — exactly the scope the
+  // bench loops measure. No group leader; counters are read independently
+  // (a skewed few-cycle window between reads is far below the effects the
+  // A/Bs look for).
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+#endif
+
+int64_t ReadCounterFd(int fd) {
+  if (fd < 0) return -1;
+  int64_t value = 0;
+  if (read(fd, &value, sizeof(value)) != sizeof(value)) return -1;
+  return value;
+}
+
+int64_t ThreadCpuNs() {
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+}  // namespace
+
+CounterScope::CounterScope() {
+#if defined(SEESAW_HAVE_PERF_EVENT)
+  static constexpr uint64_t kConfigs[4] = {
+      PERF_COUNT_HW_CACHE_REFERENCES, PERF_COUNT_HW_CACHE_MISSES,
+      PERF_COUNT_HW_INSTRUCTIONS, PERF_COUNT_HW_CPU_CYCLES};
+  for (int i = 0; i < 4; ++i) fds_[i] = OpenHardwareCounter(kConfigs[i]);
+  // The A/Bs key off the cache pair; instructions/cycles are garnish.
+  hardware_available_ = fds_[0] >= 0 && fds_[1] >= 0;
+#endif
+}
+
+CounterScope::~CounterScope() {
+  for (int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+void CounterScope::ReadRaw(Baseline* out) const {
+  for (int i = 0; i < 4; ++i) out->values[i] = ReadCounterFd(fds_[i]);
+  rusage usage;
+  if (getrusage(RUSAGE_THREAD, &usage) == 0) {
+    out->minor_faults = usage.ru_minflt;
+    out->ctx_switches = usage.ru_nvcsw + usage.ru_nivcsw;
+  }
+  out->thread_cpu_ns = ThreadCpuNs();
+}
+
+void CounterScope::Start() { ReadRaw(&start_); }
+
+CounterDeltas CounterScope::Read() {
+  Baseline now;
+  ReadRaw(&now);
+  CounterDeltas d;
+  auto delta = [](int64_t begin, int64_t end) {
+    return (begin < 0 || end < 0) ? int64_t{-1} : end - begin;
+  };
+  d.cache_references = delta(start_.values[0], now.values[0]);
+  d.cache_misses = delta(start_.values[1], now.values[1]);
+  d.instructions = delta(start_.values[2], now.values[2]);
+  d.cycles = delta(start_.values[3], now.values[3]);
+  d.minor_faults = now.minor_faults - start_.minor_faults;
+  d.ctx_switches = now.ctx_switches - start_.ctx_switches;
+  d.thread_cpu_ns = now.thread_cpu_ns - start_.thread_cpu_ns;
+  return d;
+}
+
+#else  // !defined(__linux__)
+
+CounterScope::CounterScope() = default;
+CounterScope::~CounterScope() = default;
+void CounterScope::ReadRaw(Baseline*) const {}
+void CounterScope::Start() {}
+CounterDeltas CounterScope::Read() { return CounterDeltas{}; }
+
+#endif
+
+}  // namespace seesaw::hw

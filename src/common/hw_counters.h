@@ -1,0 +1,81 @@
+// Self-profiling counters for the memory-audit benches: counters, not vibes.
+//
+// The alignment/placement work in this repo is only claimable with numbers,
+// and wall-clock alone cannot distinguish "less coherence traffic" from
+// scheduler luck. This header gives the diag/bench tools two tiers of
+// evidence, best-effort in this order:
+//
+//  1. Hardware events via perf_event_open(2), self-profiling only (pid=0,
+//     no capabilities needed at perf_event_paranoid <= 2): cache
+//     references/misses, instructions, cycles. Virtualized CI runners
+//     usually expose no PMU — every open fails cleanly and
+//     hardware_available() is false.
+//  2. Software events that exist everywhere on Linux: minor page faults and
+//     voluntary/involuntary context switches from getrusage(2), and thread
+//     CPU time from CLOCK_THREAD_CPUTIME_ID. Page-fault deltas are the
+//     allocation-churn witness (fresh large buffers fault their pages in;
+//     arena-reused buffers fault zero), which is exactly the satellite
+//     claim the scratch-arena fix needs to prove on PMU-less hosts.
+//
+// Non-Linux builds compile the stub branch: everything reports unavailable
+// and zero deltas. Consumers must treat -1 as "not measured", never as 0.
+#ifndef SEESAW_COMMON_HW_COUNTERS_H_
+#define SEESAW_COMMON_HW_COUNTERS_H_
+
+#include <cstdint>
+
+namespace seesaw::hw {
+
+/// Deltas over one measured region. -1 = this counter was not available.
+struct CounterDeltas {
+  int64_t cache_references = -1;  // hardware: LLC references
+  int64_t cache_misses = -1;      // hardware: LLC misses
+  int64_t instructions = -1;      // hardware
+  int64_t cycles = -1;            // hardware
+  int64_t minor_faults = -1;      // software: getrusage ru_minflt
+  int64_t ctx_switches = -1;      // software: voluntary + involuntary
+  int64_t thread_cpu_ns = -1;     // software: CLOCK_THREAD_CPUTIME_ID
+};
+
+/// One measurement scope over the calling thread. Not thread-safe; create
+/// one per measuring thread. Counting runs from Start() to Read() (Read
+/// does not stop the counters, so consecutive Start/Read pairs can reuse
+/// one instance across bench iterations).
+class CounterScope {
+ public:
+  /// Opens the perf fds (or records their absence). Cheap enough to build
+  /// per bench phase; the fds live until destruction.
+  CounterScope();
+  ~CounterScope();
+
+  CounterScope(const CounterScope&) = delete;
+  CounterScope& operator=(const CounterScope&) = delete;
+
+  /// True when at least the cache reference/miss pair opened — the signal
+  /// the alignment A/Bs need. Software counters work regardless.
+  bool hardware_available() const { return hardware_available_; }
+
+  /// Snapshots the baseline. Call immediately before the measured region.
+  void Start();
+
+  /// Deltas since the last Start().
+  CounterDeltas Read();
+
+ private:
+  struct Baseline {
+    int64_t values[4] = {0, 0, 0, 0};  // perf readings, parallel to fds_
+    int64_t minor_faults = 0;
+    int64_t ctx_switches = 0;
+    int64_t thread_cpu_ns = 0;
+  };
+
+  void ReadRaw(Baseline* out) const;
+
+  int fds_[4] = {-1, -1, -1, -1};  // refs, misses, instructions, cycles
+  bool hardware_available_ = false;
+  Baseline start_;
+};
+
+}  // namespace seesaw::hw
+
+#endif  // SEESAW_COMMON_HW_COUNTERS_H_

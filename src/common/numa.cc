@@ -1,0 +1,197 @@
+#include "common/numa.h"
+
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace seesaw::numa {
+
+#if defined(__linux__)
+
+namespace {
+
+// Node ids handled by this module are *logical* indices into the online-node
+// list (dense, 0..NodeCount()-1); the kernel's possibly-sparse physical ids
+// stay internal to Topology. Callers only ever round-robin over NodeCount(),
+// so a dense index is the honest external contract — physical ids would leak
+// sysfs quirks into every `shard % NodeCount()` site.
+struct Topology {
+  std::vector<int> physical_ids;        // logical node -> physical node id
+  std::vector<std::vector<int>> cpus;   // logical node -> cpu ids
+  std::vector<int> cpu_to_node;         // cpu id -> logical node (or 0)
+};
+
+std::string ReadSysfsLine(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+// Parses the sysfs list format: "0", "0-3", "0,2,4-7".
+std::vector<int> ParseIdList(const std::string& text) {
+  std::vector<int> ids;
+  std::stringstream ss(text);
+  std::string range;
+  while (std::getline(ss, range, ',')) {
+    if (range.empty()) continue;
+    size_t dash = range.find('-');
+    try {
+      if (dash == std::string::npos) {
+        ids.push_back(std::stoi(range));
+      } else {
+        int lo = std::stoi(range.substr(0, dash));
+        int hi = std::stoi(range.substr(dash + 1));
+        for (int id = lo; id <= hi; ++id) ids.push_back(id);
+      }
+    } catch (...) {
+      return {};  // malformed sysfs -> treat topology as unreadable
+    }
+  }
+  return ids;
+}
+
+Topology DiscoverTopology() {
+  Topology topo;
+  const std::string base = "/sys/devices/system/node";
+  for (int phys : ParseIdList(ReadSysfsLine(base + "/online"))) {
+    std::vector<int> cpus = ParseIdList(
+        ReadSysfsLine(base + "/node" + std::to_string(phys) + "/cpulist"));
+    // Memory-only nodes (no CPUs — CXL expanders, some HBM configs) are
+    // skipped: the placement model here co-locates compute with data, and a
+    // node nothing can be pinned to breaks the round-robin assumption that
+    // shard i's pages and shard i's workers share a node.
+    if (cpus.empty()) continue;
+    int logical = static_cast<int>(topo.physical_ids.size());
+    for (int cpu : cpus) {
+      if (cpu >= static_cast<int>(topo.cpu_to_node.size())) {
+        topo.cpu_to_node.resize(cpu + 1, 0);
+      }
+      topo.cpu_to_node[cpu] = logical;
+    }
+    topo.physical_ids.push_back(phys);
+    topo.cpus.push_back(std::move(cpus));
+  }
+  if (topo.physical_ids.empty()) {
+    // Unreadable sysfs (containers sometimes mask it): behave as one node.
+    topo.physical_ids.push_back(0);
+    topo.cpus.emplace_back();
+  }
+  return topo;
+}
+
+const Topology& GetTopology() {
+  static const Topology topo = DiscoverTopology();  // magic-static: race-free
+  return topo;
+}
+
+// mbind(2) policy constants, defined locally because they live in
+// <numaif.h>, which ships with libnuma's dev package — a dependency this
+// repo deliberately does not take. Values are kernel ABI (uapi/linux/
+// mempolicy.h) and cannot change.
+constexpr int kMpolBind = 2;
+constexpr unsigned kMpolMfMove = 1u << 1;  // migrate already-touched pages
+
+}  // namespace
+
+bool Available() { return GetTopology().physical_ids.size() > 1; }
+
+size_t NodeCount() { return GetTopology().physical_ids.size(); }
+
+const std::vector<int>& CpusOfNode(size_t node) {
+  static const std::vector<int> empty;
+  const Topology& topo = GetTopology();
+  if (node >= topo.cpus.size()) return empty;
+  return topo.cpus[node];
+}
+
+size_t CurrentNode() {
+  int cpu = sched_getcpu();
+  const Topology& topo = GetTopology();
+  if (cpu < 0 || cpu >= static_cast<int>(topo.cpu_to_node.size())) return 0;
+  return static_cast<size_t>(topo.cpu_to_node[cpu]);
+}
+
+Placement PinThreadToNode(size_t node) {
+  if (!Available()) return Placement::kDegraded;
+  const std::vector<int>& cpus = CpusOfNode(node);
+  if (cpus.empty()) return Placement::kDegraded;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int cpu : cpus) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) CPU_SET(cpu, &set);
+  }
+  if (sched_setaffinity(0, sizeof(set), &set) != 0) {
+    return Placement::kDegraded;  // cgroup cpuset may forbid these CPUs
+  }
+  return Placement::kApplied;
+}
+
+Placement BindMemoryToNode(void* ptr, size_t bytes, size_t node) {
+  const Topology& topo = GetTopology();
+  if (!Available() || node >= topo.physical_ids.size() || ptr == nullptr) {
+    return Placement::kDegraded;
+  }
+  // Round inward to page boundaries: mbind requires a page-aligned start,
+  // and the partial head/tail pages of a heap buffer are shared with
+  // whatever the allocator packed next to it — migrating those would move
+  // a stranger's data too.
+  const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  uintptr_t begin = reinterpret_cast<uintptr_t>(ptr);
+  uintptr_t end = begin + bytes;
+  begin = (begin + page - 1) & ~(page - 1);
+  end &= ~(page - 1);
+  if (begin >= end) return Placement::kDegraded;  // sub-page range
+
+  const int phys = topo.physical_ids[node];
+  constexpr size_t kMaskWords = 16;  // 1024 nodes, far above any real host
+  unsigned long mask[kMaskWords];
+  std::memset(mask, 0, sizeof(mask));
+  if (static_cast<size_t>(phys) >= kMaskWords * sizeof(unsigned long) * 8) {
+    return Placement::kDegraded;
+  }
+  mask[phys / (sizeof(unsigned long) * 8)] |=
+      1ul << (phys % (sizeof(unsigned long) * 8));
+  long rc = syscall(SYS_mbind, reinterpret_cast<void*>(begin),
+                    static_cast<unsigned long>(end - begin), kMpolBind, mask,
+                    static_cast<unsigned long>(kMaskWords *
+                                               sizeof(unsigned long) * 8),
+                    kMpolMfMove);
+  // A refused mbind (seccomp filter, CONFIG_NUMA=n, EPERM on locked pages)
+  // degrades rather than errors — see the header contract: placement is an
+  // optimization and the scan is bitwise-identical either way.
+  return rc == 0 ? Placement::kApplied : Placement::kDegraded;
+}
+
+#else  // !defined(__linux__)
+
+bool Available() { return false; }
+
+size_t NodeCount() { return 1; }
+
+const std::vector<int>& CpusOfNode(size_t) {
+  static const std::vector<int> empty;
+  return empty;
+}
+
+size_t CurrentNode() { return 0; }
+
+Placement PinThreadToNode(size_t) { return Placement::kDegraded; }
+
+Placement BindMemoryToNode(void*, size_t, size_t) {
+  return Placement::kDegraded;
+}
+
+#endif
+
+}  // namespace seesaw::numa

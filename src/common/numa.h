@@ -1,0 +1,82 @@
+// NUMA topology discovery and placement for the sharded scan path.
+//
+// At 16M rows the table is ~8 GB of fp32: on a multi-socket host that table
+// straddles NUMA nodes, and a scan worker streaming a remote node's rows
+// pays the interconnect on every cache-line fill (typically 1.5-2x the local
+// latency, and a fraction of the local bandwidth). The fix is classic
+// placement: put each shard's rows on one node and run that shard's scan on
+// a core of the same node.
+//
+// This header is the whole placement seam, deliberately free of libnuma (the
+// build must not grow dependencies): topology comes from
+// /sys/devices/system/node, thread pinning is sched_setaffinity, and memory
+// binding is the raw mbind(2) syscall. Every entry point degrades to a
+// successful no-op when placement cannot apply:
+//
+//   - non-Linux builds: stubs compiled from the #else branch, NodeCount()==1;
+//   - single-node Linux hosts (the CI runner): NodeCount()==1, so
+//     PinThreadToNode / BindMemoryToNode return OK without issuing syscalls;
+//   - kernels without an mbind syscall or with it refused (seccomp,
+//     CONFIG_NUMA=n): the error is swallowed into a no-op *by policy* —
+//     placement is an optimization, never a correctness requirement, and a
+//     scan must produce bitwise-identical results wherever its pages live
+//     (tests/numa_test.cc holds the parity side of that contract).
+//
+// Callers that want to distinguish "placed" from "no-op" (diag_memory, the
+// bench) use the Placement{Applied,Degraded} result rather than Status.
+#ifndef SEESAW_COMMON_NUMA_H_
+#define SEESAW_COMMON_NUMA_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace seesaw::numa {
+
+/// True when the host exposes more than one NUMA node — i.e. placement can
+/// change anything at all. False on non-Linux and single-node hosts, where
+/// every placement call below is a successful no-op.
+bool Available();
+
+/// Number of online NUMA nodes; always >= 1 (1 on non-NUMA hosts, so
+/// `shard % NodeCount()` is safe unconditionally). Resolved once from
+/// /sys/devices/system/node and cached.
+size_t NodeCount();
+
+/// CPU ids belonging to `node` (empty for out-of-range nodes or when the
+/// topology is unreadable). Snapshot at first call; CPU hotplug after that
+/// is not tracked (pinning to an offlined CPU fails gracefully — the thread
+/// keeps its previous mask).
+const std::vector<int>& CpusOfNode(size_t node);
+
+/// The node owning the CPU the calling thread is currently running on, or
+/// 0 when it cannot be determined. Cheap (getcpu vDSO), safe to call on the
+/// scan path.
+size_t CurrentNode();
+
+/// Outcome of a placement request: Applied means the syscall took effect;
+/// Degraded means the request was a deliberate no-op (single node, stub
+/// build, or the kernel refused) — never an error, by the contract above.
+enum class Placement { kApplied, kDegraded };
+
+/// Restricts the calling thread's CPU affinity to the CPUs of `node`.
+/// Degraded (and no syscall) when !Available(), the node is out of range,
+/// or the node has no readable CPU list; also Degraded when
+/// sched_setaffinity itself is refused.
+Placement PinThreadToNode(size_t node);
+
+/// Binds the pages of [ptr, ptr+bytes) to `node`, migrating already-touched
+/// pages (MPOL_MF_MOVE) — the table buffers this is used on are written by
+/// the building thread before placement, so first-touch alone would leave
+/// them on the builder's node. The range is rounded inward to page
+/// boundaries; a range smaller than one page is trivially Degraded.
+/// Degraded (no syscall) when !Available() or `node` is out of range, and
+/// when the kernel refuses the mbind (see header contract).
+Placement BindMemoryToNode(void* ptr, size_t bytes, size_t node);
+
+/// The canonical shard->node assignment used by ShardedStore and diag tools:
+/// round-robin over the online nodes. With one node this is always 0.
+inline size_t NodeForShard(size_t shard) { return shard % NodeCount(); }
+
+}  // namespace seesaw::numa
+
+#endif  // SEESAW_COMMON_NUMA_H_

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "core/embedded_dataset.h"
@@ -77,11 +78,11 @@ class PrefetchBudget {
 
   /// Claims a slot; false when the budget is exhausted.
   bool TryAcquire() {
-    size_t cur = in_flight_.load(std::memory_order_relaxed);
+    size_t cur = in_flight_.value.load(std::memory_order_relaxed);
     for (;;) {
       if (max_ != 0 && cur >= max_) return false;
-      if (in_flight_.compare_exchange_weak(cur, cur + 1,
-                                           std::memory_order_relaxed)) {
+      if (in_flight_.value.compare_exchange_weak(
+              cur, cur + 1, std::memory_order_relaxed)) {
         return true;
       }
     }
@@ -94,18 +95,23 @@ class PrefetchBudget {
   /// max forever, every future TryAcquire refused) — a negative balance is
   /// a programming error worth an abort, not a quiet throttle.
   void Release() {
-    size_t prev = in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    size_t prev = in_flight_.value.fetch_sub(1, std::memory_order_relaxed);
     SEESAW_CHECK_GT(prev, 0u)
         << "PrefetchBudget::Release without a matching TryAcquire";
   }
 
   size_t in_flight() const {
-    return in_flight_.load(std::memory_order_relaxed);
+    return in_flight_.value.load(std::memory_order_relaxed);
   }
 
  private:
   const size_t max_;  // immutable after construction; read without a lock
-  std::atomic<size_t> in_flight_{0};
+  /// Padded to its own line: one budget is shared by every session of a
+  /// manager, so under load many pool workers CAS/decrement it while the
+  /// const `max_` beside it is read on each admission — unpadded, the
+  /// budget's write traffic would also evict readers of whatever the
+  /// enclosing object packs around it (memory-audit contract, PR 9).
+  CacheAligned<std::atomic<size_t>> in_flight_;
 };
 
 /// Per-searcher speculation counters (bench_prefetch_latency reports these).

@@ -48,6 +48,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
@@ -107,8 +108,24 @@ class SessionLease {
   SeeSawSearcher* get() const { return session_.get(); }
 
   /// Releases the slot (and the session reference) early.
+  ///
+  /// Memory-order audit (PR 7 contract style): the decrement stays
+  /// `relaxed` — the slot counter is a pure throttle, and the session state
+  /// the lease guarded travels through the shared_ptr, not the counter —
+  /// but the balance invariant is now CHECK-enforced rather than
+  /// comment-enforced. RAII makes a double release unreachable through the
+  /// public API (the constructor is private, moves null the source, Reset
+  /// clears `inflight_` before returning), so a trip here means lease
+  /// internals were broken; the failure it prevents is the PrefetchBudget
+  /// one — an unsigned wrap to SIZE_MAX that would read as "forever busy"
+  /// and brick the session for every future Acquire. Stress coverage:
+  /// session_lifecycle_test.cc, LeaseCounterBalancedUnderChurn.
   void Reset() {
-    if (inflight_) inflight_->fetch_sub(1, std::memory_order_relaxed);
+    if (inflight_) {
+      const size_t prev = inflight_->fetch_sub(1, std::memory_order_relaxed);
+      SEESAW_CHECK_GT(prev, 0u)
+          << "SessionLease::Reset without a live in-flight slot";
+    }
     inflight_.reset();
     session_.reset();
   }

@@ -32,11 +32,15 @@ void QuantizeWithScale(VecSpan src, float scale, int8_t* out) {
 
 float QuantizeVector(VecSpan src, std::vector<int8_t>* out) {
   out->resize(src.size());
+  return QuantizeVectorInto(src, out->data());
+}
+
+float QuantizeVectorInto(VecSpan src, int8_t* out) {
   const float max_abs = MaxAbs(src);
   // An all-zero (or empty) vector quantizes to zeros with unit scale, so
   // dequantization is exact and no division by zero occurs.
   const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
-  QuantizeWithScale(src, scale, out->data());
+  QuantizeWithScale(src, scale, out);
   return scale;
 }
 

@@ -64,6 +64,13 @@ struct QuantizedVector {
 /// (std::nearbyintf under the default rounding mode), clamped to ±127.
 float QuantizeVector(VecSpan src, std::vector<int8_t>* out);
 
+/// In-place variant for callers that own the destination (the batched scan
+/// quantizes each query directly into its slot of one contiguous arena
+/// block instead of bouncing through a temporary vector). `out` must hold
+/// src.size() bytes. Bit-for-bit the same quantization as QuantizeVector —
+/// both run the identical MaxAbs + round-to-nearest-even pipeline.
+float QuantizeVectorInto(VecSpan src, int8_t* out);
+
 /// Convenience wrapper building a QuantizedVector.
 QuantizedVector QuantizeQuery(VecSpan query);
 

@@ -51,7 +51,7 @@ Status SeeSawServer::Start() {
   listener_ = std::move(listener);
   port_ = port;
   wake_ = std::make_unique<WakePipe>(std::move(wake));
-  stop_.store(false, std::memory_order_release);
+  stop_.value.store(false, std::memory_order_release);
   loop_handle_ = io_pool_.SubmitWithResult([this] { RunLoop(); });
   started_ = true;
   return Status::OK();
@@ -59,7 +59,7 @@ Status SeeSawServer::Start() {
 
 void SeeSawServer::Stop() {
   if (!started_) return;
-  stop_.store(true, std::memory_order_release);
+  stop_.value.store(true, std::memory_order_release);
   wake_->Wake();
   loop_handle_.Wait();
   started_ = false;
@@ -93,7 +93,7 @@ void SeeSawServer::RunLoop() {
   // Parallel to fds[2..]: keeps each polled connection alive through the
   // iteration even if it is erased from connections_ mid-pass.
   std::vector<std::shared_ptr<Connection>> polled;
-  while (!stop_.load(std::memory_order_acquire)) {
+  while (!stop_.value.load(std::memory_order_acquire)) {
     fds.clear();
     polled.clear();
     fds.push_back({wake_->read_fd(), POLLIN, 0});
@@ -131,7 +131,7 @@ void SeeSawServer::RunLoop() {
     }
 
     int rc = ::poll(fds.data(), fds.size(), timeout_ms);
-    if (stop_.load(std::memory_order_acquire)) break;
+    if (stop_.value.load(std::memory_order_acquire)) break;
     if (rc < 0) {
       if (errno == EINTR) continue;
       break;  // poll itself failed; nothing sane left to do
@@ -179,7 +179,7 @@ void SeeSawServer::RunLoop() {
   }
   connections_.clear();
   MutexLock lock(drain_mu_);
-  while (inflight_handlers_.load(std::memory_order_acquire) != 0) {
+  while (inflight_handlers_.value.load(std::memory_order_acquire) != 0) {
     drain_cv_.Wait(drain_mu_);
   }
 }
@@ -266,7 +266,7 @@ bool SeeSawServer::ParseFrames(const std::shared_ptr<Connection>& conn) {
 void SeeSawServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
                                  const FrameHeader& header,
                                  std::string payload) {
-  if (stop_.load(std::memory_order_acquire)) {
+  if (stop_.value.load(std::memory_order_acquire)) {
     requests_error_.fetch_add(1, std::memory_order_relaxed);
     EnqueueReply(conn,
                  ErrorFrame(header.request_id, WireError::kShuttingDown,
@@ -276,12 +276,21 @@ void SeeSawServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
   }
   // Admission stage 3 (PrefetchBudget-style try-acquire): never let more
   // than max_queued_requests handlers pile up behind the shared pool.
+  //
+  // Memory-order audit (PR 7 contract style): the whole CAS loop is
+  // `relaxed` because the counter is a pure throttle — no data is published
+  // *through* it. The handler's payload travels through the pool queue
+  // below, whose mutex provides the happens-before edge; the matching
+  // decrement in the handler epilogue is likewise relaxed. The only
+  // correctness property the counter carries is "never exceeds the cap",
+  // and that is the CAS's atomicity, not its ordering. (Same rationale as
+  // PrefetchBudget::TryAcquire, where this pattern was first documented.)
   if (options_.max_queued_requests > 0) {
-    size_t current = queued_requests_.load(std::memory_order_relaxed);
+    size_t current = queued_requests_.value.load(std::memory_order_relaxed);
     bool admitted = false;
     while (current < options_.max_queued_requests) {
-      if (queued_requests_.compare_exchange_weak(current, current + 1,
-                                                 std::memory_order_relaxed)) {
+      if (queued_requests_.value.compare_exchange_weak(
+              current, current + 1, std::memory_order_relaxed)) {
         admitted = true;
         break;
       }
@@ -293,14 +302,19 @@ void SeeSawServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
       return;
     }
   } else {
-    queued_requests_.fetch_add(1, std::memory_order_relaxed);
+    queued_requests_.value.fetch_add(1, std::memory_order_relaxed);
   }
-  inflight_handlers_.fetch_add(1, std::memory_order_acq_rel);
+  // acq_rel (unlike the throttle above): Stop()'s drain loop reads this
+  // counter as its "all handlers finished" predicate, so the final
+  // decrement must be ordered after the handler's side effects — the
+  // release half publishes them to the drain loop's acquire load.
+  inflight_handlers_.value.fetch_add(1, std::memory_order_acq_rel);
   manager_.pool().Submit(
       [this, conn, header, payload = std::move(payload)]() {
         HandleRequest(conn, header, payload);
-        queued_requests_.fetch_sub(1, std::memory_order_relaxed);
-        if (inflight_handlers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        queued_requests_.value.fetch_sub(1, std::memory_order_relaxed);
+        if (inflight_handlers_.value.fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
           // Publish "drained" under the mutex so a Stop() caller between its
           // predicate check and parking cannot miss the notify.
           MutexLock lock(drain_mu_);

@@ -39,6 +39,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/aligned.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
@@ -113,6 +114,11 @@ class SeeSawServer {
   /// Per-connection state. The fd and inbound buffer belong to the loop
   /// thread exclusively; the outbound buffer is the loop/handler rendezvous.
   struct Connection {
+    // layout-audited: `mu` and `dead` share this struct unpadded by choice —
+    // `dead` is written once at teardown (not a counter; no steady-state
+    // write traffic), and every `dead` reader immediately takes `mu` anyway
+    // on the non-dead path, so separating them buys nothing. Padding here
+    // would also cost 64+ bytes per connection at a 4096-connection cap.
     explicit Connection(Fd socket) : fd(std::move(socket)) {}
 
     Fd fd;              // loop thread only
@@ -176,20 +182,44 @@ class SeeSawServer {
   /// connections via the shared_ptr captured at dispatch.
   std::unordered_map<int, std::shared_ptr<Connection>> connections_;
 
-  std::atomic<bool> stop_{false};
+  // ----- hot admission state: one cache line per contended atomic -----
+  //
+  // Layout rationale (the memory-audit contract this PR introduced): these
+  // three atomics are on the per-request fast path and are written by
+  // *different* threads — `stop_` is polled by the loop every iteration and
+  // every DispatchFrame; `queued_requests_` is CAS-bumped by the loop at
+  // admission and decremented by each finishing handler;
+  // `inflight_handlers_` is incremented by the loop and decremented by
+  // handlers (acq_rel, it orders the Stop() drain). Packed back to back
+  // (their state before this audit, together with the stats below) every
+  // handler-epilogue decrement invalidated the loop thread's line holding
+  // `stop_`, turning two unrelated counters plus a flag into one
+  // ping-ponged line at request rate. CacheAligned gives each its own line
+  // so writers only ever dirty their own word. diag_memory's padded-vs-
+  // packed A/B measures exactly this shape.
+  CacheAligned<std::atomic<bool>> stop_;
 
   /// Admission stage 3 counter (dispatched-but-unfinished handlers).
   /// PrefetchBudget pattern: pure throttle, relaxed ordering.
-  std::atomic<size_t> queued_requests_{0};
+  CacheAligned<std::atomic<size_t>> queued_requests_;
 
   /// In-flight handler count, for Stop() drain. The cond-var predicate
   /// reads this lock-free (the repo's CondVar contract).
-  std::atomic<size_t> inflight_handlers_{0};
+  CacheAligned<std::atomic<size_t>> inflight_handlers_;
   Mutex drain_mu_;
   CondVar drain_cv_;
 
-  // Stats counters: independent monotone counters bumped from loop and
-  // handler threads; atomics per the pure-counter exemption.
+  // ----- cold monotone stats: deliberately packed (layout-audited) -----
+  //
+  // layout-audited: pure monotone stat counters, relaxed fetch_add only,
+  // read by stats() snapshots. They are bumped at most once per event (not
+  // per poll iteration), several are near-zero in healthy serving
+  // (shed/error/malformed), and no thread ever spins reading them — so
+  // cross-counter line sharing costs a bounded coherence miss on paths that
+  // already did a syscall. Padding all eight would spend 512 B to remove
+  // that; not worth it. They live *after* the padded block above, which
+  // ends on a line boundary, so they can never share a line with the hot
+  // admission state.
   std::atomic<size_t> connections_accepted_{0};
   std::atomic<size_t> connections_shed_{0};
   std::atomic<size_t> requests_ok_{0};

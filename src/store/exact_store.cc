@@ -4,7 +4,10 @@
 #include <limits>
 #include <utility>
 
+#include "common/aligned.h"
+#include "common/arena.h"
 #include "common/check.h"
+#include "common/numa.h"
 #include "common/thread_pool.h"
 #include "linalg/simd.h"
 
@@ -58,6 +61,17 @@ StatusOr<ExactStore> ExactStore::Create(linalg::MatrixF vectors,
     store.quantized_ = linalg::QuantizeRows(store.vectors_);
   }
   return store;
+}
+
+void ExactStore::BindStorageToNode(size_t node) {
+  numa::BindMemoryToNode(vectors_.mutable_data().data(),
+                         vectors_.mutable_data().size() * sizeof(float), node);
+  if (!quantized_.empty()) {
+    numa::BindMemoryToNode(quantized_.data.data(), quantized_.data.size(),
+                           node);
+    numa::BindMemoryToNode(quantized_.scales.data(),
+                           quantized_.scales.size() * sizeof(float), node);
+  }
 }
 
 std::vector<SearchResult> ExactStore::TopK(linalg::VecSpan query, size_t k,
@@ -117,19 +131,28 @@ std::vector<std::vector<SearchResult>> ExactStore::TopKBatch(
   const size_t dim = vectors_.cols();
   const bool int8 = options_.precision == ScanPrecision::kInt8;
 
+  // All call-lifetime scratch comes from a leased arena: after the first
+  // call at a given (queries, dim) shape the lease costs zero allocations,
+  // where the former fresh-vector scratch paid a malloc/free set per call
+  // (tests/memory_audit_test.cc gates this). A *pooled* lease rather than
+  // thread_local scratch because HelpUntil waiters are caller-runs: this
+  // thread can execute a second TopKBatch as a helped task while shard
+  // tasks of this call still read `qdata` — see common/arena.h.
+  ScratchPool::Lease call_scratch = GlobalScanScratch().Acquire();
+
   // Int8 scans quantize the query batch once, into one contiguous block
-  // matching the Int8KernelTable::score_block layout.
-  std::vector<int8_t> qdata;
-  std::vector<float> qscales;
+  // matching the Int8KernelTable::score_block layout (each query quantized
+  // in place into its slot — no bounce buffer).
+  std::span<int8_t> qdata;
+  std::span<float> qscales;
   const linalg::Int8KernelTable* int8_kernels = nullptr;
   if (int8) {
     int8_kernels = &linalg::ActiveInt8Kernels();
-    qdata.resize(num_queries * dim);
-    qscales.resize(num_queries);
-    std::vector<int8_t> tmp;
+    qdata = call_scratch->Alloc<int8_t>(num_queries * dim);
+    qscales = call_scratch->Alloc<float>(num_queries);
     for (size_t q = 0; q < num_queries; ++q) {
-      qscales[q] = linalg::QuantizeVector(queries[q], &tmp);
-      std::copy(tmp.begin(), tmp.end(), qdata.begin() + q * dim);
+      qscales[q] =
+          linalg::QuantizeVectorInto(queries[q], qdata.data() + q * dim);
     }
   }
 
@@ -152,20 +175,40 @@ std::vector<std::vector<SearchResult>> ExactStore::TopKBatch(
   const size_t rows_per_shard = (n + num_shards - 1) / num_shards;
 
   // heaps[shard][query]: each shard scans a disjoint row range, so shards
-  // never touch each other's heaps.
-  std::vector<std::vector<TopKHeap>> heaps(
-      num_shards, std::vector<TopKHeap>(num_queries, TopKHeap(k)));
+  // never touch each other's heaps. Each slot is padded to its own cache
+  // line: the inner vector's header (pointer/size) is rewritten on every
+  // Push, and unpadded slots of adjacent shards — 24 bytes apart in one
+  // contiguous vector — would false-share under the per-shard fan-out.
+  // (The heaps themselves still heap-allocate per call: their storage
+  // becomes the returned results, so it cannot come from the scratch
+  // arena, whose spans die at lease release.)
+  struct ShardHeapSlot {
+    CacheAligned<std::vector<TopKHeap>> padded;
+  };
+  std::vector<ShardHeapSlot> heaps(num_shards);
+  for (auto& slot : heaps) {
+    slot.padded.value.assign(num_queries, TopKHeap(k));
+  }
   auto scan_shard = [&](size_t shard) {
     const size_t begin = shard * rows_per_shard;
     const size_t end = std::min(begin + rows_per_shard, n);
-    std::vector<TopKHeap>& shard_heaps = heaps[shard];
-    std::vector<float> scores(kRowBlock * num_queries);
+    std::vector<TopKHeap>& shard_heaps = heaps[shard].padded.value;
+    // Shard-lifetime scratch: leased per shard *task*, so each worker bumps
+    // its own arena (allocations are line-aligned — no cross-shard false
+    // sharing on the threshold arrays) and a warm pool serves the whole
+    // fan-out without touching the allocator. Alloc returns raw memory;
+    // the fills below are the required initialization.
+    ScratchPool::Lease shard_scratch = GlobalScanScratch().Acquire();
+    std::span<float> scores =
+        shard_scratch->Alloc<float>(kRowBlock * num_queries);
     // Per-query admission thresholds mirrored out of the heaps into flat
     // arrays, so the overwhelmingly common reject is one compare instead of
     // a heap-front pointer chase inside the innermost loop.
-    std::vector<float> worst_score(num_queries,
-                                   -std::numeric_limits<float>::infinity());
-    std::vector<uint32_t> worst_id(num_queries, 0);
+    std::span<float> worst_score = shard_scratch->Alloc<float>(num_queries);
+    std::span<uint32_t> worst_id = shard_scratch->Alloc<uint32_t>(num_queries);
+    std::fill(worst_score.begin(), worst_score.end(),
+              -std::numeric_limits<float>::infinity());
+    std::fill(worst_id.begin(), worst_id.end(), 0u);
     auto admit = [&](size_t q, uint32_t id, float score) {
       TopKHeap& heap = shard_heaps[q];
       if (heap.Full()) {
@@ -248,12 +291,12 @@ std::vector<std::vector<SearchResult>> ExactStore::TopKBatch(
   std::vector<std::vector<SearchResult>> out(num_queries);
   for (size_t q = 0; q < num_queries; ++q) {
     if (num_shards == 1) {
-      out[q] = heaps[0][q].TakeSorted();
+      out[q] = heaps[0].padded.value[q].TakeSorted();
       continue;
     }
     std::vector<SearchResult> merged;
     for (size_t shard = 0; shard < num_shards; ++shard) {
-      const auto& items = heaps[shard][q].items();
+      const auto& items = heaps[shard].padded.value[q].items();
       merged.insert(merged.end(), items.begin(), items.end());
     }
     size_t keep = std::min(k, merged.size());

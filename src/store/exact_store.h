@@ -73,6 +73,14 @@ class ExactStore : public VectorStore {
   /// The quantized scan copy; empty() unless precision == kInt8.
   const linalg::QuantizedTable& quantized() const { return quantized_; }
 
+  /// Binds every table the scan streams (the fp32 master and, for kInt8,
+  /// the quantized copy + scales) to NUMA node `node`. Placement only:
+  /// scan results are bitwise identical wherever the pages live, and on
+  /// hosts without multiple nodes this is a successful no-op (see
+  /// common/numa.h). Called by ShardedStore when numa_placement is on;
+  /// safe any time no scan is in flight.
+  void BindStorageToNode(size_t node);
+
  private:
   ExactStore(linalg::MatrixF vectors, const ExactStoreOptions& options)
       : vectors_(std::move(vectors)), options_(options) {}

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/numa.h"
 #include "common/thread_pool.h"
 #include "store/exact_store.h"
 
@@ -43,8 +44,15 @@ StatusOr<ShardedStore> ShardedStore::Create(linalg::MatrixF vectors,
   const size_t base = n / num_shards;
   const size_t extra = n % num_shards;
 
+  // Placement engages only where it can matter; everywhere else the store
+  // is constructed exactly as before (numa_placed() false, nodes all 0) —
+  // that degenerate path IS the documented non-NUMA fallback, not a
+  // separate code path, which is what keeps it bitwise-trivially correct.
+  const bool place = options.numa_placement && numa::Available();
+
   std::vector<std::unique_ptr<VectorStore>> shards;
   std::vector<uint32_t> begin(num_shards + 1, 0);
+  std::vector<size_t> shard_nodes(num_shards, 0);
   size_t row = 0;
   for (size_t s = 0; s < num_shards; ++s) {
     const size_t rows = base + (s < extra ? 1 : 0);
@@ -53,17 +61,67 @@ StatusOr<ShardedStore> ShardedStore::Create(linalg::MatrixF vectors,
       auto src = vectors.Row(row + r);
       std::copy(src.begin(), src.end(), part.MutableRow(r).begin());
     }
+    const size_t node = place ? numa::NodeForShard(s) : 0;
+    shard_nodes[s] = node;
+    if (place) {
+      // Bind the partition buffer *before* the factory runs: the rows were
+      // just written by this (arbitrary-node) thread, so first-touch put
+      // them wherever Create runs — MPOL_MF_MOVE migrates them to the
+      // shard's node. Children that take ownership by moving the matrix
+      // keep this binding for free (vector moves preserve the heap block).
+      numa::BindMemoryToNode(part.mutable_data().data(),
+                             part.mutable_data().size() * sizeof(float),
+                             node);
+    }
     SEESAW_ASSIGN_OR_RETURN(std::unique_ptr<VectorStore> child,
                             factory(std::move(part)));
     if (child == nullptr || child->size() != rows || child->dim() != d) {
       return Status::InvalidArgument(
           "ShardedStore: child factory returned a store of the wrong shape");
     }
+    if (place) {
+      // Buffers the child built itself (the int8 quantized copy) came from
+      // the factory's thread, not the bound partition — rebind them. Only
+      // ExactStore children are known here; custom factories that allocate
+      // their own side tables handle placement themselves.
+      if (auto* exact = dynamic_cast<ExactStore*>(child.get())) {
+        exact->BindStorageToNode(node);
+      }
+    }
     shards.push_back(std::move(child));
     row += rows;
     begin[s + 1] = static_cast<uint32_t>(row);
   }
-  return ShardedStore(std::move(shards), std::move(begin), d);
+  return ShardedStore(std::move(shards), std::move(begin), d,
+                      std::move(shard_nodes), place);
+}
+
+void ShardedStore::DispatchShards(
+    ThreadPool* pool, const std::function<void(size_t)>& scan_shard) const {
+  const size_t num_shards = shards_.size();
+  if (pool == nullptr || pool->num_threads() <= 1 || num_shards <= 1) {
+    for (size_t s = 0; s < num_shards; ++s) scan_shard(s);
+    return;
+  }
+  if (numa_placed_ && pool->numa_affinity()) {
+    // One hinted task per shard, so shard s runs (preferentially) on a
+    // worker pinned to the node holding shard s's pages. Waiting handle by
+    // handle keeps the ParallelFor contract: this thread helps drain the
+    // queue while it waits, so nested fan-out cannot deadlock, and all
+    // shards are complete when we return.
+    std::vector<TaskHandle> handles;
+    handles.reserve(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      handles.push_back(
+          pool->SubmitWithResult([&scan_shard, s] { scan_shard(s); },
+                                 shard_nodes_[s]));
+    }
+    for (TaskHandle& handle : handles) handle.Wait();
+    return;
+  }
+  pool->ParallelFor(num_shards, [&](size_t b, size_t e) {
+    for (size_t s = b; s < e; ++s) scan_shard(s);
+  });
 }
 
 std::pair<size_t, uint32_t> ShardedStore::Locate(uint32_t global_id) const {
@@ -112,13 +170,7 @@ std::vector<SearchResult> ShardedStore::TopK(linalg::VecSpan query, size_t k,
     per_shard[s] = shards_[s]->TopK(query, k, local, control);
     for (SearchResult& hit : per_shard[s]) hit.id += begin_[s];
   };
-  if (pool_ != nullptr && pool_->num_threads() > 1 && num_shards > 1) {
-    pool_->ParallelFor(num_shards, [&](size_t b, size_t e) {
-      for (size_t s = b; s < e; ++s) scan_shard(s);
-    });
-  } else {
-    for (size_t s = 0; s < num_shards; ++s) scan_shard(s);
-  }
+  DispatchShards(pool_, scan_shard);
   std::vector<SearchResult> merged;
   for (const auto& hits : per_shard) {
     merged.insert(merged.end(), hits.begin(), hits.end());
@@ -151,13 +203,7 @@ std::vector<std::vector<SearchResult>> ShardedStore::TopKBatch(
       for (SearchResult& hit : hits) hit.id += offset;
     }
   };
-  if (pool != nullptr && pool->num_threads() > 1 && num_shards > 1) {
-    pool->ParallelFor(num_shards, [&](size_t b, size_t e) {
-      for (size_t s = b; s < e; ++s) scan_shard(s);
-    });
-  } else {
-    for (size_t s = 0; s < num_shards; ++s) scan_shard(s);
-  }
+  DispatchShards(pool, scan_shard);
 
   std::vector<std::vector<SearchResult>> out(num_queries);
   for (size_t q = 0; q < num_queries; ++q) {

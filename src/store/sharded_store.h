@@ -62,6 +62,16 @@ struct ShardedOptions {
   /// Scan precision forwarded to the default ExactStore children. Callers
   /// supplying their own ChildFactory configure children themselves.
   ScanPrecision precision = ScanPrecision::kFloat32;
+
+  /// NUMA placement: assign shard s to node s % numa::NodeCount(), bind its
+  /// table pages there (partition buffer before the factory runs; for
+  /// ExactStore children also the quantized copy after), and hint its scan
+  /// tasks at workers pinned to that node when the pool has numa_affinity.
+  /// Placement is an optimization, never semantics: results stay bitwise
+  /// identical to the unplaced store (the hint only moves *where* a shard
+  /// task runs), and on single-node or non-Linux hosts the whole feature
+  /// degrades to a no-op — so this knob is always safe to enable.
+  bool numa_placement = false;
 };
 
 /// Row-range-partitioned store over N child VectorStores.
@@ -118,13 +128,35 @@ class ShardedStore : public VectorStore {
   /// size()); shard s owns [shard_begin(s), shard_begin(s+1)).
   uint32_t shard_begin(size_t s) const { return begin_[s]; }
 
+  /// The NUMA node shard `s` was assigned (and its scans are hinted at).
+  /// Always 0 when built without numa_placement or on a single-node host.
+  size_t shard_node(size_t s) const { return shard_nodes_[s]; }
+
+  /// Whether placement engaged at Create (numa_placement requested AND the
+  /// host is multi-node). False means the store is byte-for-byte the
+  /// unplaced one.
+  bool numa_placed() const { return numa_placed_; }
+
   /// Global id -> (shard index, shard-local id).
   std::pair<size_t, uint32_t> Locate(uint32_t global_id) const;
 
  private:
   ShardedStore(std::vector<std::unique_ptr<VectorStore>> shards,
-               std::vector<uint32_t> begin, size_t dim)
-      : shards_(std::move(shards)), begin_(std::move(begin)), dim_(dim) {}
+               std::vector<uint32_t> begin, size_t dim,
+               std::vector<size_t> shard_nodes, bool numa_placed)
+      : shards_(std::move(shards)),
+        begin_(std::move(begin)),
+        dim_(dim),
+        shard_nodes_(std::move(shard_nodes)),
+        numa_placed_(numa_placed) {}
+
+  /// Runs `scan_shard` over every shard: serially without a usable pool,
+  /// via ParallelFor on an unplaced pool, and as per-shard node-hinted
+  /// tasks when both this store and the pool are NUMA-aware. All three
+  /// dispatches run the same shard bodies to completion before returning,
+  /// so they are interchangeable for results.
+  void DispatchShards(ThreadPool* pool,
+                      const std::function<void(size_t)>& scan_shard) const;
 
   /// Concatenates per-shard hits (already remapped to global ids) and keeps
   /// the best k under the canonical order.
@@ -134,6 +166,8 @@ class ShardedStore : public VectorStore {
   std::vector<std::unique_ptr<VectorStore>> shards_;
   std::vector<uint32_t> begin_;  // size num_shards()+1, begin_[0] == 0
   size_t dim_ = 0;
+  std::vector<size_t> shard_nodes_;  // size num_shards(), all 0 if unplaced
+  bool numa_placed_ = false;
   ThreadPool* pool_ = nullptr;
 };
 

@@ -452,5 +452,53 @@ TEST(NetServerTest, ManyConcurrentClientsKeepParity) {
   EXPECT_GE(f.server.stats().requests_ok, kClients * 5u);
 }
 
+TEST(NetServerTest, AdmissionCountersBalanceUnderPingStorm) {
+  // Contention stress on the padded hot admission atomics (stop_,
+  // queued_requests_, inflight_handlers_ — see the layout comment in
+  // net/server.h): a burst of pipelined pings from several connections
+  // drives the queue CAS loop and the in-flight acq_rel pair hard. The
+  // gate is exact accounting — every frame sent is answered and lands in
+  // exactly one stats bucket, which fails if a queue slot or in-flight
+  // count is ever lost or double-released — plus a clean drain in Stop()
+  // (the fixture destructor), which hangs if inflight_handlers_ leaks.
+  net::ServerOptions options;
+  options.max_queued_requests = 4;  // small queue so sheds actually happen
+  ServerFixture f(ServingLimits(), options);
+
+  constexpr int kConnections = 6;
+  constexpr int kPingsEach = 120;
+  std::atomic<size_t> answered{0};
+  std::atomic<size_t> transport_failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kConnections);
+  for (int c = 0; c < kConnections; ++c) {
+    threads.emplace_back([&f, &answered, &transport_failures] {
+      auto client_or =
+          net::SeeSawClient::Connect("127.0.0.1", f.server.port());
+      if (!client_or.ok()) {
+        transport_failures.fetch_add(1);
+        return;
+      }
+      auto client = std::move(*client_or);
+      for (int i = 0; i < kPingsEach; ++i) {
+        // RETRY_LATER (queue full) is a valid, counted answer here.
+        (void)client.Ping();
+        if (client.last_wire_error() == net::WireError::kNone ||
+            client.last_wire_error() == net::WireError::kRetryLater) {
+          answered.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(transport_failures.load(), 0u);
+  EXPECT_EQ(answered.load(), size_t{kConnections} * kPingsEach);
+
+  const net::ServerStats stats = f.server.stats();
+  EXPECT_EQ(stats.requests_ok + stats.requests_shed + stats.requests_error,
+            size_t{kConnections} * kPingsEach);
+  EXPECT_EQ(stats.requests_error, 0u);
+}
+
 }  // namespace
 }  // namespace seesaw

@@ -245,6 +245,60 @@ TEST(SessionBusyTest, AcquireUnknownIsNotFound) {
   EXPECT_FALSE(manager.Touch(999999));
 }
 
+TEST(SessionLifecycleConcurrencyTest, LeaseCounterBalancedUnderChurn) {
+  // Stress coverage for the CHECK-enforced balance invariant in
+  // SessionLease::Reset (the relaxed fetch_sub must never underflow): many
+  // threads churning acquire/move/reset/destroy against a cap-2 session.
+  // Any double release trips SEESAW_CHECK_GT inside Reset and aborts the
+  // test; at the end the counter must read exactly zero — a stuck slot
+  // would brick the session as "forever busy".
+  core::SessionLimits limits;
+  limits.max_inflight_per_session = 2;
+  core::SessionManager manager(*Fixture().service, 2, {}, limits);
+  auto id = manager.CreateSession("car");
+  ASSERT_TRUE(id.ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 400;
+  std::atomic<size_t> admitted{0};
+  std::atomic<size_t> shed{0};
+  std::vector<std::thread> churn;
+  for (int t = 0; t < kThreads; ++t) {
+    churn.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        auto lease = manager.Acquire(*id);
+        if (!lease.ok()) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        admitted.fetch_add(1, std::memory_order_relaxed);
+        switch ((t + i) % 3) {
+          case 0:
+            lease->Reset();       // explicit early release
+            lease->Reset();       // second Reset on an empty lease: no-op
+            break;
+          case 1: {
+            core::SessionLease moved = std::move(*lease);
+            moved.Reset();        // release through the move target
+            break;
+          }
+          default:
+            break;                // release via ~SessionLease
+        }
+      }
+    });
+  }
+  for (auto& th : churn) th.join();
+
+  // Balanced: every admitted lease released exactly once, so the session
+  // admits `max_inflight_per_session` fresh leases again.
+  EXPECT_GT(admitted.load(), 0u);
+  auto a = manager.Acquire(*id);
+  auto b = manager.Acquire(*id);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(manager.Acquire(*id).ok());  // cap still enforced exactly
+}
+
 TEST(SessionLifecycleConcurrencyTest, SweepsRaceCreatesAndAcquires) {
   // Hammer create/acquire/sweep from several threads under a TTL so short
   // every sweep evicts something; TSan (this suite carries the concurrency
