@@ -32,6 +32,15 @@ Rules
                     SEESAW_CONCURRENCY_TESTS (CMakeLists.txt) so the TSan CI
                     leg runs it — an unregistered suite is concurrency code
                     TSan never sees.
+  fault-coverage    Every VectorStore implementation declared in src/net/*.h
+                    is remote-backed — its scans can fail in ways no
+                    in-process backend can (dead peer, deadline, shed,
+                    retries) — so it must have a fault-injection suite: a
+                    tests/*.cc that includes its header AND
+                    tests/fault_socket.h (the scripted Transport harness)
+                    and is registered in SEESAW_CONCURRENCY_TESTS. A remote
+                    store whose failure semantics nothing exercises would
+                    rot into hangs or silent partials.
   net-sockets       Raw socket/poll syscalls and their headers are confined
                     to src/net/ (PR 8): everything else goes through the
                     SeeSawClient/SeeSawServer seam, so there is exactly one
@@ -264,6 +273,64 @@ def check_concurrency_tests(root: Path) -> list[str]:
     return errors
 
 
+# ------------------------------------------------------------- fault-coverage
+# A VectorStore implementation declared in src/net is remote-backed: its
+# scans can fail in ways no in-process backend can (dead peer, per-request
+# deadline, RETRY_LATER shed, exhausted retries). Each such class must have
+# a deterministic fault-injection suite — a tests/*.cc that includes the
+# class's header AND the scripted-transport harness (tests/fault_socket.h)
+# and is registered in SEESAW_CONCURRENCY_TESTS (so the TSan leg runs its
+# cancellation/retry paths too). Coverage in an unregistered test does not
+# count: TSan would never see it.
+_REMOTE_STORE_DECL = re.compile(
+    r"\bclass\s+(\w+)\s*(?:final\s*)?:\s*public\s+(?:store::)?VectorStore\b"
+)
+_FAULT_HARNESS_INCLUDE = re.compile(r'#\s*include\s*"tests/fault_socket\.h"')
+
+
+def check_fault_coverage(root: Path) -> list[str]:
+    net = root / "src" / "net"
+    if not net.is_dir():
+        return []
+    registered: set[str] = set()
+    cmake = root / "CMakeLists.txt"
+    if cmake.is_file():
+        m = _CMAKE_LIST.search(cmake.read_text())
+        if m is not None:
+            registered = set(m.group(1).split())
+    tests = []
+    tests_dir = root / "tests"
+    if tests_dir.is_dir():
+        for t in sorted(tests_dir.glob("*.cc")):
+            tests.append((t.stem, _strip_comments(t.read_text())))
+    errors = []
+    for path in sorted(net.glob("*.h")):
+        text = _strip_comments(path.read_text())
+        for m in _REMOTE_STORE_DECL.finditer(text):
+            name = m.group(1)
+            header = re.compile(
+                r'#\s*include\s*"net/' + re.escape(path.name) + '"'
+            )
+            covered = any(
+                stem in registered
+                and header.search(body)
+                and _FAULT_HARNESS_INCLUDE.search(body)
+                for stem, body in tests
+            )
+            if covered:
+                continue
+            line = text[: m.start()].count("\n") + 1
+            errors.append(
+                f"{path.relative_to(root)}:{line}: [fault-coverage] "
+                f"'{name}' is a remote-backed VectorStore with no "
+                "fault-injection suite — add a tests/*.cc that includes "
+                f'"net/{path.name}" and "tests/fault_socket.h" and register '
+                "it in SEESAW_CONCURRENCY_TESTS, so dead-peer/deadline/retry "
+                "semantics stay tested"
+            )
+    return errors
+
+
 # -------------------------------------------------------------- atomic-layout
 # A raw (unpadded) atomic member declaration: `std::atomic<T> name...;` not
 # wrapped in CacheAligned<> (the wrapper puts `>>` right after the inner
@@ -383,6 +450,7 @@ RULES = [
     check_kernel_libm,
     check_net_sockets,
     check_concurrency_tests,
+    check_fault_coverage,
     check_atomic_layout,
     check_bench_json,
 ]
@@ -433,9 +501,21 @@ def self_test() -> int:
         )
         _write(root / "tests/pool_test.cc", "ThreadPool pool(2);\n")
         # Registered serving suite + the one directory allowed raw sockets.
+        # wire_test also covers the remote store below: it includes the
+        # store's header and the fault harness, so fault-coverage passes.
         _write(
             root / "tests/wire_test.cc",
-            '#include "net/client.h"\nint wire = 1;\n',
+            '#include "net/client.h"\n'
+            '#include "net/remote.h"\n'
+            '#include "tests/fault_socket.h"\n'
+            "int wire = 1;\n",
+        )
+        _write(
+            root / "src/net/remote.h",
+            "class MiniRemote : public VectorStore {\n"
+            " public:\n"
+            "  size_t size() const override;\n"
+            "};\n",
         )
         _write(
             root / "src/net/socket.cc",
@@ -523,6 +603,27 @@ def self_test() -> int:
                 f"self-test 'concurrency-tests': expected 2 violations "
                 f"(ThreadPool use and serving-header include), got: "
                 f"{conc_errors}"
+            )
+
+        # fault-coverage: a remote-backed store whose only "coverage" is an
+        # unregistered test — header + harness includes alone must not count.
+        _write(
+            root / "src/net/rogue_remote.h",
+            "class RogueRemote : public VectorStore {};\n",
+        )
+        _write(
+            root / "tests/rogue_remote_test.cc",
+            '#include "net/rogue_remote.h"\n'
+            '#include "tests/fault_socket.h"\n'
+            "int rr = 1;\n",
+        )
+        fault_errors = check_fault_coverage(root)
+        expect("fault-coverage", fault_errors, "[fault-coverage]", True)
+        if sum("[fault-coverage]" in e for e in fault_errors) != 1:
+            failures.append(
+                f"self-test 'fault-coverage': expected exactly the 1 seeded "
+                f"violation (the covered MiniRemote must stay clean), got: "
+                f"{fault_errors}"
             )
 
         # atomic-layout: adjacent raw atomics without padding or exemption,

@@ -26,6 +26,8 @@ enum class StatusCode : int {
   kInternal = 7,
   kResourceExhausted = 8,
   kIoError = 9,
+  kDeadlineExceeded = 10,
+  kCancelled = 11,
 };
 
 /// Human-readable name for a StatusCode ("OK", "InvalidArgument", ...).
@@ -78,6 +80,12 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return state_ == nullptr; }
@@ -101,6 +109,10 @@ class Status {
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
   bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

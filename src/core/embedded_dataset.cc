@@ -45,7 +45,12 @@ StatusOr<std::unique_ptr<store::VectorStore>> BuildStore(
     case StoreBackend::kSharded: {
       SEESAW_ASSIGN_OR_RETURN(
           store::ShardedStore index,
-          store::ShardedStore::Create(std::move(table_copy), options.sharded));
+          options.sharded_child_factory
+              ? store::ShardedStore::Create(std::move(table_copy),
+                                            options.sharded,
+                                            options.sharded_child_factory)
+              : store::ShardedStore::Create(std::move(table_copy),
+                                            options.sharded));
       out = std::make_unique<store::ShardedStore>(std::move(index));
       break;
     }

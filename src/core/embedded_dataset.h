@@ -58,6 +58,14 @@ struct PreprocessOptions {
   store::AnnoyOptions annoy;
   store::IvfOptions ivf;
   store::ShardedOptions sharded;
+  /// Child builder for the kSharded backend; null = in-process ExactStore
+  /// children. This is how a deployment swaps the sharded scan's children
+  /// for remote stubs (net/remote_store.h) — the factory receives each
+  /// shard's row partition and returns the store that serves it, so the
+  /// serving stack above never learns where shards live. Note the factory
+  /// may ignore the partition matrix entirely (a remote child's rows
+  /// already live on its peer) — the shape check still applies.
+  store::ShardedStore::ChildFactory sharded_child_factory;
   /// Worker threads for embedding (0 = hardware default).
   size_t num_threads = 0;
 };

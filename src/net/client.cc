@@ -6,6 +6,12 @@ namespace seesaw::net {
 
 namespace {
 
+/// Largest reply payload the client will read. A reply header is untrusted
+/// input: without this cap a corrupt or hostile length prefix (up to ~4GB)
+/// drives a matching allocation and a read that blocks until that much
+/// data arrives. Far above any legitimate reply, far below harm.
+constexpr size_t kMaxReplyPayloadBytes = 64u << 20;
+
 /// The Status a wire error surfaces as. Both shedding codes map to
 /// ResourceExhausted — the same code the in-process manager returns for
 /// quota/busy — so drivers written against the manager behave identically
@@ -47,21 +53,35 @@ StatusOr<std::string> SeeSawClient::RoundTrip(FrameType request,
   SEESAW_RETURN_IF_ERROR(
       WriteAll(fd_.get(), EncodeFrame(request, id, payload)));
 
-  std::string header_bytes;
-  SEESAW_RETURN_IF_ERROR(ReadExactly(fd_.get(), kHeaderBytes, &header_bytes));
   FrameHeader header;
-  if (!DecodeHeader(header_bytes, &header)) {
-    last_wire_error_ = WireError::kMalformedFrame;
-    return Status::IoError("reply frame has bad magic");
-  }
   std::string reply_payload;
-  if (header.payload_len > 0) {
+  for (;;) {
+    std::string header_bytes;
     SEESAW_RETURN_IF_ERROR(
-        ReadExactly(fd_.get(), header.payload_len, &reply_payload));
-  }
-  if (header.request_id != id) {
-    last_wire_error_ = WireError::kInternal;
-    return Status::IoError("reply carries a foreign request id");
+        ReadExactly(fd_.get(), kHeaderBytes, &header_bytes));
+    if (!DecodeHeader(header_bytes, &header)) {
+      last_wire_error_ = WireError::kMalformedFrame;
+      return Status::IoError("reply frame has bad magic");
+    }
+    if (header.payload_len > kMaxReplyPayloadBytes) {
+      last_wire_error_ = WireError::kMalformedFrame;
+      return Status::IoError("reply payload exceeds the client size cap");
+    }
+    reply_payload.clear();
+    if (header.payload_len > 0) {
+      SEESAW_RETURN_IF_ERROR(
+          ReadExactly(fd_.get(), header.payload_len, &reply_payload));
+    }
+    if (header.request_id == id) break;
+    // Ids are issued in increasing order on this connection, so a smaller
+    // id is a stale duplicate of an already-answered request (e.g. a buggy
+    // or faulty peer repeating a reply) — skip it and keep waiting for
+    // ours. A LARGER id can never be legitimate (we haven't sent it yet):
+    // the stream is out of sync, abandon it.
+    if (header.request_id > id) {
+      last_wire_error_ = WireError::kInternal;
+      return Status::IoError("reply carries a foreign request id");
+    }
   }
   if (header.type == FrameType::kError) {
     ErrorReply error;

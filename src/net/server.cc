@@ -40,6 +40,11 @@ SeeSawServer::SeeSawServer(core::SessionManager& manager,
 
 SeeSawServer::~SeeSawServer() { Stop(); }
 
+void SeeSawServer::ServeStore(const store::VectorStore& store) {
+  store_service_ =
+      std::make_unique<StoreFrameService>(store, &manager_.pool());
+}
+
 Status SeeSawServer::Start() {
   if (started_) return Status::FailedPrecondition("server already started");
   SEESAW_ASSIGN_OR_RETURN(
@@ -342,6 +347,32 @@ void SeeSawServer::HandleRequest(const std::shared_ptr<Connection>& conn,
     requests_ok_.fetch_add(1, std::memory_order_relaxed);
     EnqueueReply(conn, EncodeFrame(reply_type, id, body));
   };
+
+  if (store_service_ != nullptr &&
+      StoreFrameService::IsStoreFrame(header.type)) {
+    std::string frame = store_service_->HandleFrame(header, payload);
+    FrameHeader reply_header;
+    ErrorReply error;
+    const bool is_error = DecodeHeader(frame, &reply_header) &&
+                          reply_header.type == FrameType::kError &&
+                          DecodeErrorReply(
+                              std::string_view(frame).substr(kHeaderBytes),
+                              &error);
+    if (!is_error) {
+      requests_ok_.fetch_add(1, std::memory_order_relaxed);
+      EnqueueReply(conn, std::move(frame));
+      return;
+    }
+    // Same accounting and close-on-malformed policy as the session frames.
+    if (error.code == WireError::kMalformedFrame) {
+      malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      requests_error_.fetch_add(1, std::memory_order_relaxed);
+    }
+    EnqueueReply(conn, std::move(frame),
+                 /*close_after=*/error.code == WireError::kMalformedFrame);
+    return;
+  }
 
   switch (header.type) {
     case FrameType::kPing:

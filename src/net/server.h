@@ -45,6 +45,7 @@
 #include "common/thread_pool.h"
 #include "core/session_manager.h"
 #include "net/socket.h"
+#include "net/store_service.h"
 #include "net/wire.h"
 
 namespace seesaw::net {
@@ -94,6 +95,14 @@ class SeeSawServer {
 
   SeeSawServer(const SeeSawServer&) = delete;
   SeeSawServer& operator=(const SeeSawServer&) = delete;
+
+  /// Enables shard-serving store mode: store frames (kStoreInfo /
+  /// kStoreTopK / kStoreTopKBatch / kStoreGetVector) are answered against
+  /// `store` via a StoreFrameService on the handler pool; without this
+  /// call they get kUnknownType. The session API stays live either way —
+  /// one server can serve both. `store` must outlive the server. Call
+  /// before Start().
+  void ServeStore(const store::VectorStore& store);
 
   /// Binds, listens, and starts the event loop. InvalidArgument /
   /// FailedPrecondition / IoError on bad config or socket failure.
@@ -167,6 +176,10 @@ class SeeSawServer {
 
   core::SessionManager& manager_;
   const ServerOptions options_;
+
+  /// Store-mode dispatcher; null unless ServeStore() was called. Written
+  /// before Start() only, read by handler threads — no lock needed.
+  std::unique_ptr<StoreFrameService> store_service_;
 
   Fd listener_;
   uint16_t port_ = 0;

@@ -4,12 +4,16 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+
+#include "common/stopwatch.h"
 
 namespace seesaw::net {
 
@@ -133,6 +137,56 @@ Status ReadExactly(int fd, size_t n, std::string* out) {
     ssize_t got = ::recv(fd, out->data() + start + off, n - off, 0);
     if (got < 0) {
       if (errno == EINTR) continue;
+      out->resize(start + off);
+      return Errno("recv");
+    }
+    if (got == 0) {
+      out->resize(start + off);
+      return Status::IoError("connection closed mid-frame");
+    }
+    off += static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+Status ReadExactlyWithin(int fd, size_t n, std::string* out,
+                         double deadline_seconds,
+                         const CancellationToken* cancel) {
+  // Slice the poll() wait so cancellation and the deadline are observed
+  // promptly; 50ms bounds the reaction latency without busy-spinning.
+  constexpr int kSliceMillis = 50;
+  Stopwatch clock;
+  size_t start = out->size();
+  out->resize(start + n);
+  size_t off = 0;
+  while (off < n) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      out->resize(start + off);
+      return Status::Cancelled("read cancelled");
+    }
+    double left = deadline_seconds - clock.ElapsedSeconds();
+    if (deadline_seconds > 0 && left <= 0) {
+      out->resize(start + off);
+      return Status::DeadlineExceeded("read deadline exceeded");
+    }
+    int wait = kSliceMillis;
+    if (deadline_seconds > 0) {
+      wait = std::min<int>(wait, static_cast<int>(left * 1e3) + 1);
+    }
+    pollfd p{fd, POLLIN, 0};
+    int rc = ::poll(&p, 1, wait);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      out->resize(start + off);
+      return Errno("poll");
+    }
+    if (rc == 0) continue;  // slice elapsed; re-check cancel and deadline
+    ssize_t got =
+        ::recv(fd, out->data() + start + off, n - off, MSG_DONTWAIT);
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
       out->resize(start + off);
       return Errno("recv");
     }

@@ -10,6 +10,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "common/statusor.h"
 
@@ -68,6 +69,20 @@ Status WriteAll(int fd, std::string_view data);
 /// Reads exactly `n` bytes into `out` (appended), looping over partial
 /// reads and EINTR. IoError on EOF before `n` bytes. Blocking sockets only.
 Status ReadExactly(int fd, size_t n, std::string* out);
+
+/// ReadExactly with a per-call deadline and a cancellation token: the wait
+/// is sliced into short poll() intervals so the caller's deadline and token
+/// are both observed within ~50ms even when the peer sends nothing. Returns
+/// DeadlineExceeded when `deadline_seconds` elapses (measured from the call,
+/// <= 0 means no deadline), Cancelled when `cancel` fires (null = not
+/// cancellable), IoError on EOF/reset mid-frame. On any failure `out` keeps
+/// the bytes read so far appended — the caller abandons the connection
+/// either way (the stream cannot be re-synced mid-frame). This is the seam
+/// that lets RemoteStore abandon an in-flight socket wait on cancellation
+/// instead of hanging on a dead peer.
+Status ReadExactlyWithin(int fd, size_t n, std::string* out,
+                         double deadline_seconds,
+                         const CancellationToken* cancel);
 
 /// A pipe whose read end a poll() loop watches and whose write end any
 /// thread may poke to interrupt the poll (the classic self-pipe trick).

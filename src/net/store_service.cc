@@ -1,0 +1,110 @@
+#include "net/store_service.h"
+
+#include <utility>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace seesaw::net {
+
+namespace {
+
+std::string ErrorFrame(uint64_t request_id, WireError code,
+                       std::string message) {
+  ErrorReply reply;
+  reply.code = code;
+  reply.message = std::move(message);
+  return EncodeFrame(FrameType::kError, request_id, EncodeErrorReply(reply));
+}
+
+}  // namespace
+
+bool StoreFrameService::IsStoreFrame(FrameType type) {
+  switch (type) {
+    case FrameType::kStoreInfo:
+    case FrameType::kStoreTopK:
+    case FrameType::kStoreTopKBatch:
+    case FrameType::kStoreGetVector:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string StoreFrameService::HandleFrame(const FrameHeader& header,
+                                           std::string_view payload) const {
+  const uint64_t id = header.request_id;
+  switch (header.type) {
+    case FrameType::kStoreInfo: {
+      if (!payload.empty()) {
+        return ErrorFrame(id, WireError::kMalformedFrame,
+                          "StoreInfo carries no payload");
+      }
+      StoreInfoReply reply;
+      reply.size = store_.size();
+      reply.dim = static_cast<uint32_t>(store_.dim());
+      return EncodeFrame(FrameType::kStoreInfoReply, id,
+                         EncodeStoreInfoReply(reply));
+    }
+
+    case FrameType::kStoreTopK: {
+      StoreTopKRequest req;
+      if (!DecodeStoreTopKRequest(payload, &req)) {
+        return ErrorFrame(id, WireError::kMalformedFrame,
+                          "StoreTopK payload malformed");
+      }
+      if (req.query.size() != store_.dim()) {
+        return ErrorFrame(id, WireError::kInvalidArgument,
+                          "query dimension does not match the store");
+      }
+      StoreTopKReply reply;
+      reply.results = store_.TopK(req.query, req.k, req.seen);
+      return EncodeFrame(FrameType::kStoreTopKReply, id,
+                         EncodeStoreTopKReply(reply));
+    }
+
+    case FrameType::kStoreTopKBatch: {
+      StoreTopKBatchRequest req;
+      if (!DecodeStoreTopKBatchRequest(payload, &req)) {
+        return ErrorFrame(id, WireError::kMalformedFrame,
+                          "StoreTopKBatch payload malformed");
+      }
+      std::vector<linalg::VecSpan> spans;
+      spans.reserve(req.queries.size());
+      for (const linalg::VectorF& q : req.queries) {
+        if (q.size() != store_.dim()) {
+          return ErrorFrame(id, WireError::kInvalidArgument,
+                            "query dimension does not match the store");
+        }
+        spans.emplace_back(q);
+      }
+      StoreTopKBatchReply reply;
+      reply.results = store_.TopKBatch(spans, req.k, req.seen, pool_);
+      return EncodeFrame(FrameType::kStoreTopKBatchReply, id,
+                         EncodeStoreTopKBatchReply(reply));
+    }
+
+    case FrameType::kStoreGetVector: {
+      StoreGetVectorRequest req;
+      if (!DecodeStoreGetVectorRequest(payload, &req)) {
+        return ErrorFrame(id, WireError::kMalformedFrame,
+                          "StoreGetVector payload malformed");
+      }
+      if (req.id >= store_.size()) {
+        return ErrorFrame(id, WireError::kNotFound,
+                          "vector id out of range");
+      }
+      linalg::VecSpan v = store_.GetVector(req.id);
+      StoreGetVectorReply reply;
+      reply.vector.assign(v.begin(), v.end());
+      return EncodeFrame(FrameType::kStoreGetVectorReply, id,
+                         EncodeStoreGetVectorReply(reply));
+    }
+
+    default:
+      return ErrorFrame(id, WireError::kUnknownType,
+                        "not a store frame type");
+  }
+}
+
+}  // namespace seesaw::net

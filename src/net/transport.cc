@@ -1,0 +1,55 @@
+#include "net/transport.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+
+namespace seesaw::net {
+
+StatusOr<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
+    std::string host, uint16_t port) {
+  SEESAW_ASSIGN_OR_RETURN(Fd sock, ConnectTcp(host, port));
+  return std::unique_ptr<TcpTransport>(
+      new TcpTransport(std::move(host), port, std::move(sock)));
+}
+
+Status TcpTransport::Send(std::string_view frame) {
+  if (!sock_.valid()) return Status::IoError("transport is disconnected");
+  return WriteAll(sock_.get(), frame);
+}
+
+Status TcpTransport::ReadFrame(FrameHeader* header, std::string* payload,
+                               size_t max_payload_bytes,
+                               double deadline_seconds,
+                               const CancellationToken* cancel) {
+  if (!sock_.valid()) return Status::IoError("transport is disconnected");
+  // One deadline covers the whole frame: header and payload share it, so a
+  // peer trickling bytes cannot stretch the wait to 2x.
+  Stopwatch clock;
+  std::string head;
+  SEESAW_RETURN_IF_ERROR(ReadExactlyWithin(sock_.get(), kHeaderBytes, &head,
+                                           deadline_seconds, cancel));
+  if (!DecodeHeader(head, header)) {
+    return Status::IoError("bad reply frame header");
+  }
+  if (header->payload_len > max_payload_bytes) {
+    return Status::IoError("reply payload exceeds the client size cap");
+  }
+  double left = deadline_seconds;
+  if (deadline_seconds > 0) {
+    left = deadline_seconds - clock.ElapsedSeconds();
+    if (left <= 0) return Status::DeadlineExceeded("read deadline exceeded");
+  }
+  payload->clear();
+  return ReadExactlyWithin(sock_.get(), header->payload_len, payload, left,
+                           cancel);
+}
+
+Status TcpTransport::Reconnect() {
+  sock_.Close();
+  SEESAW_ASSIGN_OR_RETURN(Fd sock, ConnectTcp(host_, port_));
+  sock_ = std::move(sock);
+  return Status::OK();
+}
+
+}  // namespace seesaw::net

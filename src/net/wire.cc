@@ -14,6 +14,73 @@ constexpr uint32_t kMaxStringBytes = 1u << 20;   // 1 MiB text / user key
 constexpr uint32_t kMaxVectorDims = 1u << 20;    // 1M floats
 constexpr uint32_t kMaxBatchEntries = 1u << 20;  // 1M results
 constexpr uint32_t kMaxBoxes = 1u << 16;         // 64K region boxes
+// Shard seen-set exclusions: capacity is bounded by the shard's row count,
+// so 1<<27 ids (16 MiB of words) covers any shard the scale work reaches
+// while keeping a hostile capacity field from promising gigabytes.
+constexpr uint64_t kMaxSeenCapacity = 1ull << 27;
+constexpr uint32_t kMaxStoreQueries = 1u << 12;  // 4K queries per batch frame
+
+// Shared sub-codecs for the store frames: a query vector and a SeenSet.
+// Every length field is checked against BOTH its sanity cap and the bytes
+// actually remaining before any container is resized (see
+// WireReader::remaining) — the length prefix of an untrusted payload must
+// never size an allocation.
+void EncodeVector(WireWriter& w, const linalg::VectorF& v) {
+  w.U32(static_cast<uint32_t>(v.size()));
+  for (float x : v) w.F32(x);
+}
+
+bool DecodeVector(WireReader& r, linalg::VectorF* v) {
+  uint32_t dim;
+  if (!r.U32(&dim) || dim > kMaxVectorDims) return false;
+  if (r.remaining() < size_t{dim} * 4) return false;
+  v->resize(dim);
+  for (uint32_t i = 0; i < dim; ++i) {
+    if (!r.F32(&(*v)[i])) return false;
+  }
+  return true;
+}
+
+void EncodeSeenSet(WireWriter& w, const store::SeenSet& seen) {
+  w.U64(seen.capacity());
+  for (uint64_t word : seen.words()) w.U64(word);
+}
+
+bool DecodeSeenSet(WireReader& r, store::SeenSet* seen) {
+  uint64_t capacity;
+  if (!r.U64(&capacity) || capacity > kMaxSeenCapacity) return false;
+  const size_t num_words = (capacity + 63) / 64;
+  if (r.remaining() < num_words * 8) return false;
+  std::vector<uint64_t> words(num_words);
+  for (size_t i = 0; i < num_words; ++i) {
+    if (!r.U64(&words[i])) return false;
+  }
+  *seen = store::SeenSet::FromWords(static_cast<size_t>(capacity),
+                                    std::move(words));
+  return true;
+}
+
+void EncodeResults(WireWriter& w,
+                   const std::vector<store::SearchResult>& results) {
+  w.U32(static_cast<uint32_t>(results.size()));
+  for (const store::SearchResult& hit : results) {
+    w.U32(hit.id);
+    w.F32(hit.score);
+  }
+}
+
+bool DecodeResults(WireReader& r, std::vector<store::SearchResult>* results) {
+  uint32_t count;
+  if (!r.U32(&count) || count > kMaxBatchEntries) return false;
+  if (r.remaining() < size_t{count} * 8) return false;
+  results->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!r.U32(&(*results)[i].id) || !r.F32(&(*results)[i].score)) {
+      return false;
+    }
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -170,12 +237,7 @@ bool DecodeCreateSessionRequest(std::string_view payload,
   msg->by_vector = by_vector != 0;
   if (by_vector > 1) return false;
   if (msg->by_vector) {
-    uint32_t dim;
-    if (!r.U32(&dim) || dim > kMaxVectorDims) return false;
-    msg->query_vector.resize(dim);
-    for (uint32_t i = 0; i < dim; ++i) {
-      if (!r.F32(&msg->query_vector[i])) return false;
-    }
+    if (!DecodeVector(r, &msg->query_vector)) return false;
   } else if (!r.Str(&msg->text_query)) {
     return false;
   }
@@ -220,6 +282,10 @@ bool DecodeNextBatchReply(std::string_view payload, NextBatchReply* msg) {
   WireReader r(payload);
   uint32_t count;
   if (!r.U32(&count) || count > kMaxBatchEntries) return false;
+  // Bound the resize by the bytes actually present (8 per entry), not just
+  // the sanity cap: a corrupt length prefix on a short payload must fail
+  // here, not reserve a million entries first.
+  if (r.remaining() < size_t{count} * 8) return false;
   msg->batch.resize(count);
   for (uint32_t i = 0; i < count; ++i) {
     if (!r.U32(&msg->batch[i].image_idx) || !r.F32(&msg->batch[i].score)) {
@@ -254,6 +320,7 @@ bool DecodeAddFeedbackRequest(std::string_view payload,
     return false;
   }
   if (relevant > 1 || num_boxes > kMaxBoxes) return false;
+  if (r.remaining() < size_t{num_boxes} * 16) return false;  // 4 floats/box
   msg->feedback.relevant = relevant != 0;
   msg->feedback.boxes.resize(num_boxes);
   for (uint32_t i = 0; i < num_boxes; ++i) {
@@ -290,6 +357,115 @@ bool DecodeErrorReply(std::string_view payload, ErrorReply* msg) {
   if (!r.U16(&code) || !r.Str(&msg->message)) return false;
   msg->code = static_cast<WireError>(code);
   return r.Exhausted();
+}
+
+// --------------------------------------------------- store frame codecs --
+
+std::string EncodeStoreInfoReply(const StoreInfoReply& msg) {
+  WireWriter w;
+  w.U64(msg.size);
+  w.U32(msg.dim);
+  return w.Take();
+}
+
+bool DecodeStoreInfoReply(std::string_view payload, StoreInfoReply* msg) {
+  WireReader r(payload);
+  return r.U64(&msg->size) && r.U32(&msg->dim) && r.Exhausted();
+}
+
+std::string EncodeStoreTopKRequest(const StoreTopKRequest& msg) {
+  WireWriter w;
+  EncodeVector(w, msg.query);
+  w.U32(msg.k);
+  EncodeSeenSet(w, msg.seen);
+  return w.Take();
+}
+
+bool DecodeStoreTopKRequest(std::string_view payload, StoreTopKRequest* msg) {
+  WireReader r(payload);
+  return DecodeVector(r, &msg->query) && r.U32(&msg->k) &&
+         DecodeSeenSet(r, &msg->seen) && r.Exhausted();
+}
+
+std::string EncodeStoreTopKReply(const StoreTopKReply& msg) {
+  WireWriter w;
+  EncodeResults(w, msg.results);
+  return w.Take();
+}
+
+bool DecodeStoreTopKReply(std::string_view payload, StoreTopKReply* msg) {
+  WireReader r(payload);
+  return DecodeResults(r, &msg->results) && r.Exhausted();
+}
+
+std::string EncodeStoreTopKBatchRequest(const StoreTopKBatchRequest& msg) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(msg.queries.size()));
+  for (const linalg::VectorF& q : msg.queries) EncodeVector(w, q);
+  w.U32(msg.k);
+  EncodeSeenSet(w, msg.seen);
+  return w.Take();
+}
+
+bool DecodeStoreTopKBatchRequest(std::string_view payload,
+                                 StoreTopKBatchRequest* msg) {
+  WireReader r(payload);
+  uint32_t count;
+  if (!r.U32(&count) || count > kMaxStoreQueries) return false;
+  // Each query costs at least its 4-byte length prefix; bound the batch
+  // resize by that floor before allocating.
+  if (r.remaining() < size_t{count} * 4) return false;
+  msg->queries.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!DecodeVector(r, &msg->queries[i])) return false;
+  }
+  return r.U32(&msg->k) && DecodeSeenSet(r, &msg->seen) && r.Exhausted();
+}
+
+std::string EncodeStoreTopKBatchReply(const StoreTopKBatchReply& msg) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(msg.results.size()));
+  for (const std::vector<store::SearchResult>& hits : msg.results) {
+    EncodeResults(w, hits);
+  }
+  return w.Take();
+}
+
+bool DecodeStoreTopKBatchReply(std::string_view payload,
+                               StoreTopKBatchReply* msg) {
+  WireReader r(payload);
+  uint32_t count;
+  if (!r.U32(&count) || count > kMaxStoreQueries) return false;
+  if (r.remaining() < size_t{count} * 4) return false;
+  msg->results.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!DecodeResults(r, &msg->results[i])) return false;
+  }
+  return r.Exhausted();
+}
+
+std::string EncodeStoreGetVectorRequest(const StoreGetVectorRequest& msg) {
+  WireWriter w;
+  w.U32(msg.id);
+  return w.Take();
+}
+
+bool DecodeStoreGetVectorRequest(std::string_view payload,
+                                 StoreGetVectorRequest* msg) {
+  WireReader r(payload);
+  return r.U32(&msg->id) && r.Exhausted();
+}
+
+std::string EncodeStoreGetVectorReply(const StoreGetVectorReply& msg) {
+  WireWriter w;
+  EncodeVector(w, msg.vector);
+  return w.Take();
+}
+
+bool DecodeStoreGetVectorReply(std::string_view payload,
+                               StoreGetVectorReply* msg) {
+  WireReader r(payload);
+  return DecodeVector(r, &msg->vector) && r.Exhausted();
 }
 
 }  // namespace seesaw::net

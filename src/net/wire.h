@@ -38,6 +38,8 @@
 
 #include "core/searcher.h"
 #include "linalg/vector_ops.h"
+#include "store/seen_set.h"
+#include "store/vector_store.h"
 
 namespace seesaw::net {
 
@@ -56,12 +58,26 @@ enum class FrameType : uint16_t {
   kCloseSession = 5,
   kPing = 6,
 
+  // Shard-serving store API (store::RemoteStore <-> SeeSawServer in store
+  // mode): raw VectorStore lookups against the peer's local store. Results
+  // cross the wire in the canonical (score desc, id asc) order with float
+  // bits intact, which is what makes remote-vs-local scans bitwise
+  // comparable. Types are wire contract — append, never renumber.
+  kStoreInfo = 7,
+  kStoreTopK = 8,
+  kStoreTopKBatch = 9,
+  kStoreGetVector = 10,
+
   kCreateSessionReply = kCreateSession | kReplyBit,
   kNextBatchReply = kNextBatch | kReplyBit,
   kAddFeedbackReply = kAddFeedback | kReplyBit,
   kRefitReply = kRefit | kReplyBit,
   kCloseSessionReply = kCloseSession | kReplyBit,
   kPingReply = kPing | kReplyBit,
+  kStoreInfoReply = kStoreInfo | kReplyBit,
+  kStoreTopKReply = kStoreTopK | kReplyBit,
+  kStoreTopKBatchReply = kStoreTopKBatch | kReplyBit,
+  kStoreGetVectorReply = kStoreGetVector | kReplyBit,
 
   kError = 0xFF,
 };
@@ -146,6 +162,11 @@ class WireReader {
   /// garbage means a framing bug, not a forward-compatible extension).
   bool Exhausted() const { return ok_ && pos_ == bytes_.size(); }
 
+  /// Unread bytes left. Decoders check a decoded length field against this
+  /// BEFORE resizing an output container: a hostile length prefix must fail
+  /// the bounds check, not trigger a huge speculative allocation.
+  size_t remaining() const { return ok_ ? bytes_.size() - pos_ : 0; }
+
  private:
   bool Take(void* dst, size_t n);
 
@@ -193,6 +214,51 @@ struct ErrorReply {
   std::string message;
 };
 
+// --- store frames (shard serving) ---
+
+/// kStoreInfo carries no request body; the reply describes the peer's store.
+struct StoreInfoReply {
+  uint64_t size = 0;  ///< number of vectors the peer serves
+  uint32_t dim = 0;   ///< their dimensionality
+};
+
+/// One scalar lookup against the peer's store. The seen set is the
+/// shard-local Slice the sharded caller already computes — capacity plus
+/// raw bit words (SeenSet::words()), so the peer reconstructs exactly the
+/// exclusion view a local child store would have been handed.
+struct StoreTopKRequest {
+  linalg::VectorF query;
+  uint32_t k = 0;
+  store::SeenSet seen;
+};
+
+/// Hits in canonical order, float bits intact (see FrameType::kStoreTopK).
+struct StoreTopKReply {
+  std::vector<store::SearchResult> results;
+};
+
+/// Batched lookup: the whole query batch in one frame, one result list per
+/// query in the reply. results[i] corresponds to queries[i].
+struct StoreTopKBatchRequest {
+  std::vector<linalg::VectorF> queries;
+  uint32_t k = 0;
+  store::SeenSet seen;
+};
+
+struct StoreTopKBatchReply {
+  std::vector<std::vector<store::SearchResult>> results;
+};
+
+/// Row fetch (RemoteStore::GetVector). Out-of-range ids get a kNotFound
+/// error frame.
+struct StoreGetVectorRequest {
+  uint32_t id = 0;
+};
+
+struct StoreGetVectorReply {
+  linalg::VectorF vector;
+};
+
 // ------------------------------------------------------- frame assembly --
 
 /// One whole frame: header (with payload_len filled in) + payload.
@@ -227,6 +293,28 @@ bool DecodeSessionRequest(std::string_view payload, SessionRequest* msg);
 
 std::string EncodeErrorReply(const ErrorReply& msg);
 bool DecodeErrorReply(std::string_view payload, ErrorReply* msg);
+
+std::string EncodeStoreInfoReply(const StoreInfoReply& msg);
+bool DecodeStoreInfoReply(std::string_view payload, StoreInfoReply* msg);
+
+std::string EncodeStoreTopKRequest(const StoreTopKRequest& msg);
+bool DecodeStoreTopKRequest(std::string_view payload, StoreTopKRequest* msg);
+std::string EncodeStoreTopKReply(const StoreTopKReply& msg);
+bool DecodeStoreTopKReply(std::string_view payload, StoreTopKReply* msg);
+
+std::string EncodeStoreTopKBatchRequest(const StoreTopKBatchRequest& msg);
+bool DecodeStoreTopKBatchRequest(std::string_view payload,
+                                 StoreTopKBatchRequest* msg);
+std::string EncodeStoreTopKBatchReply(const StoreTopKBatchReply& msg);
+bool DecodeStoreTopKBatchReply(std::string_view payload,
+                               StoreTopKBatchReply* msg);
+
+std::string EncodeStoreGetVectorRequest(const StoreGetVectorRequest& msg);
+bool DecodeStoreGetVectorRequest(std::string_view payload,
+                                 StoreGetVectorRequest* msg);
+std::string EncodeStoreGetVectorReply(const StoreGetVectorReply& msg);
+bool DecodeStoreGetVectorReply(std::string_view payload,
+                               StoreGetVectorReply* msg);
 
 }  // namespace seesaw::net
 

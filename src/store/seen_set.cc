@@ -119,6 +119,22 @@ void SeenSet::Clear() {
   count_ = 0;
 }
 
+SeenSet SeenSet::FromWords(size_t capacity, std::vector<uint64_t> words) {
+  SEESAW_CHECK_EQ(words.size(), (capacity + 63) / 64);
+  SeenSet out;
+  out.words_ = std::move(words);
+  out.capacity_ = capacity;
+  // Clear bits past capacity (a decoded payload is untrusted) so Test(),
+  // count() and operator== keep their invariants.
+  if (capacity % 64 != 0 && !out.words_.empty()) {
+    out.words_.back() &= (uint64_t{1} << (capacity % 64)) - 1;
+  }
+  size_t c = 0;
+  for (uint64_t w : out.words_) c += static_cast<size_t>(std::popcount(w));
+  out.count_ = c;
+  return out;
+}
+
 const SeenSet& EmptySeenSet() {
   static const SeenSet empty;
   return empty;

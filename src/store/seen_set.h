@@ -65,6 +65,19 @@ class SeenSet {
   void AppendUnseenRuns(uint32_t begin, uint32_t end, uint32_t max_run,
                         std::vector<std::pair<uint32_t, uint32_t>>* runs) const;
 
+  /// The backing bit words, least-significant bit of words()[0] is id 0;
+  /// exactly ceil(capacity/64) entries with every bit past capacity zero.
+  /// This is the serialization surface the wire protocol ships shard
+  /// exclusions through (net/wire.h) — word order and the zero-padding
+  /// invariant are wire contract.
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Rebuilds a set from its words() serialization. `words` must hold
+  /// exactly ceil(capacity/64) entries; bits past capacity are cleared (a
+  /// hostile payload cannot smuggle out-of-range ids) and count() is
+  /// recomputed. The inverse of words() for well-formed input.
+  static SeenSet FromWords(size_t capacity, std::vector<uint64_t> words);
+
   size_t capacity() const { return capacity_; }
 
   /// Number of seen ids (maintained incrementally; O(1)).

@@ -96,6 +96,41 @@ StatusOr<ShardedStore> ShardedStore::Create(linalg::MatrixF vectors,
                       std::move(shard_nodes), place);
 }
 
+std::pair<size_t, size_t> ShardedStore::PartitionRange(size_t n,
+                                                       size_t num_shards,
+                                                       size_t s) {
+  SEESAW_CHECK_GT(num_shards, size_t{0});
+  SEESAW_CHECK_LT(s, num_shards);
+  const size_t base = n / num_shards;
+  const size_t extra = n % num_shards;
+  const size_t first = s * base + std::min(s, extra);
+  const size_t count = base + (s < extra ? 1 : 0);
+  return {first, count};
+}
+
+StatusOr<ShardedStore> ShardedStore::CreateFromChildren(
+    std::vector<std::unique_ptr<VectorStore>> children) {
+  if (children.empty()) {
+    return Status::InvalidArgument("ShardedStore: no children");
+  }
+  const size_t d = children[0]->dim();
+  std::vector<uint32_t> begin(children.size() + 1, 0);
+  for (size_t s = 0; s < children.size(); ++s) {
+    if (children[s] == nullptr || children[s]->size() == 0) {
+      return Status::InvalidArgument("ShardedStore: empty child store");
+    }
+    if (children[s]->dim() != d) {
+      return Status::InvalidArgument(
+          "ShardedStore: children disagree on dimensionality");
+    }
+    begin[s + 1] =
+        begin[s] + static_cast<uint32_t>(children[s]->size());
+  }
+  std::vector<size_t> shard_nodes(children.size(), 0);
+  return ShardedStore(std::move(children), std::move(begin), d,
+                      std::move(shard_nodes), /*numa_placed=*/false);
+}
+
 void ShardedStore::DispatchShards(
     ThreadPool* pool, const std::function<void(size_t)>& scan_shard) const {
   const size_t num_shards = shards_.size();

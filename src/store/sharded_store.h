@@ -93,6 +93,25 @@ class ShardedStore : public VectorStore {
                                        const ShardedOptions& options,
                                        const ChildFactory& factory);
 
+  /// The row range [first, first+count) shard `s` of `num_shards` owns over
+  /// an `n`-row table — the exact partition arithmetic Create uses (base =
+  /// n/num_shards rows each, the first n%num_shards shards one extra).
+  /// Exposed so out-of-process children (a shard server slicing its table
+  /// rows, tools building per-shard tables) partition identically to an
+  /// in-process build; the bitwise remote-vs-local parity contract starts
+  /// here.
+  static std::pair<size_t, size_t> PartitionRange(size_t n, size_t num_shards,
+                                                  size_t s);
+
+  /// Assembles a sharded store from already-built children (e.g.
+  /// RemoteStores connected to shard servers). Children are taken in shard
+  /// order: child c serves global rows [sum(sizes 0..c-1), +size(c)), so
+  /// callers must list them in the same order PartitionRange numbers
+  /// shards. All children must share a dimensionality and be non-empty.
+  /// No NUMA placement (children own their memory).
+  static StatusOr<ShardedStore> CreateFromChildren(
+      std::vector<std::unique_ptr<VectorStore>> children);
+
   size_t size() const override { return begin_.back(); }
   size_t dim() const override { return dim_; }
 

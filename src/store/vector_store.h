@@ -22,6 +22,9 @@
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
 #include "linalg/matrix.h"
 #include "linalg/vector_ops.h"
 #include "store/seen_set.h"
@@ -42,6 +45,50 @@ namespace seesaw::store {
 enum class ScanPrecision {
   kFloat32,  ///< scan the fp32 master table (bitwise-reproducible reference)
   kInt8,     ///< scan a per-row-quantized int8 copy (~4x less bandwidth)
+};
+
+/// Thread-safe sink for typed scan failures. The VectorStore lookup
+/// signatures return results, not Status — a deliberate choice for the
+/// in-process backends, where a scan cannot fail. Remote-backed stores CAN
+/// fail (dead peer, deadline, retries exhausted), and "a dead shard
+/// surfaces as a typed Status, never a silent partial" needs a channel out
+/// of the scan. Callers that talk to remote shards hang a collector on
+/// ScanControl::errors; any shard that fails reports here, and the caller
+/// MUST treat the merged results as invalid when !ok() (exactly the
+/// cancelled-scan discard contract). May be reported to concurrently from
+/// every shard worker; the first error is kept (later ones only bump the
+/// count), since one dead shard already invalidates the merge.
+class ScanErrorCollector {
+ public:
+  /// Records a failed shard scan. `status` must be non-OK.
+  void Report(Status status) {
+    MutexLock lock(mu_);
+    if (first_.ok()) first_ = std::move(status);
+    ++count_;
+  }
+
+  /// True when no scan error has been reported (merged results are valid).
+  bool ok() const {
+    MutexLock lock(mu_);
+    return first_.ok();
+  }
+
+  /// The first reported error (OK when none).
+  Status first() const {
+    MutexLock lock(mu_);
+    return first_;
+  }
+
+  /// Number of failed shard scans reported.
+  size_t count() const {
+    MutexLock lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  Status first_ SEESAW_GUARDED_BY(mu_);
+  size_t count_ SEESAW_GUARDED_BY(mu_) = 0;
 };
 
 /// In-scan control for batched lookups: cooperative cancellation plus a
@@ -66,6 +113,12 @@ struct ScanControl {
   /// scanning a shard, so the hook must be thread-safe. Empty in
   /// production: one branch per checkpoint.
   std::function<void()> checkpoint;
+
+  /// Typed-failure channel for stores whose scans can actually fail
+  /// (remote shards). Null for in-process scans — they cannot fail. When
+  /// set, a failing store reports its Status here AND returns empty
+  /// results; the caller must check errors->ok() before trusting a merge.
+  ScanErrorCollector* errors = nullptr;
 
   /// Checkpoint: runs the hook (if any) and reports whether the scan should
   /// stop here.

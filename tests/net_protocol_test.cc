@@ -55,6 +55,14 @@ TEST(WireHeaderTest, ReplyBitConvention) {
             static_cast<uint16_t>(FrameType::kNextBatch) | kReplyBit);
   EXPECT_EQ(static_cast<uint16_t>(FrameType::kCreateSessionReply),
             static_cast<uint16_t>(FrameType::kCreateSession) | kReplyBit);
+  EXPECT_EQ(static_cast<uint16_t>(FrameType::kStoreInfoReply),
+            static_cast<uint16_t>(FrameType::kStoreInfo) | kReplyBit);
+  EXPECT_EQ(static_cast<uint16_t>(FrameType::kStoreTopKReply),
+            static_cast<uint16_t>(FrameType::kStoreTopK) | kReplyBit);
+  EXPECT_EQ(static_cast<uint16_t>(FrameType::kStoreTopKBatchReply),
+            static_cast<uint16_t>(FrameType::kStoreTopKBatch) | kReplyBit);
+  EXPECT_EQ(static_cast<uint16_t>(FrameType::kStoreGetVectorReply),
+            static_cast<uint16_t>(FrameType::kStoreGetVector) | kReplyBit);
 }
 
 TEST(WireCodecTest, CreateSessionTextRoundTrip) {
@@ -146,6 +154,125 @@ TEST(WireCodecTest, ErrorNamesAndRetriability) {
   EXPECT_FALSE(IsRetriable(WireError::kMalformedFrame));
 }
 
+store::SeenSet SampleSeen() {
+  // 130 ids spans three words, with marks in every word including the
+  // partial tail — the shape a sharded scan's sliced exclusions take.
+  store::SeenSet seen(130);
+  seen.Set(0);
+  seen.Set(63);
+  seen.Set(64);
+  seen.Set(129);
+  return seen;
+}
+
+TEST(WireStoreCodecTest, StoreInfoReplyRoundTrip) {
+  StoreInfoReply reply;
+  reply.size = 0x1234567890ULL;
+  reply.dim = 768;
+  StoreInfoReply got;
+  ASSERT_TRUE(DecodeStoreInfoReply(EncodeStoreInfoReply(reply), &got));
+  EXPECT_EQ(got.size, reply.size);
+  EXPECT_EQ(got.dim, 768u);
+}
+
+TEST(WireStoreCodecTest, StoreTopKRoundTripBitwise) {
+  StoreTopKRequest req;
+  req.query = {0.25f, -1.5f, 3.14159f, -0.0f};
+  req.k = 17;
+  req.seen = SampleSeen();
+  StoreTopKRequest got;
+  ASSERT_TRUE(DecodeStoreTopKRequest(EncodeStoreTopKRequest(req), &got));
+  ASSERT_EQ(got.query.size(), req.query.size());
+  for (size_t i = 0; i < req.query.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&got.query[i], &req.query[i], sizeof(float)), 0);
+  }
+  EXPECT_EQ(got.k, 17u);
+  EXPECT_TRUE(got.seen == req.seen);
+
+  // The reply preserves result order and score bits verbatim — the remote
+  // parity contract needs the wire to be order- and bit-transparent.
+  StoreTopKReply reply;
+  reply.results = {{9, 0.75f}, {2, 0.75f}, {31, -0.0f}};
+  StoreTopKReply reply_got;
+  ASSERT_TRUE(DecodeStoreTopKReply(EncodeStoreTopKReply(reply), &reply_got));
+  ASSERT_EQ(reply_got.results.size(), 3u);
+  for (size_t i = 0; i < reply.results.size(); ++i) {
+    EXPECT_EQ(reply_got.results[i].id, reply.results[i].id);
+    EXPECT_EQ(std::memcmp(&reply_got.results[i].score,
+                          &reply.results[i].score, sizeof(float)),
+              0);
+  }
+}
+
+TEST(WireStoreCodecTest, StoreTopKBatchRoundTrip) {
+  StoreTopKBatchRequest req;
+  req.queries = {{1.0f, 2.0f}, {-3.0f, 0.5f}, {0.0f, -0.0f}};
+  req.k = 5;
+  req.seen = SampleSeen();
+  StoreTopKBatchRequest got;
+  ASSERT_TRUE(
+      DecodeStoreTopKBatchRequest(EncodeStoreTopKBatchRequest(req), &got));
+  ASSERT_EQ(got.queries.size(), 3u);
+  for (size_t q = 0; q < req.queries.size(); ++q) {
+    ASSERT_EQ(got.queries[q].size(), req.queries[q].size());
+    for (size_t i = 0; i < req.queries[q].size(); ++i) {
+      EXPECT_EQ(got.queries[q][i], req.queries[q][i]);
+    }
+  }
+  EXPECT_EQ(got.k, 5u);
+  EXPECT_TRUE(got.seen == req.seen);
+
+  StoreTopKBatchReply reply;
+  reply.results = {{{1, 0.5f}}, {}, {{2, 0.25f}, {3, 0.125f}}};
+  StoreTopKBatchReply reply_got;
+  ASSERT_TRUE(
+      DecodeStoreTopKBatchReply(EncodeStoreTopKBatchReply(reply), &reply_got));
+  ASSERT_EQ(reply_got.results.size(), 3u);
+  EXPECT_EQ(reply_got.results[0].size(), 1u);
+  EXPECT_TRUE(reply_got.results[1].empty());  // empty per-query lists survive
+  ASSERT_EQ(reply_got.results[2].size(), 2u);
+  EXPECT_EQ(reply_got.results[2][1].id, 3u);
+}
+
+TEST(WireStoreCodecTest, StoreGetVectorRoundTrip) {
+  StoreGetVectorRequest req;
+  req.id = 4096;
+  StoreGetVectorRequest got;
+  ASSERT_TRUE(
+      DecodeStoreGetVectorRequest(EncodeStoreGetVectorRequest(req), &got));
+  EXPECT_EQ(got.id, 4096u);
+
+  StoreGetVectorReply reply;
+  reply.vector = {0.1f, -0.2f, 0.3f};
+  StoreGetVectorReply reply_got;
+  ASSERT_TRUE(
+      DecodeStoreGetVectorReply(EncodeStoreGetVectorReply(reply), &reply_got));
+  ASSERT_EQ(reply_got.vector.size(), 3u);
+  for (size_t i = 0; i < reply.vector.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&reply_got.vector[i], &reply.vector[i],
+                          sizeof(float)),
+              0);
+  }
+}
+
+TEST(WireStoreCodecTest, EmptySeenSetAndZeroQueriesRoundTrip) {
+  // Degenerate-but-legal shapes: no exclusions, an empty batch.
+  StoreTopKRequest req;
+  req.query = {1.0f};
+  req.k = 1;
+  StoreTopKRequest got;
+  ASSERT_TRUE(DecodeStoreTopKRequest(EncodeStoreTopKRequest(req), &got));
+  EXPECT_EQ(got.seen.capacity(), 0u);
+
+  StoreTopKBatchRequest batch;
+  batch.k = 3;
+  StoreTopKBatchRequest batch_got;
+  ASSERT_TRUE(
+      DecodeStoreTopKBatchRequest(EncodeStoreTopKBatchRequest(batch),
+                                  &batch_got));
+  EXPECT_TRUE(batch_got.queries.empty());
+}
+
 TEST(WireCodecTest, TrailingGarbageRejected) {
   // Decoders require exact consumption: framing bugs must not pass silently.
   std::string payload = EncodeSessionRequest({17});
@@ -194,6 +321,42 @@ TEST(WireCodecTest, EveryTruncationFailsCleanly) {
          ErrorReply m;
          return DecodeErrorReply(p, &m);
        }},
+      {EncodeStoreInfoReply({12345, 64}),
+       [](std::string_view p) {
+         StoreInfoReply m;
+         return DecodeStoreInfoReply(p, &m);
+       }},
+      {EncodeStoreTopKRequest({{0.5f, -0.25f}, 7, SampleSeen()}),
+       [](std::string_view p) {
+         StoreTopKRequest m;
+         return DecodeStoreTopKRequest(p, &m);
+       }},
+      {EncodeStoreTopKReply({{{1, 0.5f}, {2, 0.25f}}}),
+       [](std::string_view p) {
+         StoreTopKReply m;
+         return DecodeStoreTopKReply(p, &m);
+       }},
+      {EncodeStoreTopKBatchRequest(
+           {{{1.0f, 2.0f}, {3.0f, 4.0f}}, 5, SampleSeen()}),
+       [](std::string_view p) {
+         StoreTopKBatchRequest m;
+         return DecodeStoreTopKBatchRequest(p, &m);
+       }},
+      {EncodeStoreTopKBatchReply({{{{1, 0.5f}}, {{2, 0.25f}, {3, 0.1f}}}}),
+       [](std::string_view p) {
+         StoreTopKBatchReply m;
+         return DecodeStoreTopKBatchReply(p, &m);
+       }},
+      {EncodeStoreGetVectorRequest({42}),
+       [](std::string_view p) {
+         StoreGetVectorRequest m;
+         return DecodeStoreGetVectorRequest(p, &m);
+       }},
+      {EncodeStoreGetVectorReply({{0.1f, 0.2f, 0.3f}}),
+       [](std::string_view p) {
+         StoreGetVectorReply m;
+         return DecodeStoreGetVectorReply(p, &m);
+       }},
   };
   for (const Case& c : cases) {
     for (size_t len = 0; len < c.payload.size(); ++len) {
@@ -229,6 +392,20 @@ TEST(WireFuzzTest, RandomGarbageNeverCrashes) {
     DecodeSessionRequest(bytes, &e);
     DecodeErrorReply(bytes, &f);
     DecodeHeader(bytes, &h);
+    StoreInfoReply si;
+    StoreTopKRequest st;
+    StoreTopKReply sr;
+    StoreTopKBatchRequest sb;
+    StoreTopKBatchReply sbr;
+    StoreGetVectorRequest sg;
+    StoreGetVectorReply sgr;
+    DecodeStoreInfoReply(bytes, &si);
+    DecodeStoreTopKRequest(bytes, &st);
+    DecodeStoreTopKReply(bytes, &sr);
+    DecodeStoreTopKBatchRequest(bytes, &sb);
+    DecodeStoreTopKBatchReply(bytes, &sbr);
+    DecodeStoreGetVectorRequest(bytes, &sg);
+    DecodeStoreGetVectorReply(bytes, &sgr);
   }
 }
 
@@ -241,6 +418,11 @@ TEST(WireFuzzTest, CorruptedValidPayloadsNeverCrash) {
       EncodeAddFeedbackRequest(
           {4, {7, true, {{0.1f, 0.1f, 0.9f, 0.9f}}}}),
       EncodeErrorReply({WireError::kRetryLater, "shed"}),
+      EncodeStoreTopKRequest({{0.5f, -0.25f, 1.0f}, 7, SampleSeen()}),
+      EncodeStoreTopKBatchRequest(
+          {{{1.0f, 2.0f}, {3.0f, 4.0f}}, 5, SampleSeen()}),
+      EncodeStoreTopKBatchReply({{{{1, 0.5f}}, {{2, 0.25f}, {3, 0.1f}}}}),
+      EncodeStoreGetVectorReply({{0.1f, 0.2f, 0.3f}}),
   };
   for (int iter = 0; iter < 2000; ++iter) {
     std::string bytes = seeds[iter % seeds.size()];
@@ -259,6 +441,14 @@ TEST(WireFuzzTest, CorruptedValidPayloadsNeverCrash) {
     DecodeNextBatchReply(bytes, &c);
     DecodeAddFeedbackRequest(bytes, &d);
     DecodeErrorReply(bytes, &f);
+    StoreTopKRequest st;
+    StoreTopKBatchRequest sb;
+    StoreTopKBatchReply sbr;
+    StoreGetVectorReply sgr;
+    DecodeStoreTopKRequest(bytes, &st);
+    DecodeStoreTopKBatchRequest(bytes, &sb);
+    DecodeStoreTopKBatchReply(bytes, &sbr);
+    DecodeStoreGetVectorReply(bytes, &sgr);
   }
 }
 
@@ -271,6 +461,65 @@ TEST(WireFuzzTest, LengthPrefixBombRejected) {
   w.U32(0xFFFFFFFFu);  // text_query length prefix: absurd
   CreateSessionRequest got;
   EXPECT_FALSE(DecodeCreateSessionRequest(w.bytes(), &got));
+}
+
+TEST(WireFuzzTest, StoreLengthPrefixBombsRejected) {
+  // Hostile length prefixes in the store frames must fail the bounds check
+  // (the prefix exceeds the bytes actually present) or the sanity cap —
+  // never size an allocation.
+  {
+    // Query vector claiming 1M dims with 8 bytes of payload behind it.
+    WireWriter w;
+    w.U32(1u << 20);
+    w.F32(1.0f);
+    w.F32(2.0f);
+    StoreTopKRequest got;
+    EXPECT_FALSE(DecodeStoreTopKRequest(w.bytes(), &got));
+  }
+  {
+    // Seen set claiming ~2^40 capacity: over the cap outright.
+    WireWriter w;
+    w.U32(1);  // one-dim query...
+    w.F32(1.0f);
+    w.U32(5);            // k
+    w.U64(1ull << 40);   // seen capacity: absurd
+    StoreTopKRequest got;
+    EXPECT_FALSE(DecodeStoreTopKRequest(w.bytes(), &got));
+  }
+  {
+    // Seen set within the cap but with no words behind the prefix: the
+    // bounds pre-check must reject before allocating ~16MB of words.
+    WireWriter w;
+    w.U32(1);
+    w.F32(1.0f);
+    w.U32(5);
+    w.U64(1ull << 27);  // exactly the cap, zero payload bytes follow
+    StoreTopKRequest got;
+    EXPECT_FALSE(DecodeStoreTopKRequest(w.bytes(), &got));
+  }
+  {
+    // Batch claiming 2^31 queries: over kMaxStoreQueries.
+    WireWriter w;
+    w.U32(0x80000000u);
+    StoreTopKBatchRequest got;
+    EXPECT_FALSE(DecodeStoreTopKBatchRequest(w.bytes(), &got));
+  }
+  {
+    // Batch reply claiming 4096 result lists with nothing behind them.
+    WireWriter w;
+    w.U32(4096);
+    StoreTopKBatchReply got;
+    EXPECT_FALSE(DecodeStoreTopKBatchReply(w.bytes(), &got));
+  }
+  {
+    // Result list claiming 1M hits backed by one real entry.
+    WireWriter w;
+    w.U32(1u << 20);
+    w.U32(1);
+    w.F32(0.5f);
+    StoreTopKReply got;
+    EXPECT_FALSE(DecodeStoreTopKReply(w.bytes(), &got));
+  }
 }
 
 }  // namespace

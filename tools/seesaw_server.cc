@@ -8,16 +8,29 @@
 // bench_serving --connect discover the port. Stops cleanly on SIGINT or
 // SIGTERM.
 //
+// Shard-serving mode (--serve_store): additionally builds this shard's
+// slice of a deterministic vector table — rows [first, first+count) per
+// ShardedStore::PartitionRange(store_rows, num_shards, shard_index) over
+// DeterministicTable(store_rows, dim, store_seed) — and answers the store
+// frames (kStoreInfo/TopK/TopKBatch/GetVector), so N of these processes
+// are the peers a ShardedStore over RemoteStore children fans out to.
+// remote_parity_gate rebuilds the same table from the same flags and gates
+// bitwise parity against a single local store.
+//
 // Usage:
 //   seesaw_server [--port=0] [--bind=127.0.0.1] [--scale=0.05] [--dim=32]
 //                 [--threads=0] [--max_sessions_per_user=0]
 //                 [--idle_ttl_seconds=60] [--max_connections=4096]
 //                 [--max_queued_requests=256] [--sweep_interval_seconds=1]
+//                 [--serve_store] [--shard_index=0] [--num_shards=1]
+//                 [--store_rows=2000] [--store_seed=7] [--precision=fp32]
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -27,6 +40,9 @@
 #include "data/profiles.h"
 #include "net/server.h"
 #include "net/socket.h"
+#include "store/exact_store.h"
+#include "store/sharded_store.h"
+#include "tools/shard_table.h"
 
 namespace {
 
@@ -45,6 +61,13 @@ struct Flags {
   size_t max_connections = 4096;
   size_t max_queued_requests = 256;
   double sweep_interval_seconds = 1.0;
+  // Shard-serving mode.
+  bool serve_store = false;
+  size_t shard_index = 0;
+  size_t num_shards = 1;
+  size_t store_rows = 2000;
+  uint64_t store_seed = 7;
+  std::string precision = "fp32";
 };
 
 bool ParseOne(const char* arg, const char* name, std::string* out) {
@@ -78,6 +101,18 @@ Flags ParseFlags(int argc, char** argv) {
       f.max_queued_requests = static_cast<size_t>(std::atoi(v.c_str()));
     } else if (ParseOne(argv[i], "--sweep_interval_seconds", &v)) {
       f.sweep_interval_seconds = std::atof(v.c_str());
+    } else if (std::strcmp(argv[i], "--serve_store") == 0) {
+      f.serve_store = true;
+    } else if (ParseOne(argv[i], "--shard_index", &v)) {
+      f.shard_index = static_cast<size_t>(std::atoi(v.c_str()));
+    } else if (ParseOne(argv[i], "--num_shards", &v)) {
+      f.num_shards = static_cast<size_t>(std::atoi(v.c_str()));
+    } else if (ParseOne(argv[i], "--store_rows", &v)) {
+      f.store_rows = static_cast<size_t>(std::atoi(v.c_str()));
+    } else if (ParseOne(argv[i], "--store_seed", &v)) {
+      f.store_seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+    } else if (ParseOne(argv[i], "--precision", &v)) {
+      f.precision = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       std::exit(2);
@@ -118,6 +153,38 @@ int main(int argc, char** argv) {
   server_options.sweep_interval_seconds = flags.sweep_interval_seconds;
 
   net::SeeSawServer server(service->sessions(), server_options);
+
+  // Shard-serving mode: build this shard's slice of the deterministic table
+  // and attach it before Start (the store must outlive the server).
+  std::unique_ptr<store::ExactStore> shard_store;
+  if (flags.serve_store) {
+    SEESAW_CHECK(flags.shard_index < flags.num_shards)
+        << "--shard_index must be < --num_shards";
+    SEESAW_CHECK(flags.precision == "fp32" || flags.precision == "int8")
+        << "--precision must be fp32 or int8";
+    linalg::MatrixF table =
+        tools::DeterministicTable(flags.store_rows, flags.dim, flags.store_seed);
+    auto [first, count] = store::ShardedStore::PartitionRange(
+        flags.store_rows, flags.num_shards, flags.shard_index);
+    linalg::MatrixF part(count, flags.dim);
+    for (size_t r = 0; r < count; ++r) {
+      auto src = table.Row(first + r);
+      std::copy(src.begin(), src.end(), part.MutableRow(r).begin());
+    }
+    store::ExactStoreOptions store_options;
+    store_options.precision = flags.precision == "int8"
+                                  ? store::ScanPrecision::kInt8
+                                  : store::ScanPrecision::kFloat32;
+    auto made = store::ExactStore::Create(std::move(part), store_options);
+    SEESAW_CHECK(made.ok()) << made.status().ToString();
+    shard_store = std::make_unique<store::ExactStore>(std::move(*made));
+    server.ServeStore(*shard_store);
+    SEESAW_LOG(Info) << "store mode: shard " << flags.shard_index << "/"
+                     << flags.num_shards << " rows [" << first << ", "
+                     << first + count << ") of " << flags.store_rows
+                     << " precision=" << flags.precision;
+  }
+
   Status started = server.Start();
   SEESAW_CHECK(started.ok()) << started.ToString();
 
